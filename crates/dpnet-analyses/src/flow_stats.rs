@@ -1,0 +1,276 @@
+//! Common flow statistics (paper §5.2.1; Swing, Vishwanath & Vahdat).
+//!
+//! Flow-level analyses derive per-flow quantities before aggregating:
+//!
+//! * **RTT** — join TCP SYNs with SYN-ACKs on matching flow endpoints and
+//!   `ack = seq + 1`, and difference the timestamps. Considering only the
+//!   handshake sidesteps delayed acknowledgments. PINQ's grouped `Join`
+//!   emits one record per matched handshake key, so the result has bounded
+//!   sensitivity despite retransmitted SYNs.
+//! * **Downstream loss rate** — group packets by 5-tuple flow and compare
+//!   distinct sequence numbers to total data packets: retransmissions seen
+//!   at the monitor indicate loss beyond it.
+//!
+//! Both feed the `Partition`-based CDF estimator. The paper reports
+//! relative RMSE of 2.8% (RTT) and 0.2% (loss) at ε = 0.1 — high fidelity
+//! even at the strongest privacy level (Figure 3).
+
+use crate::packet_dist::CdfResult;
+use dpnet_trace::{FlowKey, Packet};
+use dpnet_toolkit::cdf::{cdf_partition, noise_free_cdf};
+use pinq::{Queryable, Result};
+
+/// Private CDF of handshake RTTs in `bucket_ms`-millisecond buckets over
+/// `[0, max_ms]`. Privacy cost: `2ε` — the join touches the packet data
+/// twice (once for SYNs, once for SYN-ACKs).
+pub fn rtt_cdf(
+    packets: &Queryable<Packet>,
+    max_ms: u64,
+    bucket_ms: u64,
+    eps: f64,
+) -> Result<CdfResult> {
+    assert!(bucket_ms > 0);
+    let syns = packets.filter(|p| p.flags.is_syn() && !p.flags.is_ack());
+    let synacks = packets.filter(|p| p.flags.is_syn() && p.flags.is_ack());
+    let joined = syns.join(
+        &synacks,
+        |p| (p.src_ip, p.dst_ip, p.src_port, p.dst_port, p.seq.wrapping_add(1)),
+        |p| (p.dst_ip, p.src_ip, p.dst_port, p.src_port, p.ack),
+    );
+    // One RTT per matched handshake: earliest SYN to earliest SYN-ACK, the
+    // same convention as a monitor-side reference implementation.
+    let n_buckets = (max_ms / bucket_ms + 1) as usize;
+    let rtts = joined.map(move |jg| {
+        let t_syn = jg.left.iter().map(|p| p.ts_us).min().unwrap_or(0);
+        let t_ack = jg.right.iter().map(|p| p.ts_us).max().unwrap_or(0);
+        let rtt_ms = t_ack.saturating_sub(t_syn) / 1000;
+        ((rtt_ms / bucket_ms) as usize).min(n_buckets - 1)
+    });
+    let cdf = cdf_partition(&rtts, n_buckets, eps)?;
+    Ok(CdfResult {
+        bucket_edges: (0..n_buckets as u64)
+            .map(|b| (b + 1) * bucket_ms - 1)
+            .collect(),
+        cdf,
+    })
+}
+
+/// Private CDF of per-flow downstream loss rates, in `1/resolution`-wide
+/// buckets over `[0, 1]`, restricted to flows with more than `min_packets`
+/// data packets (paper: 10). Privacy cost: `2ε` (`GroupBy` stability).
+pub fn loss_rate_cdf(
+    packets: &Queryable<Packet>,
+    resolution: usize,
+    min_packets: usize,
+    eps: f64,
+) -> Result<CdfResult> {
+    assert!(resolution > 0);
+    let n_buckets = resolution + 1;
+    let data = packets.filter(|p| {
+        p.proto == dpnet_trace::Proto::Tcp && !p.flags.is_syn() && !p.payload.is_empty()
+    });
+    let rates = data
+        .group_by(|p| FlowKey::of(p))
+        .filter(move |g| g.items.len() > min_packets)
+        .map(move |g| {
+            let distinct: std::collections::HashSet<u32> =
+                g.items.iter().map(|p| p.seq).collect();
+            let loss = 1.0 - distinct.len() as f64 / g.items.len() as f64;
+            ((loss * resolution as f64).floor() as usize).min(n_buckets - 1)
+        });
+    let cdf = cdf_partition(&rates, n_buckets, eps)?;
+    Ok(CdfResult {
+        bucket_edges: (0..n_buckets as u64).collect(),
+        cdf,
+    })
+}
+
+/// Private CDF of packets-per-connection — the Swing statistic the paper
+/// "could not immediately reproduce in PINQ" because a 5-tuple flow can
+/// carry several TCP connections. With the owner-side connection-id
+/// pre-processing of [`dpnet_trace::connections`], it becomes an ordinary
+/// grouped query: `GroupBy(conn_id)` (stability 2), bucket the group sizes,
+/// `Partition`-CDF. Privacy cost: `2ε`.
+pub fn connection_size_cdf(
+    annotated: &Queryable<dpnet_trace::ConnPacket>,
+    max_packets: usize,
+    eps: f64,
+) -> Result<CdfResult> {
+    assert!(max_packets > 0);
+    let n_buckets = max_packets + 1;
+    let sizes = annotated
+        .filter(|cp| FlowKey::of(&cp.packet).is_tcp())
+        .group_by(|cp| cp.conn_id)
+        .map(move |g| g.items.len().min(n_buckets - 1));
+    let cdf = cdf_partition(&sizes, n_buckets, eps)?;
+    Ok(CdfResult {
+        bucket_edges: (0..n_buckets as u64).collect(),
+        cdf,
+    })
+}
+
+/// Noise-free packets-per-connection CDF with the same bucketing.
+pub fn connection_size_cdf_exact(packets: &[Packet], max_packets: usize) -> Vec<f64> {
+    let n_buckets = max_packets + 1;
+    let values: Vec<usize> = dpnet_trace::connections::packets_per_connection(packets)
+        .into_iter()
+        .map(|n| n.min(n_buckets - 1))
+        .collect();
+    noise_free_cdf(&values, n_buckets)
+}
+
+/// Noise-free RTT CDF with the same bucketing, from the exact handshake
+/// reference computation.
+pub fn rtt_cdf_exact(packets: &[Packet], max_ms: u64, bucket_ms: u64) -> Vec<f64> {
+    let n_buckets = (max_ms / bucket_ms + 1) as usize;
+    let values: Vec<usize> = dpnet_trace::tcp::handshake_rtts(packets)
+        .into_iter()
+        .map(|us| (((us / 1000) / bucket_ms) as usize).min(n_buckets - 1))
+        .collect();
+    noise_free_cdf(&values, n_buckets)
+}
+
+/// Noise-free loss-rate CDF with the same bucketing.
+pub fn loss_rate_cdf_exact(
+    packets: &[Packet],
+    resolution: usize,
+    min_packets: usize,
+) -> Vec<f64> {
+    let n_buckets = resolution + 1;
+    let values: Vec<usize> = dpnet_trace::tcp::flow_loss_rates(packets, min_packets)
+        .into_iter()
+        .map(|(_, loss)| ((loss * resolution as f64).floor() as usize).min(n_buckets - 1))
+        .collect();
+    noise_free_cdf(&values, n_buckets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpnet_trace::gen::hotspot::{generate, HotspotConfig};
+    use dpnet_toolkit::stats::relative_rmse;
+    use pinq::{Accountant, NoiseSource};
+
+    fn trace() -> Vec<Packet> {
+        generate(HotspotConfig {
+            web_flows: 600,
+            worms_above_threshold: 1,
+            worms_below_threshold: 1,
+            stepping_stone_pairs: 1,
+            interactive_decoys: 1,
+            itemset_hosts: 5,
+            ..HotspotConfig::default()
+        })
+        .packets
+    }
+
+    fn protect(pkts: Vec<Packet>, budget: f64, seed: u64) -> (Accountant, Queryable<Packet>) {
+        let acct = Accountant::new(budget);
+        let noise = NoiseSource::seeded(seed);
+        (acct.clone(), Queryable::new(pkts, &acct, &noise))
+    }
+
+    #[test]
+    fn rtt_cdf_tracks_exact_reference() {
+        // The paper reports 2.8% relative RMSE at ε=0.1 on ~100k flows; at
+        // our reduced scale (hundreds of flows) the same per-point noise is
+        // relatively larger, so the fidelity check runs at ε=1.
+        let pkts = trace();
+        let exact = rtt_cdf_exact(&pkts, 600, 10);
+        let (_, q) = protect(pkts, 10.0, 81);
+        let private = rtt_cdf(&q, 600, 10, 1.0).unwrap();
+        assert_eq!(private.cdf.len(), exact.len());
+        let r = relative_rmse(&private.cdf, &exact);
+        assert!(r < 0.10, "relative RMSE {r}");
+        // The totals (last CDF point) agree closely.
+        let t_priv = *private.cdf.last().unwrap();
+        let t_exact = *exact.last().unwrap();
+        assert!(
+            (t_priv - t_exact).abs() / t_exact < 0.05,
+            "{t_priv} vs {t_exact}"
+        );
+    }
+
+    #[test]
+    fn rtt_cdf_costs_two_eps() {
+        let (acct, q) = protect(trace(), 10.0, 83);
+        rtt_cdf(&q, 600, 10, 0.5).unwrap();
+        // The join charges both the SYN and SYN-ACK views of the source.
+        assert!((acct.spent() - 1.0).abs() < 1e-9, "spent {}", acct.spent());
+    }
+
+    #[test]
+    fn loss_cdf_tracks_exact_reference() {
+        // Same scale note as the RTT test: fidelity asserted at ε=1.
+        let pkts = trace();
+        let exact = loss_rate_cdf_exact(&pkts, 100, 10);
+        let (_, q) = protect(pkts, 10.0, 87);
+        let private = loss_rate_cdf(&q, 100, 10, 1.0).unwrap();
+        let r = relative_rmse(&private.cdf, &exact);
+        assert!(r < 0.10, "relative RMSE {r}");
+    }
+
+    #[test]
+    fn loss_cdf_costs_two_eps_from_group_by() {
+        let (acct, q) = protect(trace(), 10.0, 89);
+        loss_rate_cdf(&q, 100, 10, 0.5).unwrap();
+        assert!((acct.spent() - 1.0).abs() < 1e-9, "spent {}", acct.spent());
+    }
+
+    #[test]
+    fn lossless_flows_dominate_the_low_buckets() {
+        // Most flows are loss-free, so the exact CDF's first bucket already
+        // holds the majority of flows.
+        let pkts = trace();
+        let exact = loss_rate_cdf_exact(&pkts, 100, 10);
+        let total = *exact.last().unwrap();
+        assert!(total > 50.0, "too few measured flows: {total}");
+        assert!(exact[0] / total > 0.4, "zero-loss mass {}", exact[0] / total);
+    }
+
+    #[test]
+    fn connection_cdf_tracks_exact_reference() {
+        let pkts = trace();
+        let exact = connection_size_cdf_exact(&pkts, 100);
+        let annotated = dpnet_trace::annotate_connections(&pkts);
+        let acct = Accountant::new(10.0);
+        let noise = NoiseSource::seeded(91);
+        let q = Queryable::new(annotated, &acct, &noise);
+        let private = connection_size_cdf(&q, 100, 1.0).unwrap();
+        let r = relative_rmse(&private.cdf, &exact);
+        assert!(r < 0.10, "relative RMSE {r}");
+        // GroupBy stability: 2ε.
+        assert!((acct.spent() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn connections_outnumber_flows_when_multiplexed() {
+        // The generator plants HTTP/1.0-style multi-connection flows; the
+        // connection-level total exceeds the flow-level total, which is the
+        // distinction the paper could not draw without preprocessing.
+        let pkts = trace();
+        let conn_total = *connection_size_cdf_exact(&pkts, 400).last().unwrap();
+        let flows = dpnet_trace::flow::assemble_conversations(
+            &pkts
+                .iter()
+                .filter(|p| p.proto == dpnet_trace::Proto::Tcp)
+                .cloned()
+                .collect::<Vec<_>>(),
+        )
+        .len() as f64;
+        assert!(
+            conn_total > flows,
+            "connections {conn_total} vs conversations {flows}"
+        );
+    }
+
+    #[test]
+    fn rtt_exact_median_is_in_the_configured_range() {
+        let pkts = trace();
+        let exact = rtt_cdf_exact(&pkts, 600, 10);
+        let total = *exact.last().unwrap();
+        // Find the median bucket.
+        let med = exact.iter().position(|&c| c >= total / 2.0).unwrap() as u64 * 10;
+        assert!((20..250).contains(&med), "median RTT {med} ms");
+    }
+}

@@ -1,0 +1,34 @@
+//! # dpnet-analyses — differentially-private network trace analyses
+//!
+//! The six analyses of *McSherry & Mahajan (SIGCOMM 2010)* §5, each
+//! implemented both privately (over [`pinq`]) and exactly (the noise-free
+//! baseline the paper scores against), spanning the paper's three
+//! granularities:
+//!
+//! | granularity | analysis | module | paper § |
+//! |---|---|---|---|
+//! | packet | size & port distributions | [`packet_dist`] | 5.1.1 |
+//! | packet | worm fingerprinting | [`worm`] | 5.1.2 |
+//! | flow | RTT & loss-rate statistics | [`flow_stats`] | 5.2.1 |
+//! | flow | stepping-stone detection | [`stepping_stones`] | 5.2.2 |
+//! | graph | volume anomaly detection | [`anomaly`] | 5.3.1 |
+//! | graph | passive topology mapping | [`topology`] | 5.3.2 |
+//!
+//! Plus the worked example of §2.3 ([`example_s23`]). Each module's
+//! documentation describes the privacy-efficiency choices the paper makes
+//! (and the approximations required — e.g. bucketed activation windows for
+//! stepping stones).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod anomaly;
+pub mod classification;
+pub mod comm_rules;
+pub mod example_s23;
+pub mod flow_stats;
+pub mod graph_dist;
+pub mod packet_dist;
+pub mod stepping_stones;
+pub mod topology;
+pub mod worm;

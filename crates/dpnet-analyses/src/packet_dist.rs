@@ -1,0 +1,157 @@
+//! Packet-size and port distributions (paper §5.1.1, Figure 2).
+//!
+//! The simplest packet-level analyses: CDFs of packet length and destination
+//! port. The paper computes them with the `Partition`-based estimator
+//! (toolkit method 2) and finds the error "minimal even at the strongest
+//! privacy level" — relative RMSE 0.01% for lengths and 0.07% for ports at
+//! ε = 0.1, correctly preserving features like the spikes at 40 and
+//! 1492 bytes.
+
+use dpnet_trace::Packet;
+use dpnet_toolkit::cdf::{cdf_partition, noise_free_cdf};
+use pinq::{Queryable, Result};
+
+/// A CDF estimate paired with its bucketing, for presentation.
+#[derive(Debug, Clone)]
+pub struct CdfResult {
+    /// Upper edge of each bucket (inclusive), in the measured unit.
+    pub bucket_edges: Vec<u64>,
+    /// Estimated cumulative counts per bucket.
+    pub cdf: Vec<f64>,
+}
+
+/// Private CDF of packet lengths, one bucket per `bucket_width` bytes over
+/// `[0, max_len]`. Cost: `ε` total (parallel composition).
+pub fn packet_length_cdf(
+    packets: &Queryable<Packet>,
+    max_len: u64,
+    bucket_width: u64,
+    eps: f64,
+) -> Result<CdfResult> {
+    assert!(bucket_width > 0);
+    let n_buckets = (max_len / bucket_width + 1) as usize;
+    let values = packets.map(move |p| (p.len as u64 / bucket_width) as usize);
+    let cdf = cdf_partition(&values, n_buckets, eps)?;
+    Ok(CdfResult {
+        bucket_edges: (0..n_buckets as u64)
+            .map(|b| (b + 1) * bucket_width - 1)
+            .collect(),
+        cdf,
+    })
+}
+
+/// Private CDF of destination ports, one bucket per `bucket_width` port
+/// numbers over the full 16-bit range. Cost: `ε` total.
+pub fn port_cdf(packets: &Queryable<Packet>, bucket_width: u64, eps: f64) -> Result<CdfResult> {
+    assert!(bucket_width > 0);
+    let n_buckets = (65536 / bucket_width + 1) as usize;
+    let values = packets.map(move |p| (p.dst_port as u64 / bucket_width) as usize);
+    let cdf = cdf_partition(&values, n_buckets, eps)?;
+    Ok(CdfResult {
+        bucket_edges: (0..n_buckets as u64)
+            .map(|b| (b + 1) * bucket_width - 1)
+            .collect(),
+        cdf,
+    })
+}
+
+/// Noise-free packet-length CDF with the same bucketing.
+pub fn packet_length_cdf_exact(packets: &[Packet], max_len: u64, bucket_width: u64) -> Vec<f64> {
+    let n_buckets = (max_len / bucket_width + 1) as usize;
+    let values: Vec<usize> = packets
+        .iter()
+        .map(|p| (p.len as u64 / bucket_width) as usize)
+        .collect();
+    noise_free_cdf(&values, n_buckets)
+}
+
+/// Noise-free port CDF with the same bucketing.
+pub fn port_cdf_exact(packets: &[Packet], bucket_width: u64) -> Vec<f64> {
+    let n_buckets = (65536 / bucket_width + 1) as usize;
+    let values: Vec<usize> = packets
+        .iter()
+        .map(|p| (p.dst_port as u64 / bucket_width) as usize)
+        .collect();
+    noise_free_cdf(&values, n_buckets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpnet_trace::gen::hotspot::{generate, HotspotConfig};
+    use dpnet_toolkit::stats::relative_rmse;
+    use pinq::{Accountant, NoiseSource};
+
+    fn trace() -> Vec<Packet> {
+        generate(HotspotConfig {
+            web_flows: 400,
+            worms_above_threshold: 2,
+            worms_below_threshold: 1,
+            stepping_stone_pairs: 1,
+            interactive_decoys: 2,
+            itemset_hosts: 10,
+            ..HotspotConfig::default()
+        })
+        .packets
+    }
+
+    fn protect(packets: Vec<Packet>, budget: f64, seed: u64) -> (Accountant, Queryable<Packet>) {
+        let acct = Accountant::new(budget);
+        let noise = NoiseSource::seeded(seed);
+        (acct.clone(), Queryable::new(packets, &acct, &noise))
+    }
+
+    #[test]
+    fn length_cdf_matches_noise_free_closely() {
+        let pkts = trace();
+        let (_, q) = protect(pkts.clone(), 10.0, 41);
+        let private = packet_length_cdf(&q, 1500, 10, 0.1).unwrap();
+        let exact = packet_length_cdf_exact(&pkts, 1500, 10);
+        let r = relative_rmse(&private.cdf, &exact);
+        // Paper: 0.01% at eps=0.1 on 7M packets; our trace is smaller so
+        // the relative error is larger but still far below 5%.
+        assert!(r < 0.05, "relative RMSE {r}");
+    }
+
+    #[test]
+    fn length_cdf_costs_eps_total() {
+        let pkts = trace();
+        let (acct, q) = protect(pkts, 1.0, 43);
+        packet_length_cdf(&q, 1500, 10, 0.25).unwrap();
+        assert!((acct.spent() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn length_cdf_preserves_the_mtu_spike() {
+        // The jump at the 1492-byte bucket must be visible in the private
+        // CDF: counts just below vs at the MTU bucket differ sharply.
+        let pkts = trace();
+        let (_, q) = protect(pkts.clone(), 10.0, 47);
+        let private = packet_length_cdf(&q, 1500, 4, 0.1).unwrap();
+        let mtu_bucket = 1492 / 4;
+        let jump = private.cdf[mtu_bucket] - private.cdf[mtu_bucket - 1];
+        let before = private.cdf[mtu_bucket - 1] - private.cdf[mtu_bucket - 2];
+        assert!(jump > 10.0 * before.abs().max(10.0), "jump {jump} vs {before}");
+    }
+
+    #[test]
+    fn port_cdf_is_accurate_and_cheap() {
+        let pkts = trace();
+        let (acct, q) = protect(pkts.clone(), 1.0, 53);
+        let private = port_cdf(&q, 64, 0.1).unwrap();
+        let exact = port_cdf_exact(&pkts, 64);
+        assert!((acct.spent() - 0.1).abs() < 1e-9);
+        let r = relative_rmse(&private.cdf, &exact);
+        assert!(r < 0.10, "relative RMSE {r}");
+    }
+
+    #[test]
+    fn bucket_edges_cover_the_range() {
+        let pkts = trace();
+        let (_, q) = protect(pkts, 10.0, 59);
+        let res = packet_length_cdf(&q, 1500, 100, 1.0).unwrap();
+        assert_eq!(res.bucket_edges.len(), res.cdf.len());
+        assert_eq!(res.bucket_edges[0], 99);
+        assert!(*res.bucket_edges.last().unwrap() >= 1500);
+    }
+}

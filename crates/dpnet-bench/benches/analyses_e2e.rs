@@ -1,0 +1,134 @@
+//! End-to-end Criterion benches: one per paper analysis, on reduced traces,
+//! measuring the full private pipeline including trace transformation and
+//! budget accounting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpnet_analyses::anomaly::{private_anomaly_norms, AnomalyConfig};
+use dpnet_analyses::example_s23::heavy_hosts_to_port;
+use dpnet_analyses::flow_stats::{loss_rate_cdf, rtt_cdf};
+use dpnet_analyses::packet_dist::{packet_length_cdf, port_cdf};
+use dpnet_analyses::stepping_stones::{stepping_stones, SteppingStoneConfig};
+use dpnet_analyses::topology::{private_topology_clusters, TopologyConfig};
+use dpnet_analyses::worm::{worm_fingerprints, WormConfig};
+use dpnet_toolkit::kmeans::random_centers;
+use dpnet_trace::gen::hotspot::{self, HotspotConfig};
+use dpnet_trace::gen::isp::{self, IspConfig};
+use dpnet_trace::gen::scatter::{self, ScatterConfig};
+use pinq::{Accountant, NoiseSource, Queryable};
+
+fn hotspot_q() -> Queryable<dpnet_trace::Packet> {
+    let trace = hotspot::generate(HotspotConfig {
+        web_flows: 400,
+        worms_above_threshold: 4,
+        worms_below_threshold: 2,
+        stepping_stone_pairs: 3,
+        interactive_decoys: 4,
+        itemset_hosts: 20,
+        ..HotspotConfig::default()
+    });
+    let acct = Accountant::new(f64::MAX / 2.0);
+    let noise = NoiseSource::seeded(11);
+    Queryable::new(trace.packets, &acct, &noise)
+}
+
+fn bench_packet_level(c: &mut Criterion) {
+    let q = hotspot_q();
+    c.bench_function("e2e_example_s23", |b| {
+        b.iter(|| heavy_hosts_to_port(&q, 80, 1024, 0.1).unwrap())
+    });
+    c.bench_function("e2e_packet_length_cdf", |b| {
+        b.iter(|| packet_length_cdf(&q, 1500, 10, 0.1).unwrap())
+    });
+    c.bench_function("e2e_port_cdf", |b| {
+        b.iter(|| port_cdf(&q, 64, 0.1).unwrap())
+    });
+    c.bench_function("e2e_worm_fingerprinting", |b| {
+        b.iter(|| {
+            worm_fingerprints(
+                &q,
+                &WormConfig {
+                    eps: 1.0,
+                    presence_threshold: 50.0,
+                    ..WormConfig::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_flow_level(c: &mut Criterion) {
+    let q = hotspot_q();
+    c.bench_function("e2e_rtt_cdf", |b| {
+        b.iter(|| rtt_cdf(&q, 600, 10, 0.1).unwrap())
+    });
+    c.bench_function("e2e_loss_rate_cdf", |b| {
+        b.iter(|| loss_rate_cdf(&q, 100, 10, 0.1).unwrap())
+    });
+    c.bench_function("e2e_stepping_stones", |b| {
+        b.iter(|| {
+            stepping_stones(
+                &q,
+                &SteppingStoneConfig {
+                    eps: 1.0,
+                    flow_threshold: 80.0,
+                    pair_threshold: 20.0,
+                    top_k: 10,
+                    ..SteppingStoneConfig::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_graph_level(c: &mut Criterion) {
+    let isp = isp::generate(IspConfig {
+        links: 40,
+        windows: 96,
+        anomalies: 3,
+        mean_packets: 30.0,
+        ..IspConfig::default()
+    });
+    let acct = Accountant::new(f64::MAX / 2.0);
+    let noise = NoiseSource::seeded(12);
+    let q = Queryable::new(isp.to_records(), &acct, &noise);
+    let cfg = AnomalyConfig {
+        links: 40,
+        windows: 96,
+        components: 2,
+        sweeps: 30,
+        eps: 1.0,
+    };
+    c.bench_function("e2e_anomaly_detection_40x96", |b| {
+        b.iter(|| private_anomaly_norms(&q, &cfg).unwrap())
+    });
+
+    let sc = scatter::generate(ScatterConfig {
+        ips: 3000,
+        ..ScatterConfig::default()
+    });
+    let acct = Accountant::new(f64::MAX / 2.0);
+    let q = Queryable::new(sc.records, &acct, &noise);
+    let init = random_centers(9, 38, 5.0, 25.0, 13);
+    c.bench_function("e2e_topology_mapping_3k_ips", |b| {
+        b.iter(|| {
+            private_topology_clusters(
+                &q,
+                &TopologyConfig {
+                    iterations: 3,
+                    ..TopologyConfig::default()
+                },
+                init.clone(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_packet_level, bench_flow_level, bench_graph_level
+}
+criterion_main!(benches);

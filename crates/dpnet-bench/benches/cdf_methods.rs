@@ -1,0 +1,46 @@
+//! Ablation bench: the three CDF estimators across bucket counts.
+//!
+//! Measures wall-clock cost; the *privacy* cost ablation is what the paper's
+//! Figure 1 (and experiment E-F1) shows — cdf1's cost grows linearly with
+//! resolution, cdf2's stays constant, cdf3's grows logarithmically. Run time
+//! mirrors the same structure: cdf1 re-filters the data per bucket, cdf2
+//! partitions once, cdf3 partitions log-many times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpnet_toolkit::cdf::{cdf_hierarchical, cdf_naive, cdf_partition};
+use pinq::{Accountant, NoiseSource, Queryable};
+
+fn dataset(n: usize, buckets: usize) -> Queryable<usize> {
+    let acct = Accountant::new(f64::MAX / 2.0);
+    let noise = NoiseSource::seeded(2);
+    let values: Vec<usize> = (0..n).map(|i| (i * 7919) % buckets).collect();
+    Queryable::new(values, &acct, &noise)
+}
+
+fn bench_cdfs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cdf_methods");
+    for &buckets in &[64usize, 256, 1024] {
+        let q = dataset(50_000, buckets);
+        g.bench_with_input(BenchmarkId::new("cdf1_naive", buckets), &buckets, |b, &n| {
+            b.iter(|| cdf_naive(&q, n, 0.001).unwrap())
+        });
+        g.bench_with_input(
+            BenchmarkId::new("cdf2_partition", buckets),
+            &buckets,
+            |b, &n| b.iter(|| cdf_partition(&q, n, 0.001).unwrap()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("cdf3_hierarchical", buckets),
+            &buckets,
+            |b, &n| b.iter(|| cdf_hierarchical(&q, n, 0.001).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cdfs
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion benches for the core engine: aggregation and transformation
+//! throughput, and the budget accountant's overhead.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use pinq::{Accountant, NoiseSource, Queryable};
+
+const N: usize = 100_000;
+
+fn records() -> Vec<u64> {
+    (0..N as u64).collect()
+}
+
+fn protected() -> Queryable<u64> {
+    let acct = Accountant::new(f64::MAX / 2.0);
+    let noise = NoiseSource::seeded(1);
+    Queryable::new(records(), &acct, &noise)
+}
+
+fn bench_aggregations(c: &mut Criterion) {
+    let q = protected();
+    let mut g = c.benchmark_group("aggregations");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("noisy_count", |b| {
+        b.iter(|| q.noisy_count(1.0).unwrap())
+    });
+    g.bench_function("noisy_sum", |b| {
+        b.iter(|| q.noisy_sum(1.0, |&x| x as f64 / N as f64).unwrap())
+    });
+    g.bench_function("noisy_average", |b| {
+        b.iter(|| q.noisy_average(1.0, |&x| x as f64 / N as f64).unwrap())
+    });
+    g.bench_function("noisy_median_200_buckets", |b| {
+        b.iter(|| q.noisy_median(1.0, 0.0, N as f64, 200, |&x| x as f64).unwrap())
+    });
+    g.bench_function("noisy_sum_vector_8d", |b| {
+        b.iter(|| {
+            q.noisy_sum_vector(1.0, 8, 8.0, |&x| vec![(x % 8) as f64; 8])
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_transformations(c: &mut Criterion) {
+    let q = protected();
+    let mut g = c.benchmark_group("transformations");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("filter_half", |b| b.iter(|| q.filter(|&x| x % 2 == 0)));
+    g.bench_function("map_identity", |b| b.iter(|| q.map(|&x| x)));
+    g.bench_function("group_by_1k_keys", |b| b.iter(|| q.group_by(|&x| x % 1000)));
+    g.bench_function("distinct_by_mod_4k", |b| {
+        b.iter(|| q.distinct_by(|&x| x % 4096))
+    });
+    let keys: Vec<u64> = (0..64).collect();
+    g.bench_function("partition_64_parts", |b| {
+        b.iter(|| q.partition(&keys, |&x| x % 64))
+    });
+    g.bench_function("join_self_1k_keys", |b| {
+        b.iter(|| q.join(&q, |&x| x % 1000, |&x| x % 1000))
+    });
+    g.finish();
+}
+
+fn bench_accounting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("accounting");
+    g.bench_function("charge", |b| {
+        b.iter_batched(
+            || Accountant::new(f64::MAX / 2.0),
+            |acct| {
+                for _ in 0..1000 {
+                    acct.charge(0.001).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("partition_ledger_charge", |b| {
+        let q = protected();
+        let keys: Vec<u64> = (0..16).collect();
+        let parts = q.partition(&keys, |&x| x % 16);
+        b.iter(|| {
+            for p in &parts {
+                p.noisy_count(0.001).unwrap();
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_aggregations, bench_transformations, bench_accounting
+}
+criterion_main!(benches);

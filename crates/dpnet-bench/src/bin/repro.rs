@@ -1,0 +1,75 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro all                 # every experiment, in paper order
+//! repro <id> [<id> ...]     # one or more of:
+//!       table1 example23 fig1 table4 itemsets fig2 worm fig3
+//!       table5 fig4 fig5 table2
+//! ```
+
+use dpnet_bench::experiments as exp;
+use std::time::Instant;
+
+const IDS: [&str; 18] = [
+    "table1", "example23", "fig1", "table4", "itemsets", "fig2", "worm", "fig3", "table5",
+    "fig4", "fig5", "table2", "rules", "connections", "principals", "ablation", "graphdist",
+    "classify",
+];
+
+fn run_one(id: &str) -> Result<String, String> {
+    match id {
+        "table1" => Ok(exp::table1::run(3000).1),
+        "example23" => Ok(exp::example23::run(400).1),
+        "fig1" => exp::fig1::run(1.0)
+            .map(|(_, s)| s)
+            .map_err(|e| e.to_string()),
+        "table4" => Ok(exp::table4::run(10, 1.0).1),
+        "itemsets" => Ok(exp::itemsets_exp::run(1.0).1),
+        "fig2" => Ok(exp::fig2::run().1),
+        "worm" => Ok(exp::worm_exp::run().1),
+        "fig3" => Ok(exp::fig3::run().1),
+        "table5" => Ok(exp::table5::run().1),
+        "fig4" => Ok(exp::fig4::run().1),
+        "fig5" => Ok(exp::fig5::run(10).1),
+        "table2" => Ok(exp::table2::run().1),
+        "rules" => Ok(exp::rules_exp::run().1),
+        "connections" => Ok(exp::connections_exp::run().1),
+        "principals" => Ok(exp::principals::run(400).1),
+        "ablation" => Ok(exp::ablation::run().1),
+        "graphdist" => Ok(exp::graphdist_exp::run().1),
+        "classify" => Ok(exp::classify_exp::run().1),
+        other => Err(format!("unknown experiment id '{other}'")),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!("usage: repro all | <id> [<id> ...]\nids: {}", IDS.join(" "));
+        std::process::exit(2);
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        IDS.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    let mut failed = false;
+    for id in ids {
+        let start = Instant::now();
+        match run_one(id) {
+            Ok(report) => {
+                println!("{report}");
+                println!("[{id} completed in {:.1?}]", start.elapsed());
+            }
+            Err(e) => {
+                eprintln!("experiment {id} failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,94 @@
+//! E-CLS — §5.1.3: private traffic classification.
+//!
+//! The paper surmises classification algorithms "can also be implemented in
+//! the differentially private manner"; this experiment confirms it: an
+//! example enterprise policy (nine rules over the classic five dimensions)
+//! is applied as a transformation, and per-rule traffic shares are released
+//! via one `Partition` — the whole histogram for `2ε`.
+
+use crate::datasets::{self, EPSILONS};
+use crate::report::{f, header, Table};
+use dpnet_analyses::classification::{rule_traffic, rule_traffic_exact};
+use dpnet_trace::classify::example_ruleset;
+use pinq::{Accountant, NoiseSource, Queryable};
+
+/// Per-ε worst-case relative error across rules with substantial traffic.
+#[derive(Debug, Clone)]
+pub struct ClassifyResult {
+    /// Exact (rule, packets) pairs.
+    pub exact: Vec<(String, usize)>,
+    /// (ε, worst relative packet-count error over rules with ≥ 100
+    /// packets).
+    pub worst_rel_err: Vec<(f64, f64)>,
+}
+
+/// Run on the standard Hotspot trace.
+pub fn run() -> (ClassifyResult, String) {
+    let trace = datasets::hotspot();
+    let cls = example_ruleset();
+    let exact_full = rule_traffic_exact(&trace.packets, &cls);
+    let exact: Vec<(String, usize)> =
+        exact_full.iter().map(|(n, c, _)| (n.clone(), *c)).collect();
+
+    let budget = Accountant::new(1e9);
+    let noise = NoiseSource::seeded(0xc15);
+    let q = Queryable::new(trace.packets.clone(), &budget, &noise);
+
+    let mut worst = Vec::new();
+    let mut sample = Vec::new();
+    for &eps in &EPSILONS {
+        let shares = rule_traffic(&q, &cls, 1500.0, eps).expect("budget");
+        let mut w: f64 = 0.0;
+        for (s, (_, n)) in shares.iter().zip(&exact) {
+            if *n >= 100 {
+                w = w.max((s.packets - *n as f64).abs() / *n as f64);
+            }
+        }
+        worst.push((eps, w));
+        if eps == 0.1 {
+            sample = shares;
+        }
+    }
+
+    let result = ClassifyResult {
+        exact: exact.clone(),
+        worst_rel_err: worst.clone(),
+    };
+
+    let mut out = header("E-CLS", "private traffic classification (paper §5.1.3)");
+    let mut table = Table::new(&["rule", "exact packets", "private (eps=0.1)"]);
+    for (s, (name, n)) in sample.iter().zip(&exact) {
+        table.row(vec![name.clone(), n.to_string(), f(s.packets)]);
+    }
+    out.push_str(&table.render());
+    out.push_str("\nworst relative error over busy rules: ");
+    for (eps, w) in &worst {
+        out.push_str(&format!("eps={eps}: {:.3}%  ", w * 100.0));
+    }
+    out.push_str(
+        "\npaper shape: classification is a transformation; the released per-rule\n\
+         histogram is accurate even at strong privacy (one partition, 2 eps total)\n",
+    );
+    (result, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_is_accurate_at_strong_privacy() {
+        let (r, report) = run();
+        // Busy rules are measured within 2% even at eps=0.1.
+        assert!(
+            r.worst_rel_err[0].1 < 0.02,
+            "eps=0.1 worst error {}",
+            r.worst_rel_err[0].1
+        );
+        assert!(r.worst_rel_err[2].1 < 0.001);
+        // The policy sees real traffic on several rules.
+        let busy = r.exact.iter().filter(|(_, n)| *n >= 100).count();
+        assert!(busy >= 4, "only {busy} busy rules");
+        assert!(report.contains("E-CLS"));
+    }
+}

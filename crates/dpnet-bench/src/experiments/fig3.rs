@@ -1,0 +1,93 @@
+//! E-F3 — paper Figure 3: RTT and loss-rate CDFs at three privacy levels.
+//!
+//! The paper: both flow statistics are "high-fidelity even at the strongest
+//! privacy level" — relative RMSE 2.8% (RTT) and 0.2% (loss) at ε = 0.1.
+//! Loss errs less than RTT at fixed ε on the paper's data; at our reduced
+//! flow counts the absolute figures are larger but the ε-ordering and the
+//! usability of the curves reproduce.
+
+use crate::datasets::{self, EPSILONS};
+use crate::report::{header, pct, Table};
+use dpnet_analyses::flow_stats::{
+    loss_rate_cdf, loss_rate_cdf_exact, rtt_cdf, rtt_cdf_exact,
+};
+use dpnet_toolkit::stats::relative_rmse;
+use pinq::{Accountant, NoiseSource, Queryable};
+
+/// Results of the Figure 3 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig3 {
+    /// (ε, relative RMSE) for the RTT CDF.
+    pub rtt_rmse: Vec<(f64, f64)>,
+    /// (ε, relative RMSE) for the loss-rate CDF.
+    pub loss_rmse: Vec<(f64, f64)>,
+    /// Number of measured handshakes (noise-free).
+    pub handshakes: f64,
+    /// Number of measured flows in the loss CDF (noise-free).
+    pub loss_flows: f64,
+}
+
+/// Run Figure 3 on the standard Hotspot trace.
+pub fn run() -> (Fig3, String) {
+    let trace = datasets::hotspot();
+    let exact_rtt = rtt_cdf_exact(&trace.packets, 600, 10);
+    let exact_loss = loss_rate_cdf_exact(&trace.packets, 100, 10);
+
+    let budget = Accountant::new(1e9);
+    let noise = NoiseSource::seeded(0xf3);
+    let q = Queryable::new(trace.packets.clone(), &budget, &noise);
+
+    let mut rtt_rmse = Vec::new();
+    let mut loss_rmse = Vec::new();
+    for &eps in &EPSILONS {
+        let r = rtt_cdf(&q, 600, 10, eps).expect("budget");
+        let l = loss_rate_cdf(&q, 100, 10, eps).expect("budget");
+        rtt_rmse.push((eps, relative_rmse(&r.cdf, &exact_rtt)));
+        loss_rmse.push((eps, relative_rmse(&l.cdf, &exact_loss)));
+    }
+
+    let result = Fig3 {
+        rtt_rmse: rtt_rmse.clone(),
+        loss_rmse: loss_rmse.clone(),
+        handshakes: *exact_rtt.last().unwrap_or(&0.0),
+        loss_flows: *exact_loss.last().unwrap_or(&0.0),
+    };
+
+    let mut out = header(
+        "E-F3",
+        "RTT and loss-rate CDFs at three privacy levels (paper Figure 3)",
+    );
+    out.push_str(&format!(
+        "{} handshakes; {} flows with >10 data packets\n\n",
+        result.handshakes, result.loss_flows
+    ));
+    let mut table = Table::new(&["eps", "rel RMSE RTT", "rel RMSE loss"]);
+    for ((eps, rr), (_, rl)) in rtt_rmse.iter().zip(&loss_rmse) {
+        table.row(vec![eps.to_string(), pct(*rr), pct(*rl)]);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\npaper: 2.8% (RTT) and 0.2% (loss) at eps=0.1 on ~100k flows\n\
+         paper shape: errors shrink with eps; curves usable at every level\n",
+    );
+    (result, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_shape_holds() {
+        let (r, report) = run();
+        // Weak privacy is near-exact for both statistics.
+        assert!(r.rtt_rmse[2].1 < 0.01, "RTT at eps=10: {}", r.rtt_rmse[2].1);
+        assert!(r.loss_rmse[2].1 < 0.01, "loss at eps=10: {}", r.loss_rmse[2].1);
+        // Error ordering across ε.
+        assert!(r.rtt_rmse[0].1 > r.rtt_rmse[2].1);
+        assert!(r.loss_rmse[0].1 > r.loss_rmse[2].1);
+        // Medium privacy already yields single-digit-percent error.
+        assert!(r.rtt_rmse[1].1 < 0.10, "RTT at eps=1: {}", r.rtt_rmse[1].1);
+        assert!(report.contains("E-F3"));
+    }
+}

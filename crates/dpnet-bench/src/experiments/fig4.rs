@@ -1,0 +1,163 @@
+//! E-F4 — paper Figure 4: the norm of anomalous traffic over time.
+//!
+//! The IspTraffic link×time matrix is measured privately (nested
+//! `Partition` + counts — one ε total), PCA residual norms are computed per
+//! time bin, and the private curves are compared with the noise-free one.
+//! The paper: "all four lines are indistinguishable", relative RMSE 0.17%
+//! at ε = 0.1, with anomalies (e.g. at time unit 270) clearly standing out.
+//!
+//! Scale note: the paper's cells held ~58k packets (15.7 B records), making
+//! ε = 0.1 noise invisible; our cells hold ~60, so the strongest level
+//! shows an elevated noise floor on *normal* bins while anomalies still
+//! stand out at every level.
+
+use crate::datasets::{self, EPSILONS};
+use crate::report::{f, header, pct, Table};
+use dpnet_analyses::anomaly::{anomaly_norms, flag_anomalies, private_anomaly_norms, AnomalyConfig};
+use dpnet_toolkit::stats::relative_rmse;
+use pinq::{Accountant, NoiseSource, Queryable};
+
+/// Results of the Figure 4 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// Noise-free residual norms per time bin.
+    pub exact: Vec<f64>,
+    /// (ε, private norms) per level.
+    pub private: Vec<(f64, Vec<f64>)>,
+    /// Planted anomaly windows.
+    pub truth_windows: Vec<usize>,
+    /// (ε, number of planted anomalies flagged) per level.
+    pub detected: Vec<(f64, usize)>,
+}
+
+/// Run Figure 4 on the standard IspTraffic dataset.
+pub fn run() -> (Fig4, String) {
+    let trace = datasets::isp();
+    let truth_windows: Vec<usize> = trace.truth.iter().map(|a| a.window as usize).collect();
+    let cfg_base = AnomalyConfig {
+        links: trace.links,
+        windows: trace.windows,
+        components: 4,
+        sweeps: 60,
+        eps: 1.0,
+    };
+
+    let exact = anomaly_norms(&trace.matrix_f64(), cfg_base.components, cfg_base.sweeps);
+    let records = trace.to_records();
+
+    let mut private = Vec::new();
+    let mut detected = Vec::new();
+    for &eps in &EPSILONS {
+        let budget = Accountant::new(1e9);
+        let noise = NoiseSource::seeded(0xf4 ^ eps.to_bits());
+        let q = Queryable::new(records.clone(), &budget, &noise);
+        let norms = private_anomaly_norms(&q, &AnomalyConfig { eps, ..cfg_base.clone() })
+            .expect("budget");
+        let flagged = flag_anomalies(&norms, 8.0);
+        let hit = truth_windows
+            .iter()
+            .filter(|w| flagged.contains(w))
+            .count();
+        detected.push((eps, hit));
+        private.push((eps, norms));
+    }
+
+    let result = Fig4 {
+        exact: exact.clone(),
+        private: private.clone(),
+        truth_windows: truth_windows.clone(),
+        detected: detected.clone(),
+    };
+
+    let mut out = header(
+        "E-F4",
+        "norm of anomalous traffic over time (paper Figure 4)",
+    );
+    out.push_str(&format!(
+        "{} links × {} windows; planted anomalies at windows {:?}\n\n",
+        trace.links, trace.windows, truth_windows
+    ));
+    let mut table = Table::new(&["window", "noise-free", "eps=0.1", "eps=1", "eps=10"]);
+    let mut shown: Vec<usize> = truth_windows.clone();
+    shown.extend((0..trace.windows).step_by(96)); // context rows
+    shown.sort_unstable();
+    shown.dedup();
+    for w in shown {
+        let mark = if truth_windows.contains(&w) { "*" } else { " " };
+        table.row(vec![
+            format!("{w}{mark}"),
+            f(exact[w]),
+            f(private[0].1[w]),
+            f(private[1].1[w]),
+            f(private[2].1[w]),
+        ]);
+    }
+    out.push_str(&table.render());
+    for (eps, norms) in &private {
+        // Relative RMSE over anomalous bins (where the curve carries
+        // signal).
+        let paired: (Vec<f64>, Vec<f64>) = exact
+            .iter()
+            .zip(norms)
+            .enumerate()
+            .filter(|(w, _)| truth_windows.contains(w))
+            .map(|(_, (e, p))| (*p, *e))
+            .unzip();
+        out.push_str(&format!(
+            "eps={eps}: rel RMSE on anomalous bins {}, detected {}/{}\n",
+            pct(relative_rmse(&paired.0, &paired.1)),
+            detected.iter().find(|(e, _)| e == eps).map(|(_, d)| *d).unwrap_or(0),
+            truth_windows.len()
+        ));
+    }
+    out.push_str(
+        "(* = planted anomaly)\npaper: all four curves indistinguishable; rel RMSE 0.17% at eps=0.1\n\
+         paper shape: anomalies stand out at every privacy level\n",
+    );
+    (result, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    /// The full paper-scale run is minutes of work; the unit test runs the
+    /// same pipeline on the reduced dataset.
+    #[test]
+    fn figure4_shape_holds_small() {
+        let trace = datasets::isp_small();
+        let truth: Vec<usize> = trace.truth.iter().map(|a| a.window as usize).collect();
+        let cfg = AnomalyConfig {
+            links: trace.links,
+            windows: trace.windows,
+            components: 2,
+            sweeps: 40,
+            eps: 1.0,
+        };
+        let exact = anomaly_norms(&trace.matrix_f64(), 2, 40);
+        let budget = Accountant::new(1e9);
+        let noise = NoiseSource::seeded(0x44);
+        let q = Queryable::new(trace.to_records(), &budget, &noise);
+        let norms = private_anomaly_norms(&q, &cfg).expect("budget");
+        // The exact run detects most planted anomalies (a weak spike can be
+        // partially absorbed by the normal subspace), and the private run
+        // detects everything the exact run does — the paper's actual claim.
+        let flagged_exact = flag_anomalies(&exact, 8.0);
+        let flagged_priv = flag_anomalies(&norms, 8.0);
+        let exact_hits: Vec<usize> = truth
+            .iter()
+            .filter(|w| flagged_exact.contains(w))
+            .cloned()
+            .collect();
+        assert!(
+            exact_hits.len() * 2 > truth.len(),
+            "exact run detected only {}/{}",
+            exact_hits.len(),
+            truth.len()
+        );
+        for w in &exact_hits {
+            assert!(flagged_priv.contains(w), "private missed window {w}");
+        }
+    }
+}

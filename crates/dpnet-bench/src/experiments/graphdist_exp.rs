@@ -1,0 +1,90 @@
+//! E-GRAPH — §5.3's introductory claims about graph-level statistics.
+//!
+//! "Distributions of in and out degrees … are relatively easy to produce;
+//! some useful properties, such as the diameter of the graph or the
+//! maximum degree, are difficult or impossible." Both halves measured:
+//! degree CDFs at three privacy levels, and the max-degree release shown
+//! flattened against its true value.
+
+use crate::datasets::{self, EPSILONS};
+use crate::report::{f, header, pct, Table};
+use dpnet_analyses::graph_dist::{
+    max_degree_exact, noisy_max_degree, out_degree_cdf, out_degree_cdf_exact,
+};
+use dpnet_toolkit::stats::relative_rmse;
+use pinq::{Accountant, NoiseSource, Queryable};
+
+/// Results of the graph-distribution experiment.
+#[derive(Debug, Clone)]
+pub struct GraphDistResult {
+    /// (ε, relative RMSE) of the out-degree CDF.
+    pub degree_rmse: Vec<(f64, f64)>,
+    /// True maximum out-degree.
+    pub max_degree_true: usize,
+    /// (ε, released "max degree") per level — expected to flatten.
+    pub max_degree_released: Vec<(f64, f64)>,
+}
+
+/// Run on the standard Hotspot trace.
+pub fn run() -> (GraphDistResult, String) {
+    let trace = datasets::hotspot();
+    let exact = out_degree_cdf_exact(&trace.packets, None, 60);
+    let max_true = max_degree_exact(&trace.packets);
+
+    let budget = Accountant::new(1e9);
+    let noise = NoiseSource::seeded(0x3dc);
+    let q = Queryable::new(trace.packets.clone(), &budget, &noise);
+
+    let mut degree_rmse = Vec::new();
+    let mut max_released = Vec::new();
+    for &eps in &EPSILONS {
+        let cdf = out_degree_cdf(&q, None, 60, eps).expect("budget");
+        degree_rmse.push((eps, relative_rmse(&cdf.cdf, &exact)));
+        let m = noisy_max_degree(&q, 800, eps).expect("budget");
+        max_released.push((eps, m));
+    }
+
+    let result = GraphDistResult {
+        degree_rmse: degree_rmse.clone(),
+        max_degree_true: max_true,
+        max_degree_released: max_released.clone(),
+    };
+
+    let mut out = header(
+        "E-GRAPH",
+        "degree distributions easy, max degree impossible (paper §5.3 intro)",
+    );
+    let mut table = Table::new(&["eps", "out-degree CDF rel RMSE", "released max degree"]);
+    for ((eps, r), (_, m)) in degree_rmse.iter().zip(&max_released) {
+        table.row(vec![eps.to_string(), pct(*r), f(*m)]);
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\ntrue maximum out-degree: {max_true}\n\
+         paper shape: distributional statistics accurate at every eps; the maximum\n\
+         'relies on a handful of records' and flattens toward the bulk under DP\n",
+    ));
+    (result, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrees_easy_max_impossible() {
+        let (r, report) = run();
+        // Degree CDFs accurate from medium privacy.
+        assert!(r.degree_rmse[1].1 < 0.05, "eps=1: {}", r.degree_rmse[1].1);
+        assert!(r.degree_rmse[2].1 < 0.01, "eps=10: {}", r.degree_rmse[2].1);
+        // The max-degree release collapses far below the truth at all eps.
+        for &(eps, m) in &r.max_degree_released {
+            assert!(
+                m < r.max_degree_true as f64 * 0.5,
+                "eps {eps}: released {m} vs true {}",
+                r.max_degree_true
+            );
+        }
+        assert!(report.contains("E-GRAPH"));
+    }
+}

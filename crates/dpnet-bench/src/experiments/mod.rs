@@ -1,0 +1,45 @@
+//! One module per paper artifact — each regenerates a table or figure.
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`table1`] | Table 1 — aggregation noise calibration |
+//! | [`example23`] | §2.3 worked example |
+//! | [`fig1`] | Figure 1 — three CDF estimators |
+//! | [`table4`] | Table 4 — top-10 payload strings |
+//! | [`itemsets_exp`] | §4.3 — frequent port itemsets |
+//! | [`fig2`] | Figure 2 — packet length & port CDFs |
+//! | [`worm_exp`] | §5.1.2 — worm signature recovery |
+//! | [`fig3`] | Figure 3 — RTT & loss CDFs |
+//! | [`table5`] | Table 5 — stepping-stone detection |
+//! | [`fig4`] | Figure 4 — anomalous traffic norm |
+//! | [`fig5`] | Figure 5 — clustering error vs iteration |
+//! | [`table2`] | Table 2 — analysis summary |
+//!
+//! Beyond the paper's figures, four experiments cover what the paper
+//! mentions but does not show:
+//!
+//! | module | covers |
+//! |---|---|
+//! | [`rules_exp`] | §5.2.3 — Kandula communication rules ("results omitted") |
+//! | [`connections_exp`] | §5.2.1 — packets-per-connection via owner pre-processing |
+//! | [`principals`] | §3 — privacy-principal granularity cost |
+//! | [`ablation`] | composition-rule ablation + privacy-accuracy sweep |
+
+pub mod ablation;
+pub mod classify_exp;
+pub mod connections_exp;
+pub mod example23;
+pub mod graphdist_exp;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod itemsets_exp;
+pub mod principals;
+pub mod rules_exp;
+pub mod table1;
+pub mod table2;
+pub mod table4;
+pub mod table5;
+pub mod worm_exp;

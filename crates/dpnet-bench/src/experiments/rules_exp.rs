@@ -1,0 +1,131 @@
+//! E-RULES — §5.2.3: communication-rule mining (Kandula et al.).
+//!
+//! The paper reproduced this analysis "with a high fidelity" but omitted
+//! results for space; this experiment supplies them. The generator plants
+//! two service dependencies — every web fetch is preceded by a DNS lookup
+//! to the shared resolver, and fetching from the most popular server
+//! usually also touches its CDN companion — and the experiment measures
+//! whether private rule mining recovers both, per privacy level.
+
+use crate::datasets::{self, EPSILONS};
+use crate::report::{f, header, Table};
+use dpnet_analyses::comm_rules::{
+    communication_rules, exact_rule_confidence, CommRule, CommRulesConfig,
+};
+use dpnet_trace::format_ip;
+use pinq::{Accountant, NoiseSource, Queryable};
+
+/// Recovery of the two planted rules at one privacy level.
+#[derive(Debug, Clone)]
+pub struct RulesRow {
+    /// ε used per aggregation.
+    pub eps: f64,
+    /// Rules reported in total.
+    pub rules_found: usize,
+    /// Whether some web server ⇒ resolver rule was recovered.
+    pub dns_rule: bool,
+    /// Whether the popular-server ⇒ companion rule was recovered.
+    pub companion_rule: bool,
+    /// Confidence estimate of the best resolver rule (0 if absent).
+    pub dns_confidence: f64,
+}
+
+/// Run the experiment on the standard Hotspot trace.
+pub fn run() -> (Vec<RulesRow>, String) {
+    let trace = datasets::hotspot();
+    let dns = trace.truth.dns_server;
+    let (popular, companion) = trace.truth.companion_rule;
+    let base_cfg = CommRulesConfig::default();
+
+    let mut rows = Vec::new();
+    let mut sample_rules: Vec<CommRule> = Vec::new();
+    for &eps in &EPSILONS {
+        let budget = Accountant::new(1e9);
+        let noise = NoiseSource::seeded(0x2e5 ^ eps.to_bits());
+        let q = Queryable::new(trace.packets.clone(), &budget, &noise);
+        let rules = communication_rules(
+            &q,
+            &CommRulesConfig {
+                eps,
+                ..base_cfg.clone()
+            },
+        )
+        .expect("budget");
+        let dns_rules: Vec<&CommRule> = rules.iter().filter(|r| r.implied == dns).collect();
+        let dns_rule = !dns_rules.is_empty();
+        let dns_confidence = dns_rules
+            .iter()
+            .map(|r| r.confidence)
+            .fold(0.0f64, f64::max);
+        let companion_found = rules
+            .iter()
+            .any(|r| r.trigger == popular && r.implied == companion);
+        if eps == 1.0 {
+            sample_rules = rules.clone();
+        }
+        rows.push(RulesRow {
+            eps,
+            rules_found: rules.len(),
+            dns_rule,
+            companion_rule: companion_found,
+            dns_confidence,
+        });
+    }
+
+    let mut out = header(
+        "E-RULES",
+        "communication rules, Kandula et al. (paper §5.2.3)",
+    );
+    let exact_dns = exact_rule_confidence(&trace.packets, &base_cfg, popular, dns);
+    out.push_str(&format!(
+        "planted: web ⇒ resolver ({}) and {} ⇒ {} (CDN companion)\n\
+         exact confidence of popular-server ⇒ resolver: {}\n\n",
+        format_ip(dns),
+        format_ip(popular),
+        format_ip(companion),
+        f(exact_dns)
+    ));
+    let mut table = Table::new(&["eps", "rules", "dns rule", "companion rule", "dns conf"]);
+    for r in &rows {
+        table.row(vec![
+            r.eps.to_string(),
+            r.rules_found.to_string(),
+            r.dns_rule.to_string(),
+            r.companion_rule.to_string(),
+            f(r.dns_confidence),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str("\ntop rules at eps=1:\n");
+    for r in sample_rules.iter().take(6) {
+        out.push_str(&format!(
+            "  {} ⇒ {}  confidence {}  support {}\n",
+            format_ip(r.trigger),
+            format_ip(r.implied),
+            f(r.confidence),
+            f(r.support)
+        ));
+    }
+    out.push_str(
+        "\npaper: reproduced 'with a high fidelity', results omitted for space\n\
+         shape here: both planted dependencies recovered at medium and weak privacy\n",
+    );
+    (rows, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_rules_recovered_at_medium_privacy() {
+        let (rows, report) = run();
+        let medium = &rows[1];
+        assert!(medium.dns_rule, "resolver rule missed at eps=1");
+        assert!(medium.companion_rule, "companion rule missed at eps=1");
+        assert!(medium.dns_confidence > 0.4);
+        let weak = &rows[2];
+        assert!(weak.dns_rule && weak.companion_rule);
+        assert!(report.contains("E-RULES"));
+    }
+}

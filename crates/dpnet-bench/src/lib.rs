@@ -1,0 +1,23 @@
+//! # dpnet-bench — the experiment harness
+//!
+//! Regenerates every table and figure of *McSherry & Mahajan (SIGCOMM
+//! 2010)* against the synthetic datasets of [`dpnet_trace`], and hosts the
+//! Criterion performance benches for the engine and toolkit.
+//!
+//! Run all experiments (or one by id) with the `repro` binary:
+//!
+//! ```text
+//! cargo run --release -p dpnet-bench --bin repro -- all
+//! cargo run --release -p dpnet-bench --bin repro -- fig1
+//! ```
+//!
+//! Every experiment prints the paper's expected values or shape next to the
+//! measured ones; `EXPERIMENTS.md` at the repository root records a full
+//! run.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod datasets;
+pub mod experiments;
+pub mod report;

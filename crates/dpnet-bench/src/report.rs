@@ -1,0 +1,131 @@
+//! Plain-text table rendering for experiment reports.
+//!
+//! Every experiment prints a paper-style table: a caption referencing the
+//! paper artifact it regenerates, column headers, and rows. Keeping the
+//! rendering here keeps the experiment code about the experiment.
+
+/// A simple fixed-width text table builder.
+#[derive(Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (cells are stringified by the caller).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with column widths fitted to content.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                line.push_str(&format!("{:<w$}  ", cells[i], w = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols;
+        out.push_str(&"-".repeat(total.min(100)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with sensible precision for reports.
+pub fn f(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else if x.abs() >= 0.01 {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.5}")
+    }
+}
+
+/// Format a fraction as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.3}%", x * 100.0)
+}
+
+/// Render bytes as hexadecimal (the paper shows payload strings hashed; we
+/// show them hex-encoded).
+pub fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02X}")).collect()
+}
+
+/// A standard experiment header block.
+pub fn header(id: &str, caption: &str) -> String {
+    format!("\n=== {id} — {caption} ===\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_is_checked() {
+        Table::new(&["a", "b"]).row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn float_formatting_scales() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(12345.6), "12346");
+        assert_eq!(f(12.34), "12.3");
+        assert_eq!(f(0.5), "0.500");
+        assert_eq!(f(0.0001), "0.00010");
+    }
+
+    #[test]
+    fn hex_encodes() {
+        assert_eq!(hex(&[0xDE, 0xAD]), "DEAD");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.0123), "1.230%");
+    }
+}

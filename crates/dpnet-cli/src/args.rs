@@ -1,0 +1,119 @@
+//! Minimal flag parsing for the CLI (no external dependencies).
+//!
+//! Grammar: `dpnet <command> [positional ...] [--flag value ...]`.
+
+use std::collections::HashMap;
+
+/// Parsed invocation: a command, positional arguments, and `--key value`
+/// flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// The subcommand name.
+    pub command: String,
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    /// `--key value` flags.
+    pub flags: HashMap<String, String>,
+}
+
+/// Errors from argument parsing.
+#[derive(Debug, PartialEq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A `--flag` with no following value.
+    MissingValue(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no command given"),
+            ArgError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
+        }
+    }
+}
+
+impl Args {
+    /// Parse an argument vector (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, ArgError> {
+        let mut it = argv.into_iter().peekable();
+        let command = it.next().ok_or(ArgError::MissingCommand)?;
+        let mut positional = Vec::new();
+        let mut flags = HashMap::new();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
+                flags.insert(name.to_string(), value);
+            } else {
+                positional.push(tok);
+            }
+        }
+        Ok(Args {
+            command,
+            positional,
+            flags,
+        })
+    }
+
+    /// A flag parsed to some type, with a default.
+    pub fn flag_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value '{raw}' for --{name}")),
+        }
+    }
+
+    /// A required positional argument.
+    pub fn positional(&self, index: usize, name: &str) -> Result<&str, String> {
+        self.positional
+            .get(index)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing <{name}> argument"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn commands_positionals_and_flags() {
+        let a = parse(&["analyze", "trace.dpnt", "--budget", "1.5", "--seed", "7"]).unwrap();
+        assert_eq!(a.command, "analyze");
+        assert_eq!(a.positional, vec!["trace.dpnt"]);
+        assert_eq!(a.flags["budget"], "1.5");
+        assert_eq!(a.flag_or("budget", 0.0f64).unwrap(), 1.5);
+        assert_eq!(a.flag_or("seed", 0u64).unwrap(), 7);
+        assert_eq!(a.flag_or("missing", 42u64).unwrap(), 42);
+    }
+
+    #[test]
+    fn missing_command_and_values_are_errors() {
+        assert_eq!(parse(&[]), Err(ArgError::MissingCommand));
+        assert_eq!(
+            parse(&["generate", "--seed"]),
+            Err(ArgError::MissingValue("seed".into()))
+        );
+    }
+
+    #[test]
+    fn bad_flag_values_surface_cleanly() {
+        let a = parse(&["x", "--n", "abc"]).unwrap();
+        assert!(a.flag_or("n", 1u32).is_err());
+    }
+
+    #[test]
+    fn positional_access_is_checked() {
+        let a = parse(&["inspect"]).unwrap();
+        assert!(a.positional(0, "file").is_err());
+    }
+}

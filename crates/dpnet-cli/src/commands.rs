@@ -1,0 +1,364 @@
+//! CLI subcommand implementations. Each returns its report as a `String`
+//! so the logic is unit-testable without process spawning.
+
+use crate::args::Args;
+use dpnet_analyses::example_s23::heavy_hosts_to_port;
+use dpnet_analyses::flow_stats::{loss_rate_cdf, rtt_cdf};
+use dpnet_analyses::packet_dist::{packet_length_cdf, port_cdf};
+use dpnet_trace::format::{read_text, read_trace, write_text, write_trace};
+use dpnet_trace::gen::hotspot::{generate, HotspotConfig};
+use dpnet_trace::{FlowKey, Packet};
+use pinq::{Accountant, NoiseSource, Queryable};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::path::Path;
+
+fn extension(path: &str) -> Option<&str> {
+    Path::new(path).extension().and_then(|e| e.to_str())
+}
+
+/// Load a trace, dispatching on extension: `.txt` is the text format,
+/// `.pcap` is libpcap, anything else the native binary format.
+pub fn load_trace(path: &str) -> Result<Vec<Packet>, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    match extension(path) {
+        Some("txt") => read_text(file).map_err(|e| e.to_string()),
+        Some("pcap") => {
+            dpnet_trace::format::read_pcap(file).map_err(|e| e.to_string())
+        }
+        _ => read_trace(file).map_err(|e| e.to_string()),
+    }
+}
+
+/// Store a trace, dispatching on extension like [`load_trace`].
+pub fn store_trace(path: &str, packets: &[Packet]) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    match extension(path) {
+        Some("txt") => write_text(file, packets).map_err(|e| e.to_string()),
+        Some("pcap") => {
+            dpnet_trace::format::write_pcap(file, packets).map_err(|e| e.to_string())
+        }
+        _ => write_trace(file, packets).map_err(|e| e.to_string()),
+    }
+}
+
+/// `dpnet generate <out> [--seed N] [--flows N]` — synthesize a Hotspot
+/// trace and write it out.
+pub fn generate_cmd(args: &Args) -> Result<String, String> {
+    let out = args.positional(0, "output file")?;
+    let seed: u64 = args.flag_or("seed", 0xd09e_75u64)?;
+    let flows: usize = args.flag_or("flows", 1000usize)?;
+    let trace = generate(HotspotConfig {
+        seed,
+        web_flows: flows,
+        ..HotspotConfig::default()
+    });
+    store_trace(out, &trace.packets)?;
+    Ok(format!(
+        "wrote {} packets to {out} (seed {seed}, {flows} web flows)",
+        trace.packets.len()
+    ))
+}
+
+/// `dpnet convert <in> <out>` — re-encode between the binary and text
+/// formats (direction chosen by file extensions).
+pub fn convert_cmd(args: &Args) -> Result<String, String> {
+    let input = args.positional(0, "input file")?;
+    let output = args.positional(1, "output file")?;
+    let packets = load_trace(input)?;
+    store_trace(output, &packets)?;
+    Ok(format!("converted {} packets: {input} → {output}", packets.len()))
+}
+
+/// Owner-side (non-private) trace summary for `dpnet inspect <file>`.
+pub fn inspect_packets(packets: &[Packet]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "packets: {}", packets.len());
+    if packets.is_empty() {
+        return out;
+    }
+    let first = packets.iter().map(|p| p.ts_us).min().unwrap_or(0);
+    let last = packets.iter().map(|p| p.ts_us).max().unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "duration: {:.1} s",
+        (last - first) as f64 / 1e6
+    );
+    let flows: std::collections::HashSet<FlowKey> =
+        packets.iter().map(|p| FlowKey::of(p).canonical()).collect();
+    let _ = writeln!(out, "conversations: {}", flows.len());
+    let bytes: u64 = packets.iter().map(|p| p.len as u64).sum();
+    let _ = writeln!(out, "bytes: {bytes}");
+    let mut ports: HashMap<u16, usize> = HashMap::new();
+    for p in packets {
+        *ports.entry(p.dst_port).or_default() += 1;
+    }
+    let mut top: Vec<(u16, usize)> = ports.into_iter().collect();
+    top.sort_by(|a, b| b.1.cmp(&a.1));
+    let _ = writeln!(out, "top destination ports:");
+    for (port, n) in top.into_iter().take(5) {
+        let _ = writeln!(out, "  {port:>5}: {n}");
+    }
+    out
+}
+
+/// `dpnet inspect <file>`.
+pub fn inspect_cmd(args: &Args) -> Result<String, String> {
+    let path = args.positional(0, "trace file")?;
+    let packets = load_trace(path)?;
+    Ok(inspect_packets(&packets))
+}
+
+/// `dpnet analyze <file> <query> [--budget E] [--eps E] [--seed N]` — run a
+/// private analysis. Queries: `count`, `lengths`, `ports`, `rtt`, `loss`,
+/// `heavy-hosts`.
+pub fn analyze_cmd(args: &Args) -> Result<String, String> {
+    let path = args.positional(0, "trace file")?;
+    let query = args.positional(1, "query")?.to_string();
+    let budget_eps: f64 = args.flag_or("budget", 1.0f64)?;
+    let eps: f64 = args.flag_or("eps", 0.1f64)?;
+    let seed: u64 = args.flag_or("seed", 0u64)?;
+
+    let packets = load_trace(path)?;
+    let budget = Accountant::new(budget_eps);
+    let noise = if seed == 0 {
+        NoiseSource::from_entropy()
+    } else {
+        NoiseSource::seeded(seed)
+    };
+    let q = Queryable::new(packets, &budget, &noise);
+
+    let mut out = String::new();
+    match query.as_str() {
+        "count" => {
+            let c = q.noisy_count(eps).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "noisy packet count: {c:.1}");
+        }
+        "lengths" => {
+            let cdf = packet_length_cdf(&q, 1500, 50, eps).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "packet-length CDF (50-byte buckets):");
+            for (edge, v) in cdf.bucket_edges.iter().zip(&cdf.cdf).step_by(5) {
+                let _ = writeln!(out, "  ≤{edge:>5} B: {v:>12.1}");
+            }
+        }
+        "ports" => {
+            let cdf = port_cdf(&q, 1024, eps).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "destination-port CDF (1024-port buckets):");
+            for (edge, v) in cdf.bucket_edges.iter().zip(&cdf.cdf).step_by(8) {
+                let _ = writeln!(out, "  ≤{edge:>6}: {v:>12.1}");
+            }
+        }
+        "rtt" => {
+            let cdf = rtt_cdf(&q, 600, 20, eps).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "handshake RTT CDF (20 ms buckets; join costs 2ε):");
+            for (edge, v) in cdf.bucket_edges.iter().zip(&cdf.cdf).step_by(5) {
+                let _ = writeln!(out, "  ≤{edge:>4} ms: {v:>10.1}");
+            }
+        }
+        "loss" => {
+            let cdf = loss_rate_cdf(&q, 20, 10, eps).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "flow loss-rate CDF (5% buckets; GroupBy costs 2ε):");
+            for (edge, v) in cdf.bucket_edges.iter().zip(&cdf.cdf).step_by(2) {
+                let _ = writeln!(out, "  ≤{:>3}%: {v:>10.1}", edge * 5);
+            }
+        }
+        "heavy-hosts" => {
+            let c = heavy_hosts_to_port(&q, 80, 1024, eps).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "hosts sending >1 KB to port 80 ≈ {c:.1}");
+        }
+        other => return Err(format!(
+            "unknown query '{other}' (try count, lengths, ports, rtt, loss, heavy-hosts)"
+        )),
+    }
+    let _ = writeln!(
+        out,
+        "budget: spent {:.3} of {:.3}",
+        budget.spent(),
+        budget.total()
+    );
+    Ok(out)
+}
+
+/// `dpnet classify <file> [--rules FILE] [--eps E] [--budget E] [--seed N]`
+/// — private per-rule traffic shares under a classification policy.
+pub fn classify_cmd(args: &Args) -> Result<String, String> {
+    use dpnet_analyses::classification::rule_traffic;
+    use dpnet_trace::classify::{example_ruleset, Classifier};
+
+    let path = args.positional(0, "trace file")?;
+    let budget_eps: f64 = args.flag_or("budget", 1.0f64)?;
+    let eps: f64 = args.flag_or("eps", 0.1f64)?;
+    let seed: u64 = args.flag_or("seed", 0u64)?;
+    let classifier = match args.flags.get("rules") {
+        Some(rule_path) => {
+            let text = std::fs::read_to_string(rule_path)
+                .map_err(|e| format!("cannot read {rule_path}: {e}"))?;
+            Classifier::parse(&text)?
+        }
+        None => example_ruleset(),
+    };
+
+    let packets = load_trace(path)?;
+    let budget = Accountant::new(budget_eps);
+    let noise = if seed == 0 {
+        NoiseSource::from_entropy()
+    } else {
+        NoiseSource::seeded(seed)
+    };
+    let q = Queryable::new(packets, &budget, &noise);
+    let shares = rule_traffic(&q, &classifier, 1500.0, eps).map_err(|e| e.to_string())?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "per-rule traffic (private, eps={eps}):");
+    for s in &shares {
+        let _ = writeln!(
+            out,
+            "  {:<12} packets ≈ {:>12.1}   bytes ≈ {:>15.0}",
+            s.rule, s.packets, s.bytes
+        );
+    }
+    let _ = writeln!(
+        out,
+        "budget: spent {:.3} of {:.3}",
+        budget.spent(),
+        budget.total()
+    );
+    Ok(out)
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "dpnet — differentially-private network trace analysis\n\
+     \n\
+     usage: dpnet <command> [args]\n\
+     \n\
+     commands:\n\
+       generate <out> [--seed N] [--flows N]   synthesize a hotspot trace\n\
+       convert  <in> <out>                     re-encode (.txt text, .pcap libpcap, else binary)\n\
+       inspect  <file>                         owner-side summary (non-private)\n\
+       analyze  <file> <query> [--budget E] [--eps E] [--seed N]\n\
+                queries: count lengths ports rtt loss heavy-hosts\n\
+       classify <file> [--rules FILE] [--budget E] [--eps E] [--seed N]\n\
+                private per-rule traffic shares\n"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("dpnet-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_inspect_analyze_round_trip() {
+        let path = tmp("t1.dpnt");
+        let report = generate_cmd(&args(&[
+            "generate", &path, "--seed", "5", "--flows", "60",
+        ]))
+        .unwrap();
+        assert!(report.contains("wrote"));
+
+        let summary = inspect_cmd(&args(&["inspect", &path])).unwrap();
+        assert!(summary.contains("packets:"));
+        assert!(summary.contains("top destination ports"));
+
+        let analysis = analyze_cmd(&args(&[
+            "analyze", &path, "count", "--budget", "1.0", "--eps", "0.5", "--seed", "9",
+        ]))
+        .unwrap();
+        assert!(analysis.contains("noisy packet count"));
+        assert!(analysis.contains("spent 0.500"));
+    }
+
+    #[test]
+    fn convert_between_formats() {
+        let bin = tmp("t2.dpnt");
+        let txt = tmp("t2.txt");
+        generate_cmd(&args(&["generate", &bin, "--flows", "20"])).unwrap();
+        convert_cmd(&args(&["convert", &bin, &txt])).unwrap();
+        let back = tmp("t2back.dpnt");
+        convert_cmd(&args(&["convert", &txt, &back])).unwrap();
+        assert_eq!(load_trace(&bin).unwrap(), load_trace(&back).unwrap());
+    }
+
+    #[test]
+    fn convert_to_pcap_and_back_preserves_tcp_fields() {
+        let bin = tmp("t6.dpnt");
+        let pcap = tmp("t6.pcap");
+        generate_cmd(&args(&["generate", &bin, "--flows", "15"])).unwrap();
+        convert_cmd(&args(&["convert", &bin, &pcap])).unwrap();
+        let original = load_trace(&bin).unwrap();
+        let restored = load_trace(&pcap).unwrap();
+        assert_eq!(original.len(), restored.len());
+        for (a, b) in original.iter().zip(&restored) {
+            assert_eq!(a.src_ip, b.src_ip);
+            assert_eq!(a.ts_us, b.ts_us);
+            assert_eq!(a.payload, b.payload);
+        }
+    }
+
+    #[test]
+    fn classify_reports_rule_shares() {
+        let path = tmp("t7.dpnt");
+        generate_cmd(&args(&["generate", &path, "--flows", "40"])).unwrap();
+        let report = classify_cmd(&args(&[
+            "classify", &path, "--eps", "0.5", "--seed", "13",
+        ]))
+        .unwrap();
+        assert!(report.contains("web-in"));
+        assert!(report.contains("catch-all"));
+        assert!(report.contains("spent 1.000")); // 2 × 0.5
+
+        // A custom rule file works too.
+        let rules = tmp("t7.rules");
+        std::fs::write(&rules, "only-ssh tcp any any -> any 22\n").unwrap();
+        let report = classify_cmd(&args(&[
+            "classify", &path, "--rules", &rules, "--eps", "0.5", "--seed", "13",
+        ]))
+        .unwrap();
+        assert!(report.contains("only-ssh"));
+    }
+
+    #[test]
+    fn analyze_respects_budget() {
+        let path = tmp("t3.dpnt");
+        generate_cmd(&args(&["generate", &path, "--flows", "20"])).unwrap();
+        let err = analyze_cmd(&args(&[
+            "analyze", &path, "rtt", "--budget", "0.1", "--eps", "0.2", "--seed", "3",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("budget"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn unknown_query_and_missing_file_fail_cleanly() {
+        let path = tmp("t4.dpnt");
+        generate_cmd(&args(&["generate", &path, "--flows", "10"])).unwrap();
+        assert!(analyze_cmd(&args(&["analyze", &path, "nonsense"])).is_err());
+        assert!(inspect_cmd(&args(&["inspect", "/nonexistent/file.dpnt"])).is_err());
+    }
+
+    #[test]
+    fn inspect_of_empty_trace() {
+        assert!(inspect_packets(&[]).contains("packets: 0"));
+    }
+
+    #[test]
+    fn seeded_analyze_is_reproducible() {
+        let path = tmp("t5.dpnt");
+        generate_cmd(&args(&["generate", &path, "--flows", "30"])).unwrap();
+        let a = analyze_cmd(&args(&["analyze", &path, "count", "--seed", "11"])).unwrap();
+        let b = analyze_cmd(&args(&["analyze", &path, "count", "--seed", "11"])).unwrap();
+        assert_eq!(a, b);
+    }
+}

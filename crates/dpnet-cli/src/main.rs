@@ -1,0 +1,38 @@
+//! `dpnet` — the command-line face of the library: generate synthetic
+//! traces, convert between formats, inspect them owner-side, and run
+//! privacy-budgeted analyses.
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::usage());
+            std::process::exit(2);
+        }
+    };
+    let result = match parsed.command.as_str() {
+        "generate" => commands::generate_cmd(&parsed),
+        "convert" => commands::convert_cmd(&parsed),
+        "inspect" => commands::inspect_cmd(&parsed),
+        "analyze" => commands::analyze_cmd(&parsed),
+        "classify" => commands::classify_cmd(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::usage());
+            return;
+        }
+        other => Err(format!("unknown command '{other}'\n\n{}", commands::usage())),
+    };
+    match result {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

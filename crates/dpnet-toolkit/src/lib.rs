@@ -1,0 +1,45 @@
+//! # dpnet-toolkit — privacy-efficient analysis primitives
+//!
+//! The reusable toolkit of *McSherry & Mahajan (SIGCOMM 2010)* §4: the
+//! building blocks the paper factored out of its network analyses because
+//! they recur across analyses and because getting their privacy cost low is
+//! non-obvious.
+//!
+//! * [`cdf`] — three CDF estimators with different privacy/accuracy
+//!   trade-offs (§4.1, Figure 1).
+//! * [`isotonic`] — pool-adjacent-violators regression to restore
+//!   monotonicity to noisy CDFs (post-processing, free of privacy cost).
+//! * [`freqstrings`] — frequent string discovery by iterative prefix
+//!   extension (§4.2, Table 4).
+//! * [`itemsets`] — DP apriori frequent-itemset mining (§4.3).
+//! * [`kmeans`] — DP k-means and a Gaussian-EM-style variant illustrating
+//!   the algorithmic-complexity-vs-privacy-cost trade-off (§5.3.2).
+//! * [`linalg`] — dense matrices, Jacobi eigendecomposition, and the PCA
+//!   subspace method used by anomaly detection (§5.3.1).
+//! * [`stats`] — the paper's relative-RMSE accuracy metric and friends.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod assoc;
+pub mod cdf;
+pub mod freqstrings;
+pub mod isotonic;
+pub mod itemsets;
+pub mod kmeans;
+pub mod linalg;
+pub mod quantiles;
+pub mod stats;
+
+pub use assoc::{association_rules, AssociationRule};
+pub use cdf::{cdf_hierarchical, cdf_naive, cdf_partition, noise_free_cdf};
+pub use quantiles::{noisy_quantile, quantiles_from_cdf};
+pub use freqstrings::{frequent_strings, FrequentString, FrequentStringsConfig};
+pub use isotonic::isotonic_regression;
+pub use itemsets::{frequent_itemsets, FrequentItemset, ItemsetConfig};
+pub use kmeans::{
+    clustering_rmse, dp_gaussian_em, dp_kmeans, kmeans_baseline, random_centers,
+    ClusteringTrajectory, KMeansConfig,
+};
+pub use linalg::{jacobi_eigen, pca_residual_norms, Matrix};
+pub use stats::{mean, percentile, relative_rmse, rmse, std_dev};

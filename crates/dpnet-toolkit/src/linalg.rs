@@ -1,0 +1,467 @@
+//! Small dense linear algebra: matrices, Jacobi eigendecomposition, PCA.
+//!
+//! The anomaly-detection analysis (Lakhina et al., paper §5.3.1) applies
+//! principal components analysis to a link×time traffic matrix: the top few
+//! principal components span the "normal" traffic subspace, and the norm of
+//! each time bin's residual (its projection onto the complement) flags
+//! volume anomalies. PCA itself runs on *released* (noisy) aggregates, so it
+//! needs no privacy machinery — just a working eigensolver, provided here
+//! via the classical Jacobi rotation method for symmetric matrices.
+
+use std::fmt;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Create from nested rows.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map(|x| x.len()).unwrap_or(0);
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        Matrix {
+            rows: r,
+            cols: c,
+            data: rows.iter().flatten().cloned().collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self × other`.
+    ///
+    /// # Panics
+    /// Panics on incompatible shapes.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out.data[r * other.cols + c] += a * other.get(k, c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Subtract the column means in place, returning the means. PCA is
+    /// conventionally performed on centered data.
+    pub fn center_columns(&mut self) -> Vec<f64> {
+        let mut means = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                means[c] += self.get(r, c);
+            }
+        }
+        for m in means.iter_mut() {
+            *m /= self.rows.max(1) as f64;
+        }
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let v = self.get(r, c) - means[c];
+                self.set(r, c, v);
+            }
+        }
+        means
+    }
+
+    /// The Gram matrix `Xᵀ X / (rows − 1)`: the covariance of the columns
+    /// when the matrix has been centered.
+    pub fn column_covariance(&self) -> Matrix {
+        let xt = self.transpose();
+        let mut g = xt.matmul(self);
+        let denom = (self.rows.max(2) - 1) as f64;
+        for v in g.data.iter_mut() {
+            *v /= denom;
+        }
+        g
+    }
+}
+
+impl fmt::Display for Matrix {
+    /// Render (a corner of) the matrix for debugging.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows.min(8) {
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:10.3} ", self.get(r, c))?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "…")?;
+        }
+        Ok(())
+    }
+}
+
+/// Eigendecomposition of a symmetric matrix via cyclic Jacobi rotations.
+/// Returns `(eigenvalues, eigenvectors)` with eigenvalues sorted descending
+/// and `eigenvectors[i]` the unit eigenvector of `eigenvalues[i]`.
+pub fn jacobi_eigen(a: &Matrix, max_sweeps: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
+    assert_eq!(a.rows(), a.cols(), "matrix must be square");
+    let n = a.rows();
+    let mut m = a.clone();
+    // Eigenvector accumulator starts as identity.
+    let mut v = Matrix::zeros(n, n);
+    for i in 0..n {
+        v.set(i, i, 1.0);
+    }
+
+    for _ in 0..max_sweeps {
+        // Off-diagonal Frobenius mass; stop when negligible.
+        let mut off = 0.0;
+        for r in 0..n {
+            for c in (r + 1)..n {
+                off += m.get(r, c).powi(2);
+            }
+        }
+        if off < 1e-20 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() < 1e-15 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                // Standard stable rotation computation.
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply rotation to rows/cols p and q of m.
+                for i in 0..n {
+                    let mip = m.get(i, p);
+                    let miq = m.get(i, q);
+                    m.set(i, p, c * mip - s * miq);
+                    m.set(i, q, s * mip + c * miq);
+                }
+                for i in 0..n {
+                    let mpi = m.get(p, i);
+                    let mqi = m.get(q, i);
+                    m.set(p, i, c * mpi - s * mqi);
+                    m.set(q, i, s * mpi + c * mqi);
+                }
+                // Accumulate the rotation into the eigenvector matrix.
+                for i in 0..n {
+                    let vip = v.get(i, p);
+                    let viq = v.get(i, q);
+                    v.set(i, p, c * vip - s * viq);
+                    v.set(i, q, s * vip + c * viq);
+                }
+            }
+        }
+    }
+
+    let mut pairs: Vec<(f64, Vec<f64>)> = (0..n)
+        .map(|i| {
+            let val = m.get(i, i);
+            let vec: Vec<f64> = (0..n).map(|r| v.get(r, i)).collect();
+            (val, vec)
+        })
+        .collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite eigenvalues"));
+    let (vals, vecs) = pairs.into_iter().unzip();
+    (vals, vecs)
+}
+
+/// Top-`k` eigenvectors of a symmetric positive-semidefinite matrix by
+/// power iteration with deflation — much faster than a full Jacobi
+/// decomposition when only a few leading components are needed (the PCA
+/// anomaly detector wants 3–5 components of a 400×400 covariance).
+///
+/// Deterministic: iteration starts from fixed pseudo-random unit vectors.
+pub fn top_eigenvectors(a: &Matrix, k: usize, iters: usize) -> Vec<Vec<f64>> {
+    assert_eq!(a.rows(), a.cols(), "matrix must be square");
+    let n = a.rows();
+    let k = k.min(n);
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(k);
+    for comp in 0..k {
+        // Fixed, component-dependent start vector.
+        let mut v: Vec<f64> = (0..n)
+            .map(|i| {
+                let x = ((i * 2654435761 + comp * 40503 + 12345) % 1000) as f64;
+                x / 1000.0 - 0.5
+            })
+            .collect();
+        for _ in 0..iters {
+            // Deflate: remove projections onto already-found components.
+            for b in &basis {
+                let dot: f64 = v.iter().zip(b).map(|(x, y)| x * y).sum();
+                for (vi, bi) in v.iter_mut().zip(b) {
+                    *vi -= dot * bi;
+                }
+            }
+            // Multiply by the matrix.
+            let mut w = vec![0.0; n];
+            for (r, wr) in w.iter_mut().enumerate() {
+                let row = a.row(r);
+                *wr = row.iter().zip(&v).map(|(x, y)| x * y).sum();
+            }
+            let nrm = norm(&w);
+            if nrm < 1e-30 {
+                break; // matrix annihilates the deflated start vector
+            }
+            for x in w.iter_mut() {
+                *x /= nrm;
+            }
+            v = w;
+        }
+        // Final deflation + normalization to guard orthogonality.
+        for b in &basis {
+            let dot: f64 = v.iter().zip(b).map(|(x, y)| x * y).sum();
+            for (vi, bi) in v.iter_mut().zip(b) {
+                *vi -= dot * bi;
+            }
+        }
+        let nrm = norm(&v);
+        if nrm < 1e-30 {
+            break;
+        }
+        for x in v.iter_mut() {
+            *x /= nrm;
+        }
+        basis.push(v);
+    }
+    basis
+}
+
+/// Project a vector onto the subspace spanned by (orthonormal) `basis`
+/// vectors and return the *residual* (the component outside the subspace).
+pub fn subspace_residual(x: &[f64], basis: &[Vec<f64>]) -> Vec<f64> {
+    let mut res = x.to_vec();
+    for b in basis {
+        let dot: f64 = x.iter().zip(b).map(|(a, c)| a * c).sum();
+        for (r, c) in res.iter_mut().zip(b) {
+            *r -= dot * c;
+        }
+    }
+    res
+}
+
+/// Euclidean norm.
+pub fn norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// PCA anomaly scores per row of a (time × link) matrix: the residual norm
+/// of each row after removing the top-`k` principal components of the
+/// column covariance. This is Lakhina et al.'s subspace method.
+///
+/// `sweeps` bounds the eigensolver's iterations. Small matrices (≤ 64
+/// columns) use the exact Jacobi decomposition; larger ones use power
+/// iteration for the top components only.
+pub fn pca_residual_norms(matrix: &Matrix, k: usize, sweeps: usize) -> Vec<f64> {
+    let mut centered = matrix.clone();
+    centered.center_columns();
+    let cov = centered.column_covariance();
+    let basis: Vec<Vec<f64>> = if cov.cols() <= 64 {
+        let (_, vecs) = jacobi_eigen(&cov, sweeps);
+        vecs.into_iter().take(k).collect()
+    } else {
+        top_eigenvectors(&cov, k, sweeps.max(30))
+    };
+    (0..centered.rows())
+        .map(|r| norm(&subspace_residual(centered.row(r), &basis)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_against_hand_computation() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.get(0, 0), 58.0);
+        assert_eq!(c.get(0, 1), 64.0);
+        assert_eq!(c.get(1, 0), 139.0);
+        assert_eq!(c.get(1, 1), 154.0);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn centering_zeroes_column_means() {
+        let mut a = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 30.0]]);
+        let means = a.center_columns();
+        assert_eq!(means, vec![2.0, 20.0]);
+        assert_eq!(a.get(0, 0), -1.0);
+        assert_eq!(a.get(1, 1), 10.0);
+    }
+
+    #[test]
+    fn jacobi_diagonalizes_a_known_matrix() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let (vals, vecs) = jacobi_eigen(&a, 50);
+        assert!((vals[0] - 3.0).abs() < 1e-10);
+        assert!((vals[1] - 1.0).abs() < 1e-10);
+        // Eigenvector of 3 is (1,1)/√2 up to sign.
+        let v = &vecs[0];
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+        assert!((v[0] - v[1]).abs() < 1e-8 || (v[0] + v[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn jacobi_eigenvectors_are_orthonormal() {
+        // A random-ish symmetric 6×6.
+        let n = 6;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = ((i * 7 + j * 13) % 17) as f64 / 4.0;
+                a.set(i, j, v);
+                a.set(j, i, v);
+            }
+        }
+        let (vals, vecs) = jacobi_eigen(&a, 100);
+        assert_eq!(vals.len(), n);
+        for i in 0..n {
+            for j in 0..n {
+                let dot: f64 = vecs[i].iter().zip(&vecs[j]).map(|(a, b)| a * b).sum();
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expected).abs() < 1e-8, "v{i}·v{j} = {dot}");
+            }
+        }
+        // Trace is preserved.
+        let trace: f64 = (0..n).map(|i| a.get(i, i)).sum();
+        let sum: f64 = vals.iter().sum();
+        assert!((trace - sum).abs() < 1e-8);
+    }
+
+    #[test]
+    fn residual_of_in_subspace_vector_is_zero() {
+        let basis = vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]];
+        let r = subspace_residual(&[3.0, 4.0, 0.0], &basis);
+        assert!(norm(&r) < 1e-12);
+        let r2 = subspace_residual(&[0.0, 0.0, 2.0], &basis);
+        assert!((norm(&r2) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pca_flags_a_planted_anomaly() {
+        // 200 time bins × 8 links: rank-1 normal traffic + one spike.
+        let mut rows = Vec::new();
+        for t in 0..200 {
+            let level = 100.0 + 20.0 * (t as f64 / 8.0).sin();
+            let row: Vec<f64> = (0..8).map(|l| level * (1.0 + 0.1 * l as f64)).collect();
+            rows.push(row);
+        }
+        rows[25][3] += 400.0; // the anomaly
+        let m = Matrix::from_rows(&rows);
+        // Normal traffic is rank-1; k must not be large enough to let a
+        // principal component absorb the anomaly direction itself.
+        let scores = pca_residual_norms(&m, 1, 60);
+        let max_idx = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max_idx, 25, "anomalous bin not flagged");
+        // The anomalous bin's residual dominates the second-largest: the
+        // single spike can tilt the principal component slightly, leaving
+        // small residuals on normal bins, but not comparably large ones.
+        let mut rest = scores.clone();
+        rest.remove(25);
+        let second = rest.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            scores[25] > 4.0 * second.max(1e-9),
+            "anomaly {} vs runner-up {second}",
+            scores[25]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn from_vec_checks_shape() {
+        Matrix::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_checks_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        a.matmul(&b);
+    }
+}

@@ -1,0 +1,170 @@
+//! Noisy quantiles.
+//!
+//! Two complementary routes to distributional summaries beyond the median:
+//!
+//! * [`noisy_quantile`] — the exponential mechanism, generalizing
+//!   `NoisyMedian` from rank `n/2` to rank `q·n`. Costs ε per quantile.
+//! * [`quantiles_from_cdf`] — free post-processing of an
+//!   already-released noisy CDF (e.g. from
+//!   [`crate::cdf::cdf_partition`]): invert the curve at the requested
+//!   ranks. Costs nothing beyond the CDF itself, so extracting twenty
+//!   quantiles is no more expensive than one — the privacy-efficiency
+//!   mindset the paper teaches.
+
+use pinq::error::{Error, Result};
+use pinq::mechanisms::exponential_mechanism_index;
+use pinq::rng::NoiseSource;
+
+fn check_epsilon(eps: f64) -> Result<()> {
+    if eps.is_finite() && eps > 0.0 {
+        Ok(())
+    } else {
+        Err(Error::InvalidEpsilon(eps))
+    }
+}
+
+/// Select the `q`-quantile (0 ≤ q ≤ 1) of `values` over the candidate grid
+/// `[lo, hi]` with `buckets` cells, via the exponential mechanism. Each
+/// candidate `c` is scored `-|#{x < c} − q·n|` (sensitivity ≤ 1).
+pub fn noisy_quantile(
+    noise: &NoiseSource,
+    values: &[f64],
+    q: f64,
+    lo: f64,
+    hi: f64,
+    buckets: usize,
+    eps: f64,
+) -> Result<f64> {
+    check_epsilon(eps)?;
+    if !(0.0..=1.0).contains(&q) {
+        return Err(Error::InvalidRange { lo: 0.0, hi: 1.0 });
+    }
+    if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+        return Err(Error::InvalidRange { lo, hi });
+    }
+    if buckets == 0 {
+        return Err(Error::EmptyCandidates);
+    }
+    let n = values.len() as f64;
+    let mut sorted: Vec<f64> = values
+        .iter()
+        .map(|&v| v.clamp(lo, hi))
+        .collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("clamped values compare"));
+    let step = (hi - lo) / buckets as f64;
+    let candidates: Vec<f64> = (0..=buckets).map(|i| lo + i as f64 * step).collect();
+    let target = q * n;
+    let scores: Vec<f64> = candidates
+        .iter()
+        .map(|&c| {
+            let below = sorted.partition_point(|&v| v < c) as f64;
+            -(below - target).abs()
+        })
+        .collect();
+    let idx = exponential_mechanism_index(noise, &scores, eps, 1.0)?;
+    Ok(candidates[idx])
+}
+
+/// Invert a released (noisy, cumulative-count) CDF at the requested rank
+/// fractions. `cdf[b]` is the estimated count of records in buckets `≤ b`;
+/// the returned value for fraction `q` is the first bucket index whose
+/// cumulative count reaches `q × total`. Pure post-processing.
+///
+/// The CDF is made non-decreasing internally (isotonic regression) before
+/// inversion, since noise can make raw prefix sums dip.
+pub fn quantiles_from_cdf(cdf: &[f64], fractions: &[f64]) -> Vec<usize> {
+    if cdf.is_empty() {
+        return vec![0; fractions.len()];
+    }
+    let smooth = crate::isotonic::isotonic_regression(cdf);
+    let total = smooth.last().copied().unwrap_or(0.0).max(0.0);
+    fractions
+        .iter()
+        .map(|&q| {
+            let target = q.clamp(0.0, 1.0) * total;
+            smooth
+                .iter()
+                .position(|&c| c >= target)
+                .unwrap_or(smooth.len() - 1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_quantiles_land_near_truth() {
+        let noise = NoiseSource::seeded(51);
+        let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        for (q, truth) in [(0.25, 250.0), (0.5, 500.0), (0.9, 900.0)] {
+            let mut total = 0.0;
+            let trials = 100;
+            for _ in 0..trials {
+                total +=
+                    noisy_quantile(&noise, &values, q, 0.0, 1000.0, 200, 2.0).unwrap();
+            }
+            let mean = total / trials as f64;
+            assert!(
+                (mean - truth).abs() < 40.0,
+                "q={q}: estimate {mean} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_argument_validation() {
+        let noise = NoiseSource::seeded(53);
+        assert!(noisy_quantile(&noise, &[1.0], 1.5, 0.0, 1.0, 10, 1.0).is_err());
+        assert!(noisy_quantile(&noise, &[1.0], 0.5, 1.0, 0.0, 10, 1.0).is_err());
+        assert!(noisy_quantile(&noise, &[1.0], 0.5, 0.0, 1.0, 0, 1.0).is_err());
+        assert!(noisy_quantile(&noise, &[1.0], 0.5, 0.0, 1.0, 10, -1.0).is_err());
+    }
+
+    #[test]
+    fn cdf_inversion_matches_exact_quantiles() {
+        // Exact CDF of a uniform distribution over 100 buckets.
+        let cdf: Vec<f64> = (1..=100).map(|i| i as f64 * 10.0).collect();
+        let qs = quantiles_from_cdf(&cdf, &[0.1, 0.5, 0.99]);
+        assert_eq!(qs, vec![9, 49, 98]);
+    }
+
+    #[test]
+    fn cdf_inversion_survives_noise_dips() {
+        // A noisy CDF with local decreases.
+        let mut cdf: Vec<f64> = (1..=50).map(|i| i as f64 * 4.0).collect();
+        cdf[10] = cdf[9] - 15.0;
+        cdf[30] = cdf[29] - 8.0;
+        let qs = quantiles_from_cdf(&cdf, &[0.5]);
+        // Still lands near the middle.
+        assert!((qs[0] as i64 - 24).unsigned_abs() <= 3, "median bucket {}", qs[0]);
+    }
+
+    #[test]
+    fn cdf_inversion_edge_cases() {
+        assert_eq!(quantiles_from_cdf(&[], &[0.5]), vec![0]);
+        // All mass in one bucket: any positive fraction lands on it.
+        let cdf = vec![0.0, 0.0, 100.0, 100.0];
+        assert_eq!(quantiles_from_cdf(&cdf, &[0.01, 0.99]), vec![2, 2]);
+        // Out-of-range fractions are clamped.
+        assert_eq!(quantiles_from_cdf(&cdf, &[-1.0, 2.0]), vec![0, 2]);
+    }
+
+    #[test]
+    fn many_quantiles_cost_one_cdf() {
+        // Demonstrate the intended privacy-efficient pattern end to end.
+        use pinq::{Accountant, Queryable};
+        let acct = Accountant::new(1.0);
+        let noise = NoiseSource::seeded(59);
+        let values: Vec<usize> = (0..5000).map(|i| i % 100).collect();
+        let q = Queryable::new(values, &acct, &noise);
+        let cdf = crate::cdf::cdf_partition(&q, 100, 0.5).unwrap();
+        let quartiles = quantiles_from_cdf(&cdf, &[0.25, 0.5, 0.75]);
+        // One ε = 0.5 charge bought all three quantiles.
+        assert!((acct.spent() - 0.5).abs() < 1e-12);
+        assert!((quartiles[0] as i64 - 24).unsigned_abs() <= 2);
+        assert!((quartiles[1] as i64 - 49).unsigned_abs() <= 2);
+        assert!((quartiles[2] as i64 - 74).unsigned_abs() <= 2);
+    }
+}

@@ -1,0 +1,125 @@
+//! Accuracy metrics and summary statistics.
+//!
+//! The paper's headline accuracy figure is a *relative* RMSE (§5.1.1):
+//! `√( (1/n) Σᵢ (1 − vp[i]/vnf[i])² )`, where `vp` is the privately
+//! computed value and `vnf` the noise-free value at index `i`. This module
+//! implements that metric plus plain helpers used across the harness.
+
+/// The paper's relative RMSE between a private and a noise-free series.
+/// Indices where the noise-free value is zero are skipped (the ratio is
+/// undefined there); if every index is skipped the result is 0.
+pub fn relative_rmse(private: &[f64], noise_free: &[f64]) -> f64 {
+    assert_eq!(
+        private.len(),
+        noise_free.len(),
+        "series lengths must match"
+    );
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (&vp, &vnf) in private.iter().zip(noise_free) {
+        if vnf == 0.0 {
+            continue;
+        }
+        total += (1.0 - vp / vnf).powi(2);
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (total / n as f64).sqrt()
+    }
+}
+
+/// Absolute RMSE between two series.
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum();
+    (total / a.len() as f64).sqrt()
+}
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation (0 for fewer than two values).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// `p`-th percentile (0 ≤ p ≤ 100) by nearest-rank on a copy of the data.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("comparable values"));
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_rmse_matches_hand_computation() {
+        // vp/vnf ratios: 1.1 and 0.9 → (0.1² + 0.1²)/2 = 0.01 → 0.1.
+        let r = relative_rmse(&[110.0, 90.0], &[100.0, 100.0]);
+        assert!((r - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_rmse_skips_zero_denominators() {
+        let r = relative_rmse(&[5.0, 110.0], &[0.0, 100.0]);
+        assert!((r - 0.1).abs() < 1e-12);
+        assert_eq!(relative_rmse(&[1.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn perfect_agreement_is_zero() {
+        assert_eq!(relative_rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn rmse_basic() {
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(rmse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = vec![10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 50.0), 30.0);
+        assert_eq!(percentile(&xs, 100.0), 50.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "series lengths")]
+    fn mismatched_lengths_panic() {
+        relative_rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

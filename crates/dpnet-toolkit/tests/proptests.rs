@@ -1,0 +1,132 @@
+//! Property-based tests of the toolkit primitives.
+
+use dpnet_toolkit::cdf::{cdf_hierarchical, cdf_partition, noise_free_cdf};
+use dpnet_toolkit::isotonic::isotonic_regression;
+use dpnet_toolkit::linalg::{jacobi_eigen, subspace_residual, top_eigenvectors, Matrix};
+use dpnet_toolkit::quantiles::quantiles_from_cdf;
+use dpnet_toolkit::stats::{percentile, relative_rmse};
+use pinq::{Accountant, NoiseSource, Queryable};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn noise_free_cdf_is_monotone_and_bounded(
+        values in prop::collection::vec(0usize..200, 0..300),
+        buckets in 1usize..200,
+    ) {
+        let cdf = noise_free_cdf(&values, buckets);
+        prop_assert_eq!(cdf.len(), buckets);
+        prop_assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+        let in_range = values.iter().filter(|&&v| v < buckets).count() as f64;
+        prop_assert_eq!(*cdf.last().unwrap_or(&0.0), in_range);
+    }
+
+    #[test]
+    fn cdf_estimators_converge_at_huge_epsilon(
+        values in prop::collection::vec(0usize..64, 1..500),
+        buckets in 2usize..64,
+    ) {
+        let truth = noise_free_cdf(&values, buckets);
+        let acct = Accountant::new(f64::MAX / 2.0);
+        let noise = NoiseSource::seeded(7);
+        let q = Queryable::new(values, &acct, &noise);
+        let c2 = cdf_partition(&q, buckets, 1e6).unwrap();
+        let c3 = cdf_hierarchical(&q, buckets, 1e6).unwrap();
+        for b in 0..buckets {
+            prop_assert!((c2[b] - truth[b]).abs() < 0.1, "cdf2 at {b}");
+            prop_assert!((c3[b] - truth[b]).abs() < 0.1, "cdf3 at {b}");
+        }
+    }
+
+    #[test]
+    fn isotonic_output_is_monotone_and_idempotent(
+        input in prop::collection::vec(-1e6f64..1e6, 0..200),
+    ) {
+        let out = isotonic_regression(&input);
+        prop_assert_eq!(out.len(), input.len());
+        prop_assert!(out.windows(2).all(|w| w[0] <= w[1] + 1e-9));
+        let again = isotonic_regression(&out);
+        for (a, b) in out.iter().zip(&again) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        // Mass is preserved.
+        let s1: f64 = input.iter().sum();
+        let s2: f64 = out.iter().sum();
+        prop_assert!((s1 - s2).abs() < 1e-6 * (1.0 + s1.abs()));
+    }
+
+    #[test]
+    fn quantiles_from_cdf_are_sorted(
+        cdf_steps in prop::collection::vec(0.0f64..100.0, 1..100),
+        fracs in prop::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        // Build a cumulative curve from non-negative steps.
+        let mut cdf = Vec::with_capacity(cdf_steps.len());
+        let mut acc = 0.0;
+        for s in &cdf_steps {
+            acc += s;
+            cdf.push(acc);
+        }
+        let mut sorted_fracs = fracs.clone();
+        sorted_fracs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let qs = quantiles_from_cdf(&cdf, &sorted_fracs);
+        prop_assert!(qs.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(qs.iter().all(|&q| q < cdf.len()));
+    }
+
+    #[test]
+    fn jacobi_and_power_iteration_agree_on_the_top_component(
+        seed_vals in prop::collection::vec(-5.0f64..5.0, 6),
+    ) {
+        // Symmetric 3×3 from the seed values.
+        let m = Matrix::from_vec(3, 3, vec![
+            seed_vals[0].abs() + 3.0, seed_vals[1], seed_vals[2],
+            seed_vals[1], seed_vals[3].abs() + 2.0, seed_vals[4],
+            seed_vals[2], seed_vals[4], seed_vals[5].abs() + 1.0,
+        ]);
+        let (vals, vecs) = jacobi_eigen(&m, 60);
+        let power = top_eigenvectors(&m, 1, 300);
+        prop_assume!(vals[0] > vals[1] + 0.05); // distinct top eigenvalue
+        if power.is_empty() { return Ok(()); }
+        let dot: f64 = vecs[0].iter().zip(&power[0]).map(|(a, b)| a * b).sum();
+        prop_assert!(dot.abs() > 0.999, "top eigenvector disagreement: {dot}");
+    }
+
+    #[test]
+    fn residuals_are_orthogonal_to_the_basis(
+        x in prop::collection::vec(-10.0f64..10.0, 4),
+    ) {
+        let basis = vec![
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![0.0, std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2, 0.0],
+        ];
+        let r = subspace_residual(&x, &basis);
+        for b in &basis {
+            let dot: f64 = r.iter().zip(b).map(|(a, c)| a * c).sum();
+            prop_assert!(dot.abs() < 1e-9, "residual not orthogonal: {dot}");
+        }
+    }
+
+    #[test]
+    fn relative_rmse_is_zero_iff_equal(
+        series in prop::collection::vec(1.0f64..1e6, 1..50),
+    ) {
+        prop_assert_eq!(relative_rmse(&series, &series), 0.0);
+        let shifted: Vec<f64> = series.iter().map(|v| v * 1.01).collect();
+        prop_assert!((relative_rmse(&shifted, &series) - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_brackets_the_data(
+        mut xs in prop::collection::vec(-1e9f64..1e9, 1..100),
+        p in 0.0f64..100.0,
+    ) {
+        let v = percentile(&xs, p);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert!(v >= xs[0] && v <= xs[xs.len() - 1]);
+        prop_assert_eq!(percentile(&xs, 0.0), xs[0]);
+        prop_assert_eq!(percentile(&xs, 100.0), xs[xs.len() - 1]);
+    }
+}

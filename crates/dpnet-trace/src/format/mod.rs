@@ -1,0 +1,15 @@
+//! Trace persistence.
+//!
+//! The mediated-analysis setting has the *data owner* storing traces and the
+//! analyst submitting queries; the owner needs a compact on-disk format.
+//! [`binary`] provides a simple length-prefixed binary encoding (via the
+//! `bytes` crate) with a magic header and version byte, plus streaming read
+//! and write over any `Read`/`Write`.
+
+pub mod binary;
+pub mod pcap;
+pub mod text;
+
+pub use binary::{read_trace, write_trace, FormatError, MAGIC, VERSION};
+pub use pcap::{read_pcap, write_pcap, PcapError};
+pub use text::{read_text, write_text, TextError};

@@ -1,0 +1,16 @@
+//! Synthetic dataset generators.
+//!
+//! The paper evaluates on three proprietary traces (Hotspot, IspTraffic,
+//! IPscatter). Each generator here synthesizes a dataset with the same
+//! record schema and — crucially — *planted, known ground truth* for every
+//! feature the corresponding experiments measure, so that the DP-vs-exact
+//! comparison the paper performs can be reproduced end to end.
+
+pub mod hotspot;
+pub mod isp;
+pub mod scatter;
+pub mod util;
+
+pub use hotspot::{HotspotConfig, HotspotTrace, HotspotTruth, StoneTruth, WormTruth};
+pub use isp::{AnomalyTruth, IspConfig, IspTrace, LinkPacket};
+pub use scatter::{ScatterConfig, ScatterRecord, ScatterTrace};

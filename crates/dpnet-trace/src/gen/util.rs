@@ -1,0 +1,258 @@
+//! Statistical building blocks for the trace generators.
+//!
+//! `rand` 0.8 ships only uniform sampling; the heavier distributions the
+//! generators need (log-normal, Poisson, Zipf, categorical) are implemented
+//! here from first principles so the dependency footprint stays at the
+//! pre-approved crate list.
+
+use rand::Rng;
+
+/// Draw a standard normal sample via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draw from a normal distribution with the given mean and std.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    mean + std * standard_normal(rng)
+}
+
+/// Draw from a log-normal distribution parameterized by the underlying
+/// normal's `mu` and `sigma`. Used for RTTs: heavy-tailed, strictly
+/// positive, matching the shape of measured wide-area delay distributions.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Draw from an exponential distribution with the given rate (`λ`).
+/// Inter-arrival times of Poisson traffic.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0);
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Draw from a Poisson distribution. Knuth's algorithm for small means,
+/// normal approximation above 30 (adequate for workload generation).
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    debug_assert!(mean >= 0.0);
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean > 30.0 {
+        let x = normal(rng, mean, mean.sqrt());
+        return x.round().max(0.0) as u64;
+    }
+    let l = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// A Zipf sampler over ranks `0..n` with exponent `s`:
+/// `P(rank k) ∝ 1/(k+1)^s`. Port popularity and payload popularity are
+/// classic Zipf-shaped distributions.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite(), "Zipf exponent must be finite");
+        let weights: Vec<f64> = (0..n).map(|k| 1.0 / ((k + 1) as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for w in weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        // Guard against floating-point shortfall at the top.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is empty (never true; kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// A categorical sampler over explicit weights.
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    cdf: Vec<f64>,
+}
+
+impl Categorical {
+    /// Build from non-negative weights (not necessarily normalized).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative/non-finite value,
+    /// or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "empty categorical");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0) && total > 0.0,
+            "categorical weights must be non-negative with positive sum"
+        );
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Categorical { cdf }
+    }
+
+    /// Draw an index into the weight vector.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05);
+        assert!((var.sqrt() - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..50_000).map(|_| lognormal(&mut rng, 0.0, 1.0)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[xs.len() / 2];
+        assert!(mean > median, "log-normal should be right-skewed");
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let rate = 4.0;
+        let mean: f64 =
+            (0..100_000).map(|_| exponential(&mut rng, rate)).sum::<f64>() / 100_000.0;
+        assert!((mean - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn poisson_mean_and_variance() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for &lambda in &[0.5, 5.0, 100.0] {
+            let n = 50_000;
+            let xs: Vec<f64> = (0..n).map(|_| poisson(&mut rng, lambda) as f64).collect();
+            let mean = xs.iter().sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.05,
+                "λ={lambda}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn zipf_rank_zero_dominates() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let z = Zipf::new(100, 1.2);
+        let n = 100_000;
+        let mut counts = vec![0usize; 100];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[10]);
+        // Rank-0 frequency for s=1.2 over 100 ranks is ~26%.
+        let f0 = counts[0] as f64 / n as f64;
+        assert!((f0 - 0.26).abs() < 0.03, "rank-0 frequency {f0}");
+    }
+
+    #[test]
+    fn zipf_never_returns_out_of_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let z = Zipf::new(5, 0.8);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 5);
+        }
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let c = Categorical::new(&[1.0, 3.0]);
+        let n = 100_000;
+        let ones = (0..n).filter(|_| c.sample(&mut rng) == 1).count() as f64;
+        assert!((ones / n as f64 - 0.75).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty categorical")]
+    fn categorical_rejects_empty() {
+        Categorical::new(&[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn categorical_rejects_negative() {
+        Categorical::new(&[1.0, -1.0]);
+    }
+
+    #[test]
+    fn zero_weight_categories_are_never_drawn() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let c = Categorical::new(&[0.0, 1.0, 0.0]);
+        for _ in 0..10_000 {
+            assert_eq!(c.sample(&mut rng), 1);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Privacy budget accounting.
+//!
+//! Each protected dataset is given a total privacy budget ε by its owner.
+//! Every aggregation spends a portion of it (scaled by the stability of the
+//! transformations between the source and the aggregation); once the budget
+//! is exhausted, further queries fail. This is the *sequential composition*
+//! rule: analyses with costs c₁ and c₂ have total cost at most c₁ + c₂
+//! (paper §7). The complementary *parallel composition* rule for `Partition`
+//! lives in the partition ledger (see [`crate::Queryable::partition`]).
+
+use crate::error::{Error, Result};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Small tolerance so that spending exactly the remaining budget succeeds
+/// despite floating-point accumulation.
+const TOLERANCE: f64 = 1e-9;
+
+/// One recorded spend against an accountant, for auditability. Data owners
+/// reviewing a mediated-analysis session can replay what was charged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpendEvent {
+    /// ε charged (after stability scaling).
+    pub epsilon: f64,
+    /// Monotonic sequence number of the charge.
+    pub sequence: u64,
+}
+
+#[derive(Debug, Default)]
+struct AccountantState {
+    total: f64,
+    spent: f64,
+    sequence: u64,
+    log: Vec<SpendEvent>,
+}
+
+/// The root privacy budget for one protected dataset.
+///
+/// Thread-safe and cheap to clone (clones share the same budget). All
+/// queryables derived from the dataset ultimately charge here.
+#[derive(Debug, Clone)]
+pub struct Accountant {
+    state: Arc<Mutex<AccountantState>>,
+}
+
+impl Accountant {
+    /// Create an accountant with the given total budget.
+    ///
+    /// # Panics
+    /// Panics if `total` is negative, NaN or infinite; the budget is a
+    /// policy decision by the data owner and must be a real number.
+    pub fn new(total: f64) -> Self {
+        assert!(
+            total.is_finite() && total >= 0.0,
+            "budget must be finite and non-negative, got {total}"
+        );
+        Accountant {
+            state: Arc::new(Mutex::new(AccountantState {
+                total,
+                ..AccountantState::default()
+            })),
+        }
+    }
+
+    /// The total budget currently configured (initial grant plus any
+    /// later [`Accountant::grant`]s).
+    pub fn total(&self) -> f64 {
+        self.state.lock().total
+    }
+
+    /// Cumulative ε spent so far.
+    pub fn spent(&self) -> f64 {
+        self.state.lock().spent
+    }
+
+    /// ε still available.
+    pub fn remaining(&self) -> f64 {
+        let st = self.state.lock();
+        (st.total - st.spent).max(0.0)
+    }
+
+    /// Enlarge the budget by `extra` ε — a *data-owner* operation, the
+    /// basis of the timed-release policies the paper sketches in §7
+    /// ("reduce privacy cost with time such that the data is available
+    /// longer but the added noise increases with time").
+    ///
+    /// # Panics
+    /// Panics on a negative, NaN or infinite grant.
+    pub fn grant(&self, extra: f64) {
+        assert!(
+            extra.is_finite() && extra >= 0.0,
+            "grant must be finite and non-negative, got {extra}"
+        );
+        self.state.lock().total += extra;
+    }
+
+    /// Snapshot of all spends recorded so far.
+    pub fn audit_log(&self) -> Vec<SpendEvent> {
+        self.state.lock().log.clone()
+    }
+
+    /// Attempt to spend `eps`. Fails without side effects if the budget
+    /// would be exceeded.
+    pub fn charge(&self, eps: f64) -> Result<()> {
+        debug_assert!(eps >= 0.0, "negative charge {eps}");
+        let mut st = self.state.lock();
+        if st.spent + eps > st.total + TOLERANCE {
+            return Err(Error::BudgetExceeded {
+                requested: eps,
+                available: (st.total - st.spent).max(0.0),
+            });
+        }
+        st.spent += eps;
+        st.sequence += 1;
+        let ev = SpendEvent {
+            epsilon: eps,
+            sequence: st.sequence,
+        };
+        st.log.push(ev);
+        Ok(())
+    }
+
+    /// Return `eps` to the budget. Used internally to roll back partially
+    /// applied multi-input charges (e.g. a `Join` whose second input's
+    /// budget is exhausted). Refunds are also logged, as negative spends.
+    pub(crate) fn refund(&self, eps: f64) {
+        debug_assert!(eps >= 0.0);
+        let mut st = self.state.lock();
+        st.spent = (st.spent - eps).max(0.0);
+        st.sequence += 1;
+        let ev = SpendEvent {
+            epsilon: -eps,
+            sequence: st.sequence,
+        };
+        st.log.push(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let a = Accountant::new(1.0);
+        a.charge(0.25).unwrap();
+        a.charge(0.25).unwrap();
+        assert!((a.spent() - 0.5).abs() < 1e-12);
+        assert!((a.remaining() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exceeding_budget_fails_without_side_effects() {
+        let a = Accountant::new(0.5);
+        a.charge(0.4).unwrap();
+        let err = a.charge(0.2).unwrap_err();
+        match err {
+            Error::BudgetExceeded {
+                requested,
+                available,
+            } => {
+                assert_eq!(requested, 0.2);
+                assert!((available - 0.1).abs() < 1e-12);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // The failed charge must not have consumed anything.
+        assert!((a.spent() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spending_exactly_the_budget_is_allowed() {
+        let a = Accountant::new(1.0);
+        for _ in 0..10 {
+            a.charge(0.1).unwrap();
+        }
+        assert!(a.charge(0.01).is_err());
+    }
+
+    #[test]
+    fn refund_restores_budget_and_is_logged() {
+        let a = Accountant::new(1.0);
+        a.charge(0.6).unwrap();
+        a.refund(0.6);
+        assert_eq!(a.spent(), 0.0);
+        let log = a.audit_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].epsilon, 0.6);
+        assert_eq!(log[1].epsilon, -0.6);
+        assert!(log[1].sequence > log[0].sequence);
+    }
+
+    #[test]
+    fn clones_share_the_budget() {
+        let a = Accountant::new(1.0);
+        let b = a.clone();
+        a.charge(0.7).unwrap();
+        assert!(b.charge(0.7).is_err());
+        b.charge(0.3).unwrap();
+        assert!((a.spent() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_budget_rejects_everything() {
+        let a = Accountant::new(0.0);
+        assert!(a.charge(1e-6).is_err());
+        assert_eq!(a.remaining(), 0.0);
+    }
+
+    #[test]
+    fn grants_expand_the_budget() {
+        let a = Accountant::new(0.5);
+        a.charge(0.5).unwrap();
+        assert!(a.charge(0.1).is_err());
+        a.grant(0.3);
+        assert_eq!(a.total(), 0.8);
+        a.charge(0.3).unwrap();
+        assert!(a.charge(0.01).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "grant must be finite")]
+    fn negative_grants_are_rejected() {
+        Accountant::new(1.0).grant(-0.5);
+    }
+
+    #[test]
+    fn concurrent_charges_never_oversubscribe() {
+        let a = Accountant::new(10.0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let a = a.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        let _ = a.charge(0.01);
+                    }
+                });
+            }
+        });
+        assert!(a.spent() <= a.total() + 1e-6);
+    }
+}

@@ -1,0 +1,147 @@
+//! The charge graph: how aggregation spends propagate to source budgets.
+//!
+//! Transformations build a DAG from derived queryables back to root
+//! accountants. Charging a derived node walks the DAG:
+//!
+//! * `Root` — spend directly against the dataset's [`Accountant`].
+//! * `Scaled` — multiply by a stability factor (e.g. ×2 across a `GroupBy`).
+//! * `Combined` — charge several parents (e.g. both inputs of a `Join`);
+//!   applied transactionally with rollback if a later parent fails.
+//! * `PartitionPart` — charge through a [`PartitionLedger`], which forwards
+//!   only increases of the *maximum* child spend to its parent (parallel
+//!   composition).
+
+use crate::budget::Accountant;
+use crate::error::Result;
+use crate::partition::PartitionLedger;
+use std::sync::Arc;
+
+/// A node in the charge DAG. Crate-internal: analysts only see queryables.
+#[derive(Debug, Clone)]
+pub(crate) enum ChargeNode {
+    /// Charges land directly on a dataset budget.
+    Root(Accountant),
+    /// Charges are multiplied by `factor` and forwarded to `parent`.
+    Scaled {
+        parent: Arc<ChargeNode>,
+        factor: f64,
+    },
+    /// Charges are forwarded, unscaled, to every parent.
+    Combined(Vec<Arc<ChargeNode>>),
+    /// Charges flow through a partition ledger (max-of-parts accounting).
+    PartitionPart {
+        ledger: Arc<PartitionLedger>,
+        index: usize,
+    },
+}
+
+impl ChargeNode {
+    /// Spend `eps` through this node. On failure nothing is spent anywhere.
+    pub(crate) fn charge(&self, eps: f64) -> Result<()> {
+        match self {
+            ChargeNode::Root(acct) => acct.charge(eps),
+            ChargeNode::Scaled { parent, factor } => parent.charge(eps * factor),
+            ChargeNode::Combined(parents) => {
+                for (i, p) in parents.iter().enumerate() {
+                    if let Err(e) = p.charge(eps) {
+                        // Roll back the parents already charged so that a
+                        // failed multi-input aggregation is free.
+                        for q in &parents[..i] {
+                            q.refund(eps);
+                        }
+                        return Err(e);
+                    }
+                }
+                Ok(())
+            }
+            ChargeNode::PartitionPart { ledger, index } => ledger.charge_child(*index, eps),
+        }
+    }
+
+    /// Undo a previous successful `charge(eps)`.
+    pub(crate) fn refund(&self, eps: f64) {
+        match self {
+            ChargeNode::Root(acct) => acct.refund(eps),
+            ChargeNode::Scaled { parent, factor } => parent.refund(eps * factor),
+            ChargeNode::Combined(parents) => {
+                for p in parents {
+                    p.refund(eps);
+                }
+            }
+            ChargeNode::PartitionPart { ledger, index } => ledger.refund_child(*index, eps),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_nodes_multiply_charges() {
+        let acct = Accountant::new(10.0);
+        let root = Arc::new(ChargeNode::Root(acct.clone()));
+        let scaled = ChargeNode::Scaled {
+            parent: root,
+            factor: 2.0,
+        };
+        scaled.charge(1.0).unwrap();
+        assert!((acct.spent() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_scaling_composes_multiplicatively() {
+        let acct = Accountant::new(100.0);
+        let root = Arc::new(ChargeNode::Root(acct.clone()));
+        let a = Arc::new(ChargeNode::Scaled {
+            parent: root,
+            factor: 2.0,
+        });
+        let b = ChargeNode::Scaled {
+            parent: a,
+            factor: 3.0,
+        };
+        b.charge(1.0).unwrap();
+        assert!((acct.spent() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combined_charges_every_parent() {
+        let a = Accountant::new(5.0);
+        let b = Accountant::new(5.0);
+        let node = ChargeNode::Combined(vec![
+            Arc::new(ChargeNode::Root(a.clone())),
+            Arc::new(ChargeNode::Root(b.clone())),
+        ]);
+        node.charge(1.5).unwrap();
+        assert!((a.spent() - 1.5).abs() < 1e-12);
+        assert!((b.spent() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combined_rolls_back_on_partial_failure() {
+        let rich = Accountant::new(5.0);
+        let poor = Accountant::new(0.1);
+        let node = ChargeNode::Combined(vec![
+            Arc::new(ChargeNode::Root(rich.clone())),
+            Arc::new(ChargeNode::Root(poor.clone())),
+        ]);
+        assert!(node.charge(1.0).is_err());
+        // The rich parent must have been refunded.
+        assert_eq!(rich.spent(), 0.0);
+        assert_eq!(poor.spent(), 0.0);
+    }
+
+    #[test]
+    fn refund_walks_the_graph() {
+        let acct = Accountant::new(10.0);
+        let root = Arc::new(ChargeNode::Root(acct.clone()));
+        let scaled = ChargeNode::Scaled {
+            parent: root,
+            factor: 4.0,
+        };
+        scaled.charge(1.0).unwrap();
+        scaled.refund(1.0);
+        assert_eq!(acct.spent(), 0.0);
+    }
+}

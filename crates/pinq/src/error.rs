@@ -1,0 +1,110 @@
+//! Error types for the PINQ engine.
+
+use std::fmt;
+
+/// Errors surfaced by privacy-sensitive operations.
+///
+/// Every aggregation charges the privacy budget of the dataset it touches;
+/// the principal failure mode is running out of budget. Other variants
+/// capture misuse of the API (invalid ε, empty candidate sets for the
+/// exponential mechanism, and so on).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The requested spend would push the cumulative privacy cost past the
+    /// budget configured for the protected dataset.
+    BudgetExceeded {
+        /// ε the operation attempted to spend (already scaled by stability).
+        requested: f64,
+        /// ε remaining in the budget at the time of the request.
+        available: f64,
+    },
+    /// ε must be strictly positive and finite.
+    InvalidEpsilon(f64),
+    /// The exponential mechanism needs at least one candidate output.
+    EmptyCandidates,
+    /// A clamping range was empty or inverted (`lo >= hi`).
+    InvalidRange {
+        /// Lower bound supplied by the caller.
+        lo: f64,
+        /// Upper bound supplied by the caller.
+        hi: f64,
+    },
+    /// A stability (sensitivity multiplier) became non-finite or
+    /// non-positive, which would break budget accounting.
+    InvalidStability(f64),
+    /// `select_many` requires a positive per-record output bound.
+    InvalidFanout(usize),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::BudgetExceeded {
+                requested,
+                available,
+            } => write!(
+                f,
+                "privacy budget exceeded: requested ε={requested}, only ε={available} available"
+            ),
+            Error::InvalidEpsilon(e) => {
+                write!(f, "epsilon must be positive and finite, got {e}")
+            }
+            Error::EmptyCandidates => {
+                write!(f, "exponential mechanism requires a non-empty candidate set")
+            }
+            Error::InvalidRange { lo, hi } => {
+                write!(f, "invalid clamping range: [{lo}, {hi}]")
+            }
+            Error::InvalidStability(s) => {
+                write!(f, "invalid stability multiplier: {s}")
+            }
+            Error::InvalidFanout(k) => {
+                write!(f, "select_many fanout bound must be positive, got {k}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Validate an analyst-supplied ε.
+pub(crate) fn check_epsilon(eps: f64) -> Result<()> {
+    if eps.is_finite() && eps > 0.0 {
+        Ok(())
+    } else {
+        Err(Error::InvalidEpsilon(eps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_validation_rejects_bad_values() {
+        assert!(check_epsilon(0.1).is_ok());
+        assert!(check_epsilon(10.0).is_ok());
+        assert_eq!(check_epsilon(0.0), Err(Error::InvalidEpsilon(0.0)));
+        assert_eq!(check_epsilon(-1.0), Err(Error::InvalidEpsilon(-1.0)));
+        assert!(check_epsilon(f64::NAN).is_err());
+        assert!(check_epsilon(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let e = Error::BudgetExceeded {
+            requested: 1.0,
+            available: 0.5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("requested"));
+        assert!(msg.contains("0.5"));
+        assert!(Error::EmptyCandidates.to_string().contains("candidate"));
+        assert!(Error::InvalidRange { lo: 1.0, hi: 0.0 }
+            .to_string()
+            .contains("range"));
+    }
+}

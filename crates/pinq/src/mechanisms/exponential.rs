@@ -1,0 +1,130 @@
+//! The exponential mechanism.
+//!
+//! For queries whose output is a *selection* rather than a number — "which
+//! candidate is best?" — the exponential mechanism (McSherry & Talwar, 2007)
+//! picks candidate `c` with probability proportional to
+//! `exp(ε · q(c) / (2·Δq))`, where `q` is a score function of sensitivity
+//! `Δq`. The engine uses it for `NoisyMedian`, scoring each candidate by how
+//! evenly it splits the data (paper Table 1: the return value partitions the
+//! input into sets whose sizes differ by roughly `√2/ε`).
+
+use crate::error::{Error, Result};
+use crate::rng::NoiseSource;
+
+/// Select an index into `scores` with probability `∝ exp(ε·score/(2·Δ))`.
+///
+/// Implemented with the Gumbel-max trick for numerical stability: adding
+/// independent Gumbel noise to each scaled score and taking the argmax is
+/// distributionally identical to softmax sampling, and never overflows.
+pub fn exponential_mechanism_index(
+    noise: &NoiseSource,
+    scores: &[f64],
+    eps: f64,
+    sensitivity: f64,
+) -> Result<usize> {
+    if scores.is_empty() {
+        return Err(Error::EmptyCandidates);
+    }
+    crate::error::check_epsilon(eps)?;
+    debug_assert!(sensitivity > 0.0);
+    let factor = eps / (2.0 * sensitivity);
+    let mut best = 0usize;
+    let mut best_val = f64::NEG_INFINITY;
+    for (i, &s) in scores.iter().enumerate() {
+        // Gumbel(0,1) sample: -ln(-ln(U)).
+        let u: f64 = noise.uniform().max(f64::MIN_POSITIVE);
+        let g = -(-u.ln()).ln();
+        let v = factor * s + g;
+        if v > best_val {
+            best_val = v;
+            best = i;
+        }
+    }
+    Ok(best)
+}
+
+/// Select one of `candidates` using scores produced by `score`.
+pub fn exponential_mechanism<'a, C>(
+    noise: &NoiseSource,
+    candidates: &'a [C],
+    score: impl Fn(&C) -> f64,
+    eps: f64,
+    sensitivity: f64,
+) -> Result<&'a C> {
+    let scores: Vec<f64> = candidates.iter().map(&score).collect();
+    let idx = exponential_mechanism_index(noise, &scores, eps, sensitivity)?;
+    Ok(&candidates[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_candidates_is_an_error() {
+        let src = NoiseSource::seeded(41);
+        assert_eq!(
+            exponential_mechanism_index(&src, &[], 1.0, 1.0),
+            Err(Error::EmptyCandidates)
+        );
+    }
+
+    #[test]
+    fn invalid_epsilon_is_rejected() {
+        let src = NoiseSource::seeded(43);
+        assert!(exponential_mechanism_index(&src, &[1.0], -1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn high_epsilon_concentrates_on_best_candidate() {
+        let src = NoiseSource::seeded(47);
+        let scores = [0.0, 10.0, 0.0, 0.0];
+        let mut hits = 0;
+        for _ in 0..1000 {
+            if exponential_mechanism_index(&src, &scores, 50.0, 1.0).unwrap() == 1 {
+                hits += 1;
+            }
+        }
+        assert!(hits > 990, "picked best only {hits}/1000 times");
+    }
+
+    #[test]
+    fn low_epsilon_approaches_uniform() {
+        let src = NoiseSource::seeded(53);
+        let scores = [0.0, 10.0];
+        let mut hits = [0usize; 2];
+        for _ in 0..20_000 {
+            hits[exponential_mechanism_index(&src, &scores, 1e-6, 1.0).unwrap()] += 1;
+        }
+        let frac = hits[0] as f64 / 20_000.0;
+        assert!((frac - 0.5).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn sampling_probabilities_follow_softmax() {
+        // Two candidates with score gap d: odds should be exp(eps*d/2).
+        let src = NoiseSource::seeded(59);
+        let eps = 2.0;
+        let scores = [0.0, 1.0];
+        let n = 100_000;
+        let mut second = 0usize;
+        for _ in 0..n {
+            if exponential_mechanism_index(&src, &scores, eps, 1.0).unwrap() == 1 {
+                second += 1;
+            }
+        }
+        let p = second as f64 / n as f64;
+        let expected = (eps / 2.0_f64).exp() / (1.0 + (eps / 2.0_f64).exp());
+        assert!((p - expected).abs() < 0.01, "{p} vs {expected}");
+    }
+
+    #[test]
+    fn generic_wrapper_returns_reference_into_candidates() {
+        let src = NoiseSource::seeded(61);
+        let cands = ["a", "b", "c"];
+        let pick =
+            exponential_mechanism(&src, &cands, |c| if *c == "b" { 100.0 } else { 0.0 }, 10.0, 1.0)
+                .unwrap();
+        assert_eq!(*pick, "b");
+    }
+}

@@ -1,0 +1,97 @@
+//! The two-sided geometric ("discrete Laplace") mechanism.
+//!
+//! For integer-valued queries of sensitivity 1, adding two-sided geometric
+//! noise with parameter `α = exp(-ε)` gives ε-differential privacy while
+//! keeping the output an integer: `Pr[X = k] ∝ α^{|k|}`. The engine exposes
+//! this as an alternative to the Laplace mechanism when the analyst wants an
+//! integral count (e.g. to feed into code that indexes with the result).
+
+use crate::rng::NoiseSource;
+
+/// Draw one sample of two-sided geometric noise for accuracy `eps` at
+/// sensitivity 1: `Pr[X = k] = (1-α)/(1+α) · α^{|k|}` with `α = e^{-ε}`.
+///
+/// Sampling: draw the sign and magnitude via inversion on the folded
+/// distribution. `X = sgn · G` where `G ~ Geometric(1-α)` shifted so that
+/// the two-sided mass at zero is correct.
+pub fn geometric_noise(noise: &NoiseSource, eps: f64) -> i64 {
+    debug_assert!(eps.is_finite() && eps > 0.0);
+    let alpha = (-eps).exp();
+    // P(X = 0) = (1-alpha)/(1+alpha). Otherwise symmetric tails.
+    let u = noise.uniform();
+    let p0 = (1.0 - alpha) / (1.0 + alpha);
+    if u < p0 {
+        return 0;
+    }
+    // Remaining mass split evenly between the two tails. Sample magnitude
+    // k >= 1 with P(k) proportional to alpha^k via inversion.
+    let v = noise.uniform();
+    // P(K >= k | K >= 1) = alpha^{k-1}; invert.
+    let k = 1 + (v.ln() / alpha.ln()).floor() as i64;
+    let sign = if noise.uniform() < 0.5 { -1 } else { 1 };
+    sign * k.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_mass_matches_theory() {
+        let eps = 1.0;
+        let src = NoiseSource::seeded(23);
+        let n = 200_000;
+        let zeros = (0..n).filter(|_| geometric_noise(&src, eps) == 0).count() as f64;
+        let alpha = (-eps as f64).exp();
+        let expected = (1.0 - alpha) / (1.0 + alpha);
+        let got = zeros / n as f64;
+        assert!((got - expected).abs() < 0.01, "P(0): {got} vs {expected}");
+    }
+
+    #[test]
+    fn symmetric_around_zero() {
+        let src = NoiseSource::seeded(29);
+        let n = 100_000;
+        let sum: i64 = (0..n).map(|_| geometric_noise(&src, 0.5)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn magnitude_distribution_decays_geometrically() {
+        // P(|X| = k+1) / P(|X| = k) = alpha for k >= 1.
+        let eps = 0.7;
+        let alpha = (-eps as f64).exp();
+        let src = NoiseSource::seeded(31);
+        let n = 400_000;
+        let mut counts = [0usize; 6];
+        for _ in 0..n {
+            let k = geometric_noise(&src, eps).unsigned_abs() as usize;
+            if k < counts.len() {
+                counts[k] += 1;
+            }
+        }
+        for k in 1..4 {
+            let ratio = counts[k + 1] as f64 / counts[k] as f64;
+            assert!(
+                (ratio - alpha).abs() < 0.05,
+                "decay at {k}: {ratio} vs {alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn strong_privacy_means_wide_noise() {
+        let src = NoiseSource::seeded(37);
+        let n = 50_000;
+        let spread_strong: f64 = (0..n)
+            .map(|_| geometric_noise(&src, 0.1).abs() as f64)
+            .sum::<f64>()
+            / n as f64;
+        let spread_weak: f64 = (0..n)
+            .map(|_| geometric_noise(&src, 10.0).abs() as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!(spread_strong > 5.0 * spread_weak.max(0.01));
+    }
+}

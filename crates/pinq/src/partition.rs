@@ -1,0 +1,171 @@
+//! Parallel composition: the `Partition` ledger.
+//!
+//! `Partition` splits one protected dataset into disjoint parts keyed by an
+//! arbitrary (data-independent) key set. Because a single record lands in at
+//! most one part, analyses of *different* parts do not compound: the privacy
+//! cost to the source is the **maximum** of the costs to the parts, not their
+//! sum (paper §2.2, Table 1).
+//!
+//! The ledger tracks each part's cumulative spend. When a part's spend grows,
+//! only the increase of the maximum (if any) is forwarded to the source. This
+//! lets an analyst, say, partition packets by destination port and analyze
+//! every port at cost `ε` total, rather than `ε × #ports` — the property the
+//! paper's `cdf2` estimator and frequent-string search rely on.
+
+use crate::charge::ChargeNode;
+use crate::error::Result;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Shared accounting state for the parts of one `Partition` operation.
+#[derive(Debug)]
+pub(crate) struct PartitionLedger {
+    parent: Arc<ChargeNode>,
+    /// Cumulative spend per part.
+    spends: Mutex<Vec<f64>>,
+}
+
+impl PartitionLedger {
+    /// Create a ledger with `parts` children charging through `parent`.
+    pub(crate) fn new(parent: Arc<ChargeNode>, parts: usize) -> Self {
+        PartitionLedger {
+            parent,
+            spends: Mutex::new(vec![0.0; parts]),
+        }
+    }
+
+    fn current_max(spends: &[f64]) -> f64 {
+        spends.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Spend `eps` on behalf of part `index`; forwards only the increase of
+    /// the maximum to the parent, rolling back on parent failure.
+    pub(crate) fn charge_child(&self, index: usize, eps: f64) -> Result<()> {
+        let mut spends = self.spends.lock();
+        let old_max = Self::current_max(&spends);
+        spends[index] += eps;
+        let new_max = Self::current_max(&spends);
+        if new_max > old_max {
+            if let Err(e) = self.parent.charge(new_max - old_max) {
+                spends[index] -= eps;
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Undo a previous `charge_child(index, eps)`, refunding the parent for
+    /// any resulting decrease of the maximum.
+    pub(crate) fn refund_child(&self, index: usize, eps: f64) {
+        let mut spends = self.spends.lock();
+        let old_max = Self::current_max(&spends);
+        spends[index] = (spends[index] - eps).max(0.0);
+        let new_max = Self::current_max(&spends);
+        if new_max < old_max {
+            self.parent.refund(old_max - new_max);
+        }
+    }
+
+    /// Cumulative spend of each part (testing / introspection).
+    #[cfg(test)]
+    pub(crate) fn spends(&self) -> Vec<f64> {
+        self.spends.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Accountant;
+
+    fn ledger(budget: f64, parts: usize) -> (Accountant, PartitionLedger) {
+        let acct = Accountant::new(budget);
+        let parent = Arc::new(ChargeNode::Root(acct.clone()));
+        (acct, PartitionLedger::new(parent, parts))
+    }
+
+    #[test]
+    fn parallel_parts_cost_only_the_max() {
+        let (acct, ledger) = ledger(1.0, 4);
+        for i in 0..4 {
+            ledger.charge_child(i, 0.3).unwrap();
+        }
+        // Four parts each spent 0.3, but the source is charged max = 0.3.
+        assert!((acct.spent() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_spends_on_one_part_accumulate() {
+        let (acct, ledger) = ledger(1.0, 2);
+        ledger.charge_child(0, 0.2).unwrap();
+        ledger.charge_child(0, 0.2).unwrap();
+        assert!((acct.spent() - 0.4).abs() < 1e-12);
+        // The other part can now spend up to 0.4 for free.
+        ledger.charge_child(1, 0.4).unwrap();
+        assert!((acct.spent() - 0.4).abs() < 1e-12);
+        // Going beyond the current max charges the difference.
+        ledger.charge_child(1, 0.1).unwrap();
+        assert!((acct.spent() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parent_failure_rolls_back_child_spend() {
+        let (acct, ledger) = ledger(0.25, 2);
+        ledger.charge_child(0, 0.2).unwrap();
+        // This would raise the max to 0.5, exceeding the 0.25 budget.
+        assert!(ledger.charge_child(1, 0.5).is_err());
+        assert_eq!(ledger.spends(), vec![0.2, 0.0]);
+        assert!((acct.spent() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refund_reduces_parent_only_when_max_drops() {
+        let (acct, ledger) = ledger(1.0, 2);
+        ledger.charge_child(0, 0.4).unwrap();
+        ledger.charge_child(1, 0.3).unwrap();
+        assert!((acct.spent() - 0.4).abs() < 1e-12);
+        // Refunding the non-max part changes nothing upstream.
+        ledger.refund_child(1, 0.3);
+        assert!((acct.spent() - 0.4).abs() < 1e-12);
+        // Refunding the max part drops the parent charge to the new max (0).
+        ledger.refund_child(0, 0.4);
+        assert!(acct.spent().abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_partitions_compose() {
+        // Partition inside a partition: inner ledger charges through an
+        // outer PartitionPart node.
+        let acct = Accountant::new(1.0);
+        let root = Arc::new(ChargeNode::Root(acct.clone()));
+        let outer = Arc::new(PartitionLedger::new(root, 2));
+        let outer_part0 = Arc::new(ChargeNode::PartitionPart {
+            ledger: outer.clone(),
+            index: 0,
+        });
+        let inner = PartitionLedger::new(outer_part0, 3);
+        for i in 0..3 {
+            inner.charge_child(i, 0.5).unwrap();
+        }
+        // Inner parts are parallel (max 0.5), outer parts parallel again.
+        assert!((acct.spent() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_child_charges_are_consistent() {
+        let (acct, ledger) = ledger(100.0, 8);
+        let ledger = Arc::new(ledger);
+        std::thread::scope(|s| {
+            for i in 0..8 {
+                let ledger = ledger.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        ledger.charge_child(i, 0.01).unwrap();
+                    }
+                });
+            }
+        });
+        // Every part spent exactly 1.0, so the source owes exactly 1.0.
+        assert!((acct.spent() - 1.0).abs() < 1e-9);
+    }
+}

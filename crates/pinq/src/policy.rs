@@ -1,0 +1,238 @@
+//! Data-owner budget policies (paper §7).
+//!
+//! Differential privacy composes: two analyses with costs c₁ and c₂ cost at
+//! most c₁ + c₂ in total, so a data owner "can enforce various policies
+//! such as limiting the total privacy cost per analyst or across all
+//! analysts. They can also reduce privacy cost (i.e., increase ε) with time
+//! such that the data is available longer but the added noise increases
+//! with time." This module packages both:
+//!
+//! * [`SessionManager`] — one dataset, many analysts. Each session charges
+//!   *both* the analyst's personal cap and the dataset-wide budget, so a
+//!   single analyst is limited even if alone, and no coalition can exceed
+//!   the global budget (differential privacy is resilient to collusion:
+//!   the combined knowledge of all analysts is bounded by the sum of their
+//!   spends, hence by the global budget).
+//! * [`TimedRelease`] — a drip policy that grants additional ε to an
+//!   accountant as (logical) epochs pass.
+
+use crate::budget::Accountant;
+use crate::queryable::Queryable;
+use crate::rng::NoiseSource;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Owner-side registry mediating one protected dataset for many analysts.
+pub struct SessionManager<T> {
+    records: Arc<Vec<T>>,
+    noise: NoiseSource,
+    global: Accountant,
+    per_analyst_cap: f64,
+    analysts: Mutex<HashMap<String, Accountant>>,
+}
+
+impl<T> SessionManager<T> {
+    /// Create a manager with a dataset-wide budget and a per-analyst cap.
+    pub fn new(
+        records: Vec<T>,
+        noise: NoiseSource,
+        global_budget: f64,
+        per_analyst_cap: f64,
+    ) -> Self {
+        SessionManager {
+            records: Arc::new(records),
+            noise,
+            global: Accountant::new(global_budget),
+            per_analyst_cap,
+            analysts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The dataset-wide accountant (for owner monitoring).
+    pub fn global(&self) -> &Accountant {
+        &self.global
+    }
+
+    /// The accountant of one analyst, creating it on first use.
+    pub fn analyst_budget(&self, analyst: &str) -> Accountant {
+        self.analysts
+            .lock()
+            .entry(analyst.to_string())
+            .or_insert_with(|| Accountant::new(self.per_analyst_cap))
+            .clone()
+    }
+
+    /// Open a session for `analyst`: a queryable over the shared records
+    /// whose aggregations charge both the analyst's cap and the global
+    /// budget.
+    pub fn session(&self, analyst: &str) -> Queryable<T> {
+        let personal = self.analyst_budget(analyst);
+        Queryable::new_shared(self.records.clone(), &[&self.global, &personal], &self.noise)
+    }
+
+    /// Names of analysts who have opened sessions, with their spends.
+    pub fn ledger(&self) -> Vec<(String, f64)> {
+        let mut out: Vec<(String, f64)> = self
+            .analysts
+            .lock()
+            .iter()
+            .map(|(name, acct)| (name.clone(), acct.spent()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+impl<T> std::fmt::Debug for SessionManager<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionManager")
+            .field("global_spent", &self.global.spent())
+            .field("global_total", &self.global.total())
+            .field("per_analyst_cap", &self.per_analyst_cap)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A drip policy: grant `per_epoch` additional ε to an accountant each time
+/// the (logical) clock advances, up to an optional ceiling.
+///
+/// The trade-off the paper describes: granting more budget over time keeps
+/// old data useful for longer, at the price of more cumulative disclosure.
+#[derive(Debug)]
+pub struct TimedRelease {
+    accountant: Accountant,
+    per_epoch: f64,
+    ceiling: Option<f64>,
+    current_epoch: Mutex<u64>,
+}
+
+impl TimedRelease {
+    /// Create a drip policy over `accountant`, granting `per_epoch` ε per
+    /// epoch, never letting the total exceed `ceiling` (if given).
+    pub fn new(accountant: Accountant, per_epoch: f64, ceiling: Option<f64>) -> Self {
+        assert!(per_epoch.is_finite() && per_epoch >= 0.0);
+        TimedRelease {
+            accountant,
+            per_epoch,
+            ceiling,
+            current_epoch: Mutex::new(0),
+        }
+    }
+
+    /// Advance the logical clock to `epoch`, granting for every epoch that
+    /// passed. Idempotent for equal or earlier epochs.
+    pub fn advance_to(&self, epoch: u64) {
+        let mut cur = self.current_epoch.lock();
+        if epoch <= *cur {
+            return;
+        }
+        let steps = epoch - *cur;
+        *cur = epoch;
+        let mut grant = self.per_epoch * steps as f64;
+        if let Some(cap) = self.ceiling {
+            grant = grant.min((cap - self.accountant.total()).max(0.0));
+        }
+        if grant > 0.0 {
+            self.accountant.grant(grant);
+        }
+    }
+
+    /// The epoch the policy has been advanced to.
+    pub fn epoch(&self) -> u64 {
+        *self.current_epoch.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager() -> SessionManager<u32> {
+        SessionManager::new(
+            (0..1000).collect(),
+            NoiseSource::seeded(7),
+            1.0, // global
+            0.4, // per analyst
+        )
+    }
+
+    #[test]
+    fn personal_caps_bind_before_the_global_budget() {
+        let m = manager();
+        let alice = m.session("alice");
+        alice.noisy_count(0.4).unwrap();
+        // Alice is done for; the dataset is not.
+        assert!(alice.noisy_count(0.1).is_err());
+        let bob = m.session("bob");
+        bob.noisy_count(0.4).unwrap();
+        assert!((m.global().spent() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coalitions_cannot_exceed_the_global_budget() {
+        let m = manager();
+        // Three analysts, 0.4 each, would be 1.2 — but the global budget is
+        // 1.0, so the third is cut short.
+        m.session("a").noisy_count(0.4).unwrap();
+        m.session("b").noisy_count(0.4).unwrap();
+        let c = m.session("c");
+        assert!(c.noisy_count(0.4).is_err());
+        // The failed attempt refunded c's personal budget too.
+        assert_eq!(m.analyst_budget("c").spent(), 0.0);
+        c.noisy_count(0.2).unwrap();
+        assert!((m.global().spent() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sessions_for_the_same_analyst_share_a_cap() {
+        let m = manager();
+        let s1 = m.session("carol");
+        let s2 = m.session("carol");
+        s1.noisy_count(0.3).unwrap();
+        assert!(s2.noisy_count(0.3).is_err());
+        s2.noisy_count(0.1).unwrap();
+        assert!((m.analyst_budget("carol").spent() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_reports_per_analyst_spends() {
+        let m = manager();
+        m.session("zoe").noisy_count(0.2).unwrap();
+        m.session("adam").noisy_count(0.1).unwrap();
+        let ledger = m.ledger();
+        assert_eq!(ledger.len(), 2);
+        assert_eq!(ledger[0].0, "adam");
+        assert!((ledger[0].1 - 0.1).abs() < 1e-12);
+        assert!((ledger[1].1 - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timed_release_drips_budget() {
+        let acct = Accountant::new(0.1);
+        let policy = TimedRelease::new(acct.clone(), 0.05, Some(0.3));
+        acct.charge(0.1).unwrap();
+        assert!(acct.charge(0.05).is_err());
+
+        policy.advance_to(1);
+        acct.charge(0.05).unwrap();
+
+        // Jumping several epochs grants for each, up to the ceiling.
+        policy.advance_to(10);
+        assert!((acct.total() - 0.3).abs() < 1e-12, "total {}", acct.total());
+
+        // Re-advancing to the past or present grants nothing.
+        policy.advance_to(5);
+        policy.advance_to(10);
+        assert!((acct.total() - 0.3).abs() < 1e-12);
+        assert_eq!(policy.epoch(), 10);
+    }
+
+    #[test]
+    fn timed_release_without_ceiling_grows_unbounded() {
+        let acct = Accountant::new(0.0);
+        let policy = TimedRelease::new(acct.clone(), 1.0, None);
+        policy.advance_to(100);
+        assert!((acct.total() - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,88 @@
+//! Record types produced by grouping transformations.
+
+/// A group of records sharing a key, produced by
+/// [`Queryable::group_by`](crate::Queryable::group_by).
+///
+/// A `Group` is a *single record* of the transformed dataset: aggregations
+/// over grouped data count groups, not members, which is exactly what caps
+/// the privacy impact of large groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group<K, T> {
+    /// The grouping key.
+    pub key: K,
+    /// Members of the group, in input order.
+    pub items: Vec<T>,
+}
+
+impl<K, T> Group<K, T> {
+    /// Number of member records.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the group has no members (cannot occur for groups produced
+    /// by `group_by`, but can for user-constructed groups).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// One output record of [`Queryable::join`](crate::Queryable::join).
+///
+/// PINQ's `Join` is not a standard equijoin: both inputs are grouped by the
+/// join key first, and the output contains one record per key holding the
+/// *entire* matched groups. However large the groups, the pair counts as a
+/// single record in subsequent aggregations, which is what makes the join
+/// compatible with differential privacy (paper §2.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinGroup<K, L, R> {
+    /// The join key.
+    pub key: K,
+    /// All left-input records with this key.
+    pub left: Vec<L>,
+    /// All right-input records with this key.
+    pub right: Vec<R>,
+}
+
+impl<K, L, R> JoinGroup<K, L, R> {
+    /// Apply a function to every (left, right) pair, as a convenience for
+    /// analyses that conceptually want equijoin semantics within the
+    /// privacy-bounded pair-of-groups representation.
+    pub fn pairs<'a>(&'a self) -> impl Iterator<Item = (&'a L, &'a R)> + 'a {
+        self.left
+            .iter()
+            .flat_map(move |l| self.right.iter().map(move |r| (l, r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_len_and_empty() {
+        let g = Group {
+            key: 1u8,
+            items: vec!["a", "b"],
+        };
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_empty());
+        let e: Group<u8, &str> = Group {
+            key: 2,
+            items: vec![],
+        };
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn join_pairs_is_cartesian_within_key() {
+        let j = JoinGroup {
+            key: 0u8,
+            left: vec![1, 2],
+            right: vec![10, 20, 30],
+        };
+        let pairs: Vec<(i32, i32)> = j.pairs().map(|(l, r)| (*l, *r)).collect();
+        assert_eq!(pairs.len(), 6);
+        assert!(pairs.contains(&(2, 30)));
+    }
+}

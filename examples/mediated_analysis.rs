@@ -1,0 +1,85 @@
+//! Full mediated-trace-analysis scenario: owner and analyst as separate
+//! roles, with the trace persisted to the binary format in between.
+//!
+//! 1. The *owner* captures a trace, writes it to disk, and later loads it
+//!    behind a `Queryable` with a fixed total budget.
+//! 2. The *analyst* submits a session of diverse queries — distributions,
+//!    flow statistics, an anomaly-style count matrix — until the budget
+//!    refuses further questions.
+//!
+//! Run with: `cargo run --release --example mediated_analysis`
+
+use dpnet::analyses::flow_stats::rtt_cdf;
+use dpnet::analyses::packet_dist::packet_length_cdf;
+use dpnet::pinq::{Accountant, Error, NoiseSource, Queryable};
+use dpnet::trace::format::{read_trace, write_trace};
+use dpnet::trace::gen::hotspot::{generate, HotspotConfig};
+
+fn main() {
+    // ---- owner: capture and persist ---------------------------------------
+    let captured = generate(HotspotConfig {
+        web_flows: 800,
+        ..HotspotConfig::default()
+    });
+    let mut file = Vec::new(); // stands in for a file on the owner's disk
+    write_trace(&mut file, &captured.packets).expect("serialization succeeds");
+    println!(
+        "owner: persisted {} packets ({} bytes on disk)",
+        captured.packets.len(),
+        file.len()
+    );
+
+    // ---- owner: load and protect ------------------------------------------
+    let packets = read_trace(&file[..]).expect("well-formed trace file");
+    let budget = Accountant::new(2.0); // session policy: total ε = 2
+    let noise = NoiseSource::from_entropy(); // deployed services use fresh entropy
+    let q = Queryable::new(packets, &budget, &noise);
+
+    // ---- analyst session ----------------------------------------------------
+    // Query 1: packet length distribution (costs 0.5).
+    let lengths = packet_length_cdf(&q, 1500, 50, 0.5).expect("within budget");
+    let total = lengths.cdf.last().copied().unwrap_or(0.0);
+    println!("analyst: length CDF over {} buckets, ≈{total:.0} packets total", lengths.cdf.len());
+
+    // Query 2: RTT distribution (the join costs 2 × 0.25).
+    let rtts = rtt_cdf(&q, 600, 20, 0.25).expect("within budget");
+    println!(
+        "analyst: RTT CDF over {} buckets, ≈{:.0} handshakes",
+        rtts.cdf.len(),
+        rtts.cdf.last().copied().unwrap_or(0.0)
+    );
+
+    // Query 3: traffic volume by port bucket over time (nested partition —
+    // the whole matrix costs one 0.5).
+    let ports = vec![80u16, 443, 22];
+    let minutes: Vec<u64> = (0..10).collect();
+    let by_port = q.partition(&ports, |p| p.dst_port);
+    let mut matrix = Vec::new();
+    for part in &by_port {
+        let by_minute = part.partition(&minutes, |p| p.ts_us / 60_000_000);
+        let row: Vec<f64> = by_minute
+            .iter()
+            .map(|cell| cell.noisy_count(0.5).expect("parallel composition"))
+            .collect();
+        matrix.push(row);
+    }
+    println!("analyst: 3×10 port/minute volume matrix measured for one 0.5 charge");
+    for (port, row) in ports.iter().zip(&matrix) {
+        let head: Vec<String> = row.iter().take(5).map(|v| format!("{v:>7.0}")).collect();
+        println!("  port {port:>4}: {} …", head.join(" "));
+    }
+
+    println!(
+        "budget: spent {:.2} of {:.2}",
+        budget.spent(),
+        budget.total()
+    );
+
+    // Query 4: one query too many.
+    match q.noisy_count(budget.remaining() + 0.1) {
+        Err(Error::BudgetExceeded { available, .. }) => {
+            println!("analyst: next query refused — only ε={available:.2} remains. Session over.")
+        }
+        other => panic!("expected refusal, got {other:?}"),
+    }
+}

@@ -1,0 +1,76 @@
+//! Passive topology mapping under differential privacy (paper §5.3.2).
+//!
+//! Clusters IP addresses by hop-count vectors to 38 monitors with DP
+//! k-means, comparing the objective trajectory against the non-private
+//! baseline at two privacy levels — and against the pricier Gaussian-EM
+//! variant, illustrating the algorithmic-complexity-vs-privacy-cost
+//! trade-off.
+//!
+//! Run with: `cargo run --release --example topology_mapping`
+
+use dpnet::analyses::topology::{private_topology_clusters, TopologyConfig};
+use dpnet::pinq::{Accountant, NoiseSource, Queryable};
+use dpnet::toolkit::kmeans::{clustering_rmse, kmeans_baseline, random_centers};
+use dpnet::trace::gen::scatter::{generate, ScatterConfig};
+
+fn main() {
+    let trace = generate(ScatterConfig {
+        ips: 8000,
+        ..ScatterConfig::default()
+    });
+    println!(
+        "IPscatter: {} observations of {} IPs from {} monitors, {} planted clusters",
+        trace.records.len(),
+        trace.ip_cluster.len(),
+        trace.monitors,
+        trace.centers.len()
+    );
+
+    let exact_vectors: Vec<Vec<f64>> = trace
+        .vectors_mean_imputed()
+        .into_iter()
+        .map(|(_, v)| v)
+        .collect();
+    let init = random_centers(9, 38, 5.0, 25.0, 7);
+    let iterations = 10;
+
+    let baseline = kmeans_baseline(&exact_vectors, iterations, init.clone());
+    println!(
+        "\nnoise-free k-means: objective {:.2} → {:.2}",
+        clustering_rmse(&exact_vectors, &baseline.centers[0]),
+        clustering_rmse(&exact_vectors, baseline.last()),
+    );
+
+    for (label, eps, em) in [
+        ("DP k-means, ε=0.1/iter", 0.1, false),
+        ("DP k-means, ε=10/iter ", 10.0, false),
+        ("Gaussian EM, ε=10/iter", 10.0, true),
+    ] {
+        let budget = Accountant::new(1e6);
+        let noise = NoiseSource::seeded(99);
+        let q = Queryable::new(trace.records.clone(), &budget, &noise);
+        let traj = private_topology_clusters(
+            &q,
+            &TopologyConfig {
+                iterations,
+                eps_per_iteration: eps,
+                gaussian_em: em,
+                ..TopologyConfig::default()
+            },
+            init.clone(),
+        )
+        .expect("budget is ample");
+        println!(
+            "{label}: objective {:.2} → {:.2}   (privacy cost {:.1})",
+            clustering_rmse(&exact_vectors, &traj.centers[0]),
+            clustering_rmse(&exact_vectors, traj.last()),
+            budget.spent(),
+        );
+    }
+
+    println!(
+        "\nthe paper's Figure 5 shape: strong privacy converges to a visibly worse\n\
+         objective; weak privacy matches the noise-free run; Gaussian EM pays for\n\
+         its extra moment query with a worse result at the same per-iteration ε"
+    );
+}

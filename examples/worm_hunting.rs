@@ -1,0 +1,69 @@
+//! Worm fingerprinting over a protected trace (paper §5.1.2).
+//!
+//! Shows the two-stage private pipeline — spell out frequent payloads, then
+//! check their dispersion — against the exact scan a data owner could run
+//! themselves, at a strong and a weak privacy level.
+//!
+//! Run with: `cargo run --release --example worm_hunting`
+
+use dpnet::analyses::worm::{worm_fingerprints, worm_fingerprints_exact, WormConfig};
+use dpnet::pinq::{Accountant, NoiseSource, Queryable};
+use dpnet::trace::gen::hotspot::{generate, HotspotConfig};
+use std::collections::HashSet;
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02X}")).collect()
+}
+
+fn main() {
+    let trace = generate(HotspotConfig {
+        web_flows: 800,
+        worms_above_threshold: 12,
+        worms_below_threshold: 6,
+        ..HotspotConfig::default()
+    });
+    println!("trace: {} packets, {} planted worm payloads", trace.packets.len(), trace.truth.worms.len());
+
+    // The owner's own exact scan (ground truth): dispersion > 50 both ways.
+    let exact = worm_fingerprints_exact(&trace.packets, 8, 50, 50);
+    println!("exact scan: {} high-dispersion signatures\n", exact.len());
+    let exact_set: HashSet<&Vec<u8>> = exact.iter().collect();
+
+    for eps in [0.5, 10.0] {
+        let budget = Accountant::new(1e6);
+        let noise = NoiseSource::seeded(0xbeef);
+        let packets = Queryable::new(trace.packets.clone(), &budget, &noise);
+        let found = worm_fingerprints(
+            &packets,
+            &WormConfig {
+                eps,
+                presence_threshold: 50.0,
+                ..WormConfig::default()
+            },
+        )
+        .expect("budget is ample");
+
+        let recovered = found
+            .iter()
+            .filter(|f| exact_set.contains(&f.payload))
+            .count();
+        println!(
+            "ε = {eps}: reported {} signatures, {} of {} real ones (cost {:.1} ε-units)",
+            found.len(),
+            recovered,
+            exact.len(),
+            budget.spent()
+        );
+        for f in found.iter().take(5) {
+            println!(
+                "  {}  srcs≈{:>6.1} dsts≈{:>6.1} presence≈{:>8.1}",
+                hex(&f.payload),
+                f.distinct_sources,
+                f.distinct_destinations,
+                f.presence
+            );
+        }
+        println!();
+    }
+    println!("strong privacy misses low-presence signatures; weak privacy recovers all — the paper's §5.1.2 trade-off");
+}

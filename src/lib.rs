@@ -1,0 +1,54 @@
+//! # dpnet — differentially-private network trace analysis
+//!
+//! A from-scratch Rust reproduction of *McSherry & Mahajan,
+//! "Differentially-Private Network Trace Analysis" (SIGCOMM 2010)*: a
+//! PINQ-style ε-differentially-private query engine, a network-trace
+//! substrate with synthetic stand-ins for the paper's proprietary datasets,
+//! the paper's privacy-efficient analysis toolkit, and its six network
+//! analyses — each with a noise-free baseline and an experiment harness
+//! regenerating every table and figure.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! * [`pinq`] — the query engine: [`pinq::Queryable`],
+//!   [`pinq::Accountant`], noise mechanisms, budget composition.
+//! * [`trace`] (`dpnet-trace`) — packet/flow model, binary trace format,
+//!   dataset generators.
+//! * [`toolkit`] (`dpnet-toolkit`) — CDF estimators, frequent strings,
+//!   itemset mining, DP k-means, PCA.
+//! * [`analyses`] (`dpnet-analyses`) — the §5 analyses.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dpnet::pinq::{Accountant, NoiseSource, Queryable};
+//! use dpnet::trace::gen::hotspot::{generate, HotspotConfig};
+//!
+//! // Data owner: generate (or load) a trace and set a privacy budget.
+//! let trace = generate(HotspotConfig { web_flows: 50, ..Default::default() });
+//! let budget = Accountant::new(1.0);
+//! let noise = NoiseSource::seeded(42);
+//! let packets = Queryable::new(trace.packets, &budget, &noise);
+//!
+//! // Analyst: the paper's §2.3 query — distinct hosts sending >1 KB to
+//! // port 80 — at accuracy ε = 0.1.
+//! let heavy = packets
+//!     .filter(|p| p.dst_port == 80)
+//!     .group_by(|p| p.src_ip)
+//!     .filter(|g| g.items.iter().map(|p| p.len as u64).sum::<u64>() > 1024)
+//!     .noisy_count(0.1)
+//!     .unwrap();
+//! assert!(heavy.is_finite());
+//! assert!(budget.spent() > 0.0);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/dpnet-bench` for the per-table/figure experiment harness.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use dpnet_analyses as analyses;
+pub use dpnet_toolkit as toolkit;
+pub use dpnet_trace as trace;
+pub use pinq;

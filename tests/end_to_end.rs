@@ -1,0 +1,104 @@
+//! Cross-crate integration tests: the full owner → format → engine →
+//! analysis pipeline.
+
+use dpnet::analyses::example_s23::{heavy_hosts_to_port, heavy_hosts_to_port_exact};
+use dpnet::analyses::flow_stats::{rtt_cdf, rtt_cdf_exact};
+use dpnet::analyses::packet_dist::{packet_length_cdf, packet_length_cdf_exact};
+use dpnet::pinq::{Accountant, NoiseSource, Queryable};
+use dpnet::toolkit::stats::relative_rmse;
+use dpnet::trace::format::{read_trace, write_trace};
+use dpnet::trace::gen::hotspot::{generate, HotspotConfig};
+
+fn small_trace() -> dpnet::trace::gen::hotspot::HotspotTrace {
+    generate(HotspotConfig {
+        web_flows: 300,
+        worms_above_threshold: 2,
+        worms_below_threshold: 1,
+        stepping_stone_pairs: 2,
+        interactive_decoys: 2,
+        itemset_hosts: 20,
+        ..HotspotConfig::default()
+    })
+}
+
+#[test]
+fn persisted_trace_analyzes_identically() {
+    // Serialize, reload, and verify a seeded analysis gives identical
+    // results on both copies.
+    let trace = small_trace();
+    let mut file = Vec::new();
+    write_trace(&mut file, &trace.packets).unwrap();
+    let reloaded = read_trace(&file[..]).unwrap();
+    assert_eq!(reloaded, trace.packets);
+
+    let run = |packets: Vec<dpnet::trace::Packet>| -> f64 {
+        let budget = Accountant::new(10.0);
+        let noise = NoiseSource::seeded(77);
+        let q = Queryable::new(packets, &budget, &noise);
+        heavy_hosts_to_port(&q, 80, 1024, 0.5).unwrap()
+    };
+    assert_eq!(run(trace.packets), run(reloaded));
+}
+
+#[test]
+fn analysis_results_track_exact_baselines() {
+    let trace = small_trace();
+    let exact_hosts = heavy_hosts_to_port_exact(&trace.packets, 80, 1024);
+    let exact_len = packet_length_cdf_exact(&trace.packets, 1500, 20);
+    let exact_rtt = rtt_cdf_exact(&trace.packets, 600, 20);
+
+    let budget = Accountant::new(100.0);
+    let noise = NoiseSource::seeded(88);
+    let q = Queryable::new(trace.packets, &budget, &noise);
+
+    let hosts = heavy_hosts_to_port(&q, 80, 1024, 1.0).unwrap();
+    assert!((hosts - exact_hosts as f64).abs() < 10.0);
+
+    let len = packet_length_cdf(&q, 1500, 20, 1.0).unwrap();
+    assert!(relative_rmse(&len.cdf, &exact_len) < 0.05);
+
+    let rtt = rtt_cdf(&q, 600, 20, 1.0).unwrap();
+    assert!(relative_rmse(&rtt.cdf, &exact_rtt) < 0.15);
+}
+
+#[test]
+fn budget_is_shared_across_different_analyses() {
+    // Several analyses draw from one dataset budget; the accountant's
+    // ledger must add up exactly and then stop everything.
+    let trace = small_trace();
+    let budget = Accountant::new(3.5);
+    let noise = NoiseSource::seeded(99);
+    let q = Queryable::new(trace.packets, &budget, &noise);
+
+    packet_length_cdf(&q, 1500, 20, 1.0).unwrap(); // 1.0
+    rtt_cdf(&q, 600, 20, 0.5).unwrap(); // 2 × 0.5 (join touches data twice)
+    heavy_hosts_to_port(&q, 80, 1024, 0.5).unwrap(); // 2 × 0.5 (GroupBy)
+    assert!((budget.spent() - 3.0).abs() < 1e-9);
+
+    // The next analysis does not fit; afterwards the remaining 0.5 is
+    // still intact and usable.
+    assert!(rtt_cdf(&q, 600, 20, 0.5).is_err());
+    assert!((budget.spent() - 3.0).abs() < 1e-9, "failed query must refund");
+    q.noisy_count(0.5).unwrap();
+    assert!(q.noisy_count(0.01).is_err());
+}
+
+#[test]
+fn tenth_scale_trace_still_supports_the_pipeline() {
+    let trace = generate(HotspotConfig {
+        web_flows: 30,
+        worms_above_threshold: 1,
+        worms_below_threshold: 0,
+        stepping_stone_pairs: 1,
+        interactive_decoys: 1,
+        itemset_hosts: 5,
+        ..HotspotConfig::default()
+    });
+    let budget = Accountant::new(10.0);
+    let noise = NoiseSource::seeded(111);
+    let q = Queryable::new(trace.packets.clone(), &budget, &noise);
+    let exact = packet_length_cdf_exact(&trace.packets, 1500, 50);
+    let cdf = packet_length_cdf(&q, 1500, 50, 1.0).unwrap();
+    // Noisier than the full trace, but still tracks the truth.
+    assert!(relative_rmse(&cdf.cdf, &exact) < 0.25);
+}

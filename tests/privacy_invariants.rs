@@ -1,0 +1,173 @@
+//! Property-based tests of the privacy accounting invariants, driven
+//! through the public API only.
+//!
+//! The central claims under test:
+//!
+//! 1. **No overspend, ever** — whatever sequence of transformations and
+//!    aggregations runs, the accountant never reports more spent than the
+//!    configured budget.
+//! 2. **Failed operations are free** — a refused aggregation leaves the
+//!    ledger exactly where it was.
+//! 3. **Parallel composition** — spends on disjoint partition parts cost
+//!    the maximum, not the sum.
+//! 4. **Stability arithmetic** — chains of GroupBy/SelectMany multiply
+//!    costs exactly as documented.
+
+use dpnet::pinq::{Accountant, NoiseSource, Queryable};
+use proptest::prelude::*;
+
+/// One step of an analyst session, generated randomly.
+#[derive(Debug, Clone)]
+enum Op {
+    Count(f64),
+    Sum(f64),
+    GroupThenCount(f64),
+    PartitionCounts { eps: f64, parts: u8 },
+    Median(f64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let eps = 0.01f64..2.0;
+    prop_oneof![
+        eps.clone().prop_map(Op::Count),
+        eps.clone().prop_map(Op::Sum),
+        eps.clone().prop_map(Op::GroupThenCount),
+        (eps.clone(), 1u8..6).prop_map(|(eps, parts)| Op::PartitionCounts { eps, parts }),
+        eps.prop_map(Op::Median),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_sessions_never_oversubscribe(
+        ops in prop::collection::vec(op_strategy(), 1..25),
+        budget in 0.1f64..5.0,
+        seed in 0u64..1000,
+    ) {
+        let acct = Accountant::new(budget);
+        let noise = NoiseSource::seeded(seed);
+        let data: Vec<u32> = (0..500).collect();
+        let q = Queryable::new(data, &acct, &noise);
+
+        for op in ops {
+            let before = acct.spent();
+            let outcome = match op {
+                Op::Count(eps) => q.noisy_count(eps).map(|_| ()),
+                Op::Sum(eps) => q.noisy_sum(eps, |&x| x as f64 / 500.0).map(|_| ()),
+                Op::GroupThenCount(eps) => {
+                    q.group_by(|&x| x % 7).noisy_count(eps).map(|_| ())
+                }
+                Op::PartitionCounts { eps, parts } => {
+                    let keys: Vec<u32> = (0..parts as u32).collect();
+                    let pieces = q.partition(&keys, move |&x| x % parts as u32);
+                    let mut res = Ok(());
+                    for p in &pieces {
+                        if let Err(e) = p.noisy_count(eps) {
+                            res = Err(e);
+                            break;
+                        }
+                    }
+                    res
+                }
+                Op::Median(eps) => {
+                    q.noisy_median(eps, 0.0, 500.0, 50, |&x| x as f64).map(|_| ())
+                }
+            };
+            let after = acct.spent();
+            // Invariant 1: never beyond the budget.
+            prop_assert!(after <= budget + 1e-9, "spent {after} > budget {budget}");
+            // Invariant: spending is monotone within a session.
+            prop_assert!(after + 1e-12 >= before);
+            // Invariant 2 (approximate form): a failed op charges nothing
+            // for single-shot aggregations. (Partition sequences may keep
+            // earlier successful parts, which is correct behaviour.)
+            if outcome.is_err() {
+                if !matches!(op, Op::PartitionCounts { .. }) {
+                    prop_assert!((after - before).abs() < 1e-9,
+                        "failed op changed the ledger: {before} → {after}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_costs_the_maximum(
+        eps_per_part in prop::collection::vec(0.01f64..0.5, 2..6),
+        seed in 0u64..1000,
+    ) {
+        let acct = Accountant::new(100.0);
+        let noise = NoiseSource::seeded(seed);
+        let data: Vec<u32> = (0..100).collect();
+        let q = Queryable::new(data, &acct, &noise);
+        let keys: Vec<u32> = (0..eps_per_part.len() as u32).collect();
+        let n = eps_per_part.len() as u32;
+        let parts = q.partition(&keys, move |&x| x % n);
+        for (part, &eps) in parts.iter().zip(&eps_per_part) {
+            part.noisy_count(eps).unwrap();
+        }
+        let expected: f64 = eps_per_part.iter().cloned().fold(0.0, f64::max);
+        prop_assert!((acct.spent() - expected).abs() < 1e-9,
+            "spent {} expected max {}", acct.spent(), expected);
+    }
+
+    #[test]
+    fn stability_chains_multiply(
+        eps in 0.01f64..0.5,
+        groups in 1u8..4,
+        seed in 0u64..1000,
+    ) {
+        let acct = Accountant::new(1e6);
+        let noise = NoiseSource::seeded(seed);
+        let data: Vec<u32> = (0..64).collect();
+        let mut q = Queryable::new(data, &acct, &noise)
+            .map(|&x| x); // identity keeps the type simple
+        for level in 0..groups {
+            q = q
+                .group_by(move |&x| x.wrapping_shr(level as u32) & 1)
+                .map(|g| g.items.len() as u32);
+        }
+        q.noisy_count(eps).unwrap();
+        let expected = eps * 2f64.powi(groups as i32);
+        prop_assert!((acct.spent() - expected).abs() < 1e-9,
+            "spent {} expected {}", acct.spent(), expected);
+    }
+
+    #[test]
+    fn noisy_counts_are_centered_on_truth(
+        n in 1usize..2000,
+        eps in 0.5f64..5.0,
+        seed in 0u64..100,
+    ) {
+        // A single draw lies within 20/eps of the truth with overwhelming
+        // probability (Laplace tail: P(|X| > 20/ε · ε) = e⁻²⁰/2).
+        let acct = Accountant::new(1e9);
+        let noise = NoiseSource::seeded(seed);
+        let q = Queryable::new(vec![0u8; n], &acct, &noise);
+        let c = q.noisy_count(eps).unwrap();
+        prop_assert!((c - n as f64).abs() < 20.0 / eps,
+            "count {c} too far from {n} at eps {eps}");
+    }
+
+    #[test]
+    fn select_many_truncation_bounds_influence(
+        fanout in 1usize..6,
+        produced in 0usize..12,
+        seed in 0u64..100,
+    ) {
+        // However many items the closure produces, the output count is at
+        // most fanout × n and cost scales with the declared fanout.
+        let acct = Accountant::new(1e6);
+        let noise = NoiseSource::seeded(seed);
+        let n = 50usize;
+        let q = Queryable::new(vec![7u8; n], &acct, &noise);
+        let expanded = q.select_many(fanout, |_| vec![1u8; produced]).unwrap();
+        let eps = 0.3;
+        let c = expanded.noisy_count(eps).unwrap();
+        let true_out = n * produced.min(fanout);
+        prop_assert!((c - true_out as f64).abs() < 60.0,
+            "count {c} vs truncated truth {true_out}");
+        prop_assert!((acct.spent() - eps * fanout as f64).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,94 @@
+//! Determinism guarantees: seeded generators and seeded noise make whole
+//! experiment pipelines bit-for-bit reproducible, which the harness (and
+//! EXPERIMENTS.md) relies on.
+
+use dpnet::pinq::{Accountant, NoiseSource, Queryable};
+use dpnet::toolkit::cdf::cdf_partition;
+use dpnet::trace::gen::hotspot::{generate, HotspotConfig};
+use dpnet::trace::gen::isp::{self, IspConfig};
+use dpnet::trace::gen::scatter::{self, ScatterConfig};
+
+fn cfg() -> HotspotConfig {
+    HotspotConfig {
+        web_flows: 120,
+        worms_above_threshold: 2,
+        worms_below_threshold: 1,
+        stepping_stone_pairs: 1,
+        interactive_decoys: 1,
+        itemset_hosts: 8,
+        ..HotspotConfig::default()
+    }
+}
+
+#[test]
+fn hotspot_generation_is_bit_reproducible() {
+    let a = generate(cfg());
+    let b = generate(cfg());
+    assert_eq!(a.packets, b.packets);
+    assert_eq!(a.truth.payload_counts, b.truth.payload_counts);
+    assert_eq!(a.truth.worms.len(), b.truth.worms.len());
+}
+
+#[test]
+fn different_seeds_give_different_traces() {
+    let a = generate(cfg());
+    let b = generate(HotspotConfig {
+        seed: cfg().seed + 1,
+        ..cfg()
+    });
+    assert_ne!(a.packets, b.packets);
+}
+
+#[test]
+fn isp_and_scatter_generators_are_reproducible() {
+    let i1 = isp::generate(IspConfig {
+        links: 20,
+        windows: 48,
+        ..IspConfig::default()
+    });
+    let i2 = isp::generate(IspConfig {
+        links: 20,
+        windows: 48,
+        ..IspConfig::default()
+    });
+    assert_eq!(i1.volumes, i2.volumes);
+
+    let s1 = scatter::generate(ScatterConfig {
+        ips: 500,
+        ..ScatterConfig::default()
+    });
+    let s2 = scatter::generate(ScatterConfig {
+        ips: 500,
+        ..ScatterConfig::default()
+    });
+    assert_eq!(s1.records, s2.records);
+}
+
+#[test]
+fn seeded_private_pipelines_release_identical_values() {
+    let trace = generate(cfg());
+    let run = || -> Vec<f64> {
+        let budget = Accountant::new(10.0);
+        let noise = NoiseSource::seeded(0xDE7E12);
+        let q = Queryable::new(trace.packets.clone(), &budget, &noise);
+        let values = q.map(|p| (p.len / 100) as usize);
+        cdf_partition(&values, 16, 0.5).unwrap()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn noise_seed_changes_only_the_noise() {
+    let trace = generate(cfg());
+    let run = |seed: u64| -> f64 {
+        let budget = Accountant::new(10.0);
+        let noise = NoiseSource::seeded(seed);
+        let q = Queryable::new(trace.packets.clone(), &budget, &noise);
+        q.noisy_count(1.0).unwrap()
+    };
+    let a = run(1);
+    let b = run(2);
+    assert_ne!(a, b, "different noise seeds must perturb differently");
+    // But both stay within plausible noise of each other.
+    assert!((a - b).abs() < 40.0);
+}
