@@ -14,8 +14,8 @@
 //! unnoticed" — the paper reports relative RMSE 0.17% at ε = 0.1, with all
 //! four curves of Figure 4 indistinguishable.
 
-use dpnet_trace::gen::isp::LinkPacket;
 use dpnet_toolkit::linalg::{pca_residual_norms, Matrix};
+use dpnet_trace::gen::isp::LinkPacket;
 use pinq::{Queryable, Result};
 
 /// Configuration for the private anomaly detection.
@@ -120,8 +120,8 @@ pub fn flag_anomalies(norms: &[f64], k_sigma: f64) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dpnet_trace::gen::isp::{generate, IspConfig};
     use dpnet_toolkit::stats::relative_rmse;
+    use dpnet_trace::gen::isp::{generate, IspConfig};
     use pinq::{Accountant, NoiseSource};
 
     fn small_cfg() -> IspConfig {
@@ -159,9 +159,9 @@ mod tests {
         assert!((acct.spent() - 0.1).abs() < 1e-9, "spent {}", acct.spent());
         // Cells are within Laplace(1/0.1) noise of the true volumes.
         let mut max_err: f64 = 0.0;
-        for l in 0..30 {
-            for w in 0..96 {
-                max_err = max_err.max((m[l][w] - t.volumes[l][w] as f64).abs());
+        for (row, truth) in m.iter().zip(&t.volumes) {
+            for (got, want) in row.iter().zip(truth) {
+                max_err = max_err.max((got - *want as f64).abs());
             }
         }
         assert!(max_err < 150.0, "max cell error {max_err}");

@@ -24,9 +24,9 @@
 //!    contributes to every server/pair it contains, at stability
 //!    × fan-out), and rules are scored from those.
 
-use dpnet_trace::Packet;
 use dpnet_toolkit::freqstrings::{frequent_strings, FrequentStringsConfig};
 use dpnet_toolkit::itemsets::{frequent_itemsets, ItemsetConfig};
+use dpnet_trace::Packet;
 use pinq::{Queryable, Result};
 use std::collections::BTreeSet;
 
@@ -127,8 +127,7 @@ pub fn communication_rules(
     let transactions = outbound
         .group_by(move |p| (p.src_ip, p.ts_us / window))
         .map(|g| -> BTreeSet<u64> {
-            let mut set: BTreeSet<u64> =
-                g.items.iter().map(|p| p.dst_ip as u64).collect();
+            let mut set: BTreeSet<u64> = g.items.iter().map(|p| p.dst_ip as u64).collect();
             set.insert(MARKER_BASE + ((g.key.0 as u64) << 20) + (g.key.1 & 0xfffff));
             set
         });
@@ -165,8 +164,7 @@ pub fn communication_rules(
             .collect()
     })?;
     let single_parts = singles.partition(&universe, |&s| s);
-    let mut single_support: std::collections::HashMap<u64, f64> =
-        std::collections::HashMap::new();
+    let mut single_support: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
     for (&server, part) in universe.iter().zip(&single_parts) {
         single_support.insert(server, part.noisy_count(cfg.eps)?);
     }
@@ -282,8 +280,7 @@ mod tests {
         assert!(!rules.is_empty(), "no rules found");
         let dns = t.truth.dns_server;
         // Some popular server implies the resolver with decent confidence.
-        let dns_rules: Vec<&CommRule> =
-            rules.iter().filter(|r| r.implied == dns).collect();
+        let dns_rules: Vec<&CommRule> = rules.iter().filter(|r| r.implied == dns).collect();
         assert!(
             !dns_rules.is_empty(),
             "no rule implies the resolver; rules: {rules:?}"

@@ -16,8 +16,8 @@
 //! even at the strongest privacy level (Figure 3).
 
 use crate::packet_dist::CdfResult;
-use dpnet_trace::{FlowKey, Packet};
 use dpnet_toolkit::cdf::{cdf_partition, noise_free_cdf};
+use dpnet_trace::{FlowKey, Packet};
 use pinq::{Queryable, Result};
 
 /// Private CDF of handshake RTTs in `bucket_ms`-millisecond buckets over
@@ -34,7 +34,15 @@ pub fn rtt_cdf(
     let synacks = packets.filter(|p| p.flags.is_syn() && p.flags.is_ack());
     let joined = syns.join(
         &synacks,
-        |p| (p.src_ip, p.dst_ip, p.src_port, p.dst_port, p.seq.wrapping_add(1)),
+        |p| {
+            (
+                p.src_ip,
+                p.dst_ip,
+                p.src_port,
+                p.dst_port,
+                p.seq.wrapping_add(1),
+            )
+        },
         |p| (p.dst_ip, p.src_ip, p.dst_port, p.src_port, p.ack),
     );
     // One RTT per matched handshake: earliest SYN to earliest SYN-ACK, the
@@ -70,11 +78,10 @@ pub fn loss_rate_cdf(
         p.proto == dpnet_trace::Proto::Tcp && !p.flags.is_syn() && !p.payload.is_empty()
     });
     let rates = data
-        .group_by(|p| FlowKey::of(p))
+        .group_by(FlowKey::of)
         .filter(move |g| g.items.len() > min_packets)
         .map(move |g| {
-            let distinct: std::collections::HashSet<u32> =
-                g.items.iter().map(|p| p.seq).collect();
+            let distinct: std::collections::HashSet<u32> = g.items.iter().map(|p| p.seq).collect();
             let loss = 1.0 - distinct.len() as f64 / g.items.len() as f64;
             ((loss * resolution as f64).floor() as usize).min(n_buckets - 1)
         });
@@ -131,11 +138,7 @@ pub fn rtt_cdf_exact(packets: &[Packet], max_ms: u64, bucket_ms: u64) -> Vec<f64
 }
 
 /// Noise-free loss-rate CDF with the same bucketing.
-pub fn loss_rate_cdf_exact(
-    packets: &[Packet],
-    resolution: usize,
-    min_packets: usize,
-) -> Vec<f64> {
+pub fn loss_rate_cdf_exact(packets: &[Packet], resolution: usize, min_packets: usize) -> Vec<f64> {
     let n_buckets = resolution + 1;
     let values: Vec<usize> = dpnet_trace::tcp::flow_loss_rates(packets, min_packets)
         .into_iter()
@@ -147,8 +150,8 @@ pub fn loss_rate_cdf_exact(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dpnet_trace::gen::hotspot::{generate, HotspotConfig};
     use dpnet_toolkit::stats::relative_rmse;
+    use dpnet_trace::gen::hotspot::{generate, HotspotConfig};
     use pinq::{Accountant, NoiseSource};
 
     fn trace() -> Vec<Packet> {
@@ -225,7 +228,11 @@ mod tests {
         let exact = loss_rate_cdf_exact(&pkts, 100, 10);
         let total = *exact.last().unwrap();
         assert!(total > 50.0, "too few measured flows: {total}");
-        assert!(exact[0] / total > 0.4, "zero-loss mass {}", exact[0] / total);
+        assert!(
+            exact[0] / total > 0.4,
+            "zero-loss mass {}",
+            exact[0] / total
+        );
     }
 
     #[test]

@@ -21,8 +21,8 @@
 //!   document the inaccuracy rather than hide it.
 
 use crate::packet_dist::CdfResult;
-use dpnet_trace::Packet;
 use dpnet_toolkit::cdf::{cdf_partition, noise_free_cdf};
+use dpnet_trace::Packet;
 use pinq::{Queryable, Result};
 use std::collections::{HashMap, HashSet};
 
@@ -111,11 +111,7 @@ pub fn edge_loss_cdf(
 /// the score landscape is nearly flat at the top and the release is
 /// unreliable — exactly the paper's point that max/diameter "rely on a
 /// handful of records". Cost: `2ε`.
-pub fn noisy_max_degree(
-    packets: &Queryable<Packet>,
-    max_degree: usize,
-    eps: f64,
-) -> Result<f64> {
+pub fn noisy_max_degree(packets: &Queryable<Packet>, max_degree: usize, eps: f64) -> Result<f64> {
     let degrees = packets.group_by(|p| p.src_ip).map(move |g| {
         let peers: HashSet<u32> = g.items.iter().map(|p| p.dst_ip).collect();
         peers.len().min(max_degree)
@@ -128,11 +124,7 @@ pub fn noisy_max_degree(
 }
 
 /// Exact out-degree CDF with the same bucketing.
-pub fn out_degree_cdf_exact(
-    packets: &[Packet],
-    port: Option<u16>,
-    max_degree: usize,
-) -> Vec<f64> {
+pub fn out_degree_cdf_exact(packets: &[Packet], port: Option<u16>, max_degree: usize) -> Vec<f64> {
     let n_buckets = max_degree + 1;
     let mut peers: HashMap<u32, HashSet<u32>> = HashMap::new();
     for p in packets {
@@ -140,10 +132,7 @@ pub fn out_degree_cdf_exact(
             peers.entry(p.src_ip).or_default().insert(p.dst_ip);
         }
     }
-    let values: Vec<usize> = peers
-        .values()
-        .map(|s| s.len().min(n_buckets - 1))
-        .collect();
+    let values: Vec<usize> = peers.values().map(|s| s.len().min(n_buckets - 1)).collect();
     noise_free_cdf(&values, n_buckets)
 }
 
@@ -159,8 +148,8 @@ pub fn max_degree_exact(packets: &[Packet]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dpnet_trace::gen::hotspot::{generate, HotspotConfig};
     use dpnet_toolkit::stats::relative_rmse;
+    use dpnet_trace::gen::hotspot::{generate, HotspotConfig};
     use pinq::{Accountant, NoiseSource};
 
     fn trace() -> Vec<Packet> {

@@ -7,8 +7,8 @@
 //! ε = 0.1, correctly preserving features like the spikes at 40 and
 //! 1492 bytes.
 
-use dpnet_trace::Packet;
 use dpnet_toolkit::cdf::{cdf_partition, noise_free_cdf};
+use dpnet_trace::Packet;
 use pinq::{Queryable, Result};
 
 /// A CDF estimate paired with its bucketing, for presentation.
@@ -78,8 +78,8 @@ pub fn port_cdf_exact(packets: &[Packet], bucket_width: u64) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dpnet_trace::gen::hotspot::{generate, HotspotConfig};
     use dpnet_toolkit::stats::relative_rmse;
+    use dpnet_trace::gen::hotspot::{generate, HotspotConfig};
     use pinq::{Accountant, NoiseSource};
 
     fn trace() -> Vec<Packet> {
@@ -131,7 +131,10 @@ mod tests {
         let mtu_bucket = 1492 / 4;
         let jump = private.cdf[mtu_bucket] - private.cdf[mtu_bucket - 1];
         let before = private.cdf[mtu_bucket - 1] - private.cdf[mtu_bucket - 2];
-        assert!(jump > 10.0 * before.abs().max(10.0), "jump {jump} vs {before}");
+        assert!(
+            jump > 10.0 * before.abs().max(10.0),
+            "jump {jump} vs {before}"
+        );
     }
 
     #[test]

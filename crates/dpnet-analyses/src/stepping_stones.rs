@@ -28,9 +28,9 @@
 //! non-private implementation (their Perl script; here
 //! [`exact_pair_correlation`]).
 
-use dpnet_trace::{FlowKey, Packet};
-use dpnet_toolkit::itemsets::{frequent_itemsets, ItemsetConfig};
 use dpnet_toolkit::freqstrings::{frequent_strings, FrequentStringsConfig};
+use dpnet_toolkit::itemsets::{frequent_itemsets, ItemsetConfig};
+use dpnet_trace::{FlowKey, Packet};
 use pinq::{Group, Queryable, Result};
 use std::collections::BTreeSet;
 
@@ -106,7 +106,11 @@ pub fn decode_flow(bytes: &[u8]) -> Option<FlowKey> {
 /// Confirm the bucketed activation of one (flow, bucket) group: the last
 /// packet in the bucket's second half with no same-flow packet in the
 /// preceding `t_idle` — checkable entirely within the bucket.
-fn bucket_activation(g: &Group<(FlowKey, u64), Packet>, t_idle_us: u64, shift: u64) -> Option<(FlowKey, u64)> {
+fn bucket_activation(
+    g: &Group<(FlowKey, u64), Packet>,
+    t_idle_us: u64,
+    shift: u64,
+) -> Option<(FlowKey, u64)> {
     let width = 2 * t_idle_us;
     let bucket_start = g.key.1 * width;
     // Times are virtual (possibly shifted); activations report real time.
@@ -169,10 +173,7 @@ pub fn stepping_stones(
             max_viable: 512,
         },
     )?;
-    let flows: Vec<FlowKey> = found
-        .iter()
-        .filter_map(|f| decode_flow(&f.bytes))
-        .collect();
+    let flows: Vec<FlowKey> = found.iter().filter_map(|f| decode_flow(&f.bytes)).collect();
     if flows.len() < 2 {
         return Ok(Vec::new());
     }
@@ -235,7 +236,11 @@ pub fn stepping_stones(
         let both = bins_a.join(&bins_b, |&x| x, |&x| x);
         let n_both = both.noisy_count(cfg.eps)?;
         let n_a = bins_a.noisy_count(cfg.eps)?;
-        let corr = if n_a > 1.0 { (n_both / n_a).clamp(-1.0, 2.0) } else { 0.0 };
+        let corr = if n_a > 1.0 {
+            (n_both / n_a).clamp(-1.0, 2.0)
+        } else {
+            0.0
+        };
         out.push(StonePair {
             flow_a: a,
             flow_b: b,

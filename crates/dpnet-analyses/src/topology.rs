@@ -19,8 +19,8 @@
 //! center) per iteration: ε = 0.1 ends ~50% worse than noise-free, ε = 1 is
 //! close, ε = 10 is nearly identical.
 
-use dpnet_trace::gen::scatter::ScatterRecord;
 use dpnet_toolkit::kmeans::{dp_gaussian_em, dp_kmeans, ClusteringTrajectory, KMeansConfig};
+use dpnet_trace::gen::scatter::ScatterRecord;
 use pinq::{Queryable, Result};
 
 /// Configuration for the private topology-mapping analysis.
@@ -127,8 +127,8 @@ pub fn private_topology_clusters(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dpnet_trace::gen::scatter::{generate, ScatterConfig};
     use dpnet_toolkit::kmeans::{clustering_rmse, kmeans_baseline, random_centers};
+    use dpnet_trace::gen::scatter::{generate, ScatterConfig};
     use pinq::{Accountant, NoiseSource};
 
     fn scatter() -> dpnet_trace::gen::scatter::ScatterTrace {
@@ -145,10 +145,7 @@ mod tests {
         }
     }
 
-    fn protect(
-        records: Vec<ScatterRecord>,
-        seed: u64,
-    ) -> (Accountant, Queryable<ScatterRecord>) {
+    fn protect(records: Vec<ScatterRecord>, seed: u64) -> (Accountant, Queryable<ScatterRecord>) {
         let acct = Accountant::new(1_000_000.0);
         let noise = NoiseSource::seeded(seed);
         (acct.clone(), Queryable::new(records, &acct, &noise))
@@ -158,14 +155,17 @@ mod tests {
     fn monitor_averages_match_truth() {
         let t = scatter();
         let (_, q) = protect(t.records.clone(), 121);
-        let avgs = private_monitor_averages(&q, &TopologyConfig {
-            eps_averages: 1.0,
-            ..cfg()
-        })
+        let avgs = private_monitor_averages(
+            &q,
+            &TopologyConfig {
+                eps_averages: 1.0,
+                ..cfg()
+            },
+        )
         .unwrap();
         assert_eq!(avgs.len(), 38);
         // Exact per-monitor means.
-        for m in 0..38 {
+        for (m, avg) in avgs.iter().enumerate() {
             let vals: Vec<f64> = t
                 .records
                 .iter()
@@ -173,11 +173,7 @@ mod tests {
                 .map(|r| r.hops as f64)
                 .collect();
             let exact = vals.iter().sum::<f64>() / vals.len() as f64;
-            assert!(
-                (avgs[m] - exact).abs() < 1.0,
-                "monitor {m}: {} vs {exact}",
-                avgs[m]
-            );
+            assert!((avg - exact).abs() < 1.0, "monitor {m}: {avg} vs {exact}");
         }
     }
 
@@ -185,10 +181,13 @@ mod tests {
     fn ip_vectors_match_the_generators_imputation() {
         let t = scatter();
         let (acct, q) = protect(t.records.clone(), 123);
-        let avgs = private_monitor_averages(&q, &TopologyConfig {
-            eps_averages: 50.0,
-            ..cfg()
-        })
+        let avgs = private_monitor_averages(
+            &q,
+            &TopologyConfig {
+                eps_averages: 50.0,
+                ..cfg()
+            },
+        )
         .unwrap();
         let vectors = private_ip_vectors(&q, &avgs, &cfg());
         // Transformation only: no extra cost beyond the averages.
@@ -221,10 +220,7 @@ mod tests {
         .unwrap();
         let r_dp = clustering_rmse(&exact_vectors, traj.last());
         let r_base = clustering_rmse(&exact_vectors, base.last());
-        assert!(
-            r_dp < r_base * 1.15 + 0.3,
-            "dp {r_dp} vs baseline {r_base}"
-        );
+        assert!(r_dp < r_base * 1.15 + 0.3, "dp {r_dp} vs baseline {r_base}");
     }
 
     #[test]
@@ -272,11 +268,7 @@ mod tests {
         let init = random_centers(9, 38, 5.0, 25.0, 1);
         private_topology_clusters(&q, &c, init).unwrap();
         // 0.25 + 2 (GroupBy) × 3 iterations × 0.5 = 3.25.
-        assert!(
-            (acct.spent() - 3.25).abs() < 1e-9,
-            "spent {}",
-            acct.spent()
-        );
+        assert!((acct.spent() - 3.25).abs() < 1e-9, "spent {}", acct.spent());
     }
 
     #[test]

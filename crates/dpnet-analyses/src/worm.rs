@@ -18,8 +18,8 @@
 //! at ε = 0.1, 1.0, 10.0 — the misses being payloads with low overall
 //! presence but above-average dispersal.
 
-use dpnet_trace::Packet;
 use dpnet_toolkit::freqstrings::{frequent_strings, FrequentStringsConfig};
+use dpnet_trace::Packet;
 use pinq::{Queryable, Result};
 use std::collections::{HashMap, HashSet};
 
@@ -316,8 +316,7 @@ pub fn worm_fingerprints_exact(
     let mut out: Vec<Vec<u8>> = srcs
         .into_iter()
         .filter(|(k, s)| {
-            s.len() > src_threshold
-                && dsts.get(k).map(|d| d.len()).unwrap_or(0) > dst_threshold
+            s.len() > src_threshold && dsts.get(k).map(|d| d.len()).unwrap_or(0) > dst_threshold
         })
         .map(|(k, _)| k.to_vec())
         .collect();
@@ -343,11 +342,7 @@ mod tests {
         })
     }
 
-    fn protect(
-        pkts: Vec<Packet>,
-        budget: f64,
-        seed: u64,
-    ) -> (Accountant, Queryable<Packet>) {
+    fn protect(pkts: Vec<Packet>, budget: f64, seed: u64) -> (Accountant, Queryable<Packet>) {
         let acct = Accountant::new(budget);
         let noise = NoiseSource::seeded(seed);
         (acct.clone(), Queryable::new(pkts, &acct, &noise))
@@ -388,10 +383,7 @@ mod tests {
         let found = worm_fingerprints(&q, &cfg).unwrap();
         let found_payloads: std::collections::HashSet<Vec<u8>> =
             found.iter().map(|f| f.payload.clone()).collect();
-        let recovered = exact
-            .iter()
-            .filter(|p| found_payloads.contains(*p))
-            .count();
+        let recovered = exact.iter().filter(|p| found_payloads.contains(*p)).count();
         assert_eq!(
             recovered,
             exact.len(),
@@ -413,10 +405,7 @@ mod tests {
         let found = worm_fingerprints(&q, &cfg).unwrap();
         let found_payloads: std::collections::HashSet<Vec<u8>> =
             found.iter().map(|f| f.payload.clone()).collect();
-        let recovered = exact
-            .iter()
-            .filter(|p| found_payloads.contains(*p))
-            .count();
+        let recovered = exact.iter().filter(|p| found_payloads.contains(*p)).count();
         assert!(
             recovered < exact.len(),
             "strong privacy should miss some of {} worms",
@@ -443,9 +432,7 @@ mod tests {
                     f.distinct_sources,
                     truth.sources
                 );
-                assert!(
-                    (f.distinct_destinations - truth.destinations as f64).abs() < 5.0
-                );
+                assert!((f.distinct_destinations - truth.destinations as f64).abs() < 5.0);
             }
         }
     }
@@ -499,9 +486,7 @@ mod tests {
         assert!(qualified
             .iter()
             .any(|f| f.payload == b"WORMCODE".to_vec() && f.port == 445));
-        assert!(!qualified
-            .iter()
-            .any(|f| f.payload == b"SCANNOIS".to_vec()));
+        assert!(!qualified.iter().any(|f| f.payload == b"SCANNOIS".to_vec()));
     }
 
     #[test]
@@ -579,10 +564,6 @@ mod tests {
         worm_fingerprints(&q, &cfg).unwrap();
         // Search: 8 levels × ε. Dispersion: 2 counts × ε, parallel across
         // candidates. Total (8 + 2) × ε.
-        assert!(
-            (acct.spent() - 10.0).abs() < 1e-9,
-            "spent {}",
-            acct.spent()
-        );
+        assert!((acct.spent() - 10.0).abs() < 1e-9, "spent {}", acct.spent());
     }
 }

@@ -21,9 +21,11 @@ fn bench_cdfs(c: &mut Criterion) {
     let mut g = c.benchmark_group("cdf_methods");
     for &buckets in &[64usize, 256, 1024] {
         let q = dataset(50_000, buckets);
-        g.bench_with_input(BenchmarkId::new("cdf1_naive", buckets), &buckets, |b, &n| {
-            b.iter(|| cdf_naive(&q, n, 0.001).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("cdf1_naive", buckets),
+            &buckets,
+            |b, &n| b.iter(|| cdf_naive(&q, n, 0.001).unwrap()),
+        );
         g.bench_with_input(
             BenchmarkId::new("cdf2_partition", buckets),
             &buckets,

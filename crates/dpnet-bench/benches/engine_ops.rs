@@ -20,9 +20,7 @@ fn bench_aggregations(c: &mut Criterion) {
     let q = protected();
     let mut g = c.benchmark_group("aggregations");
     g.throughput(Throughput::Elements(N as u64));
-    g.bench_function("noisy_count", |b| {
-        b.iter(|| q.noisy_count(1.0).unwrap())
-    });
+    g.bench_function("noisy_count", |b| b.iter(|| q.noisy_count(1.0).unwrap()));
     g.bench_function("noisy_sum", |b| {
         b.iter(|| q.noisy_sum(1.0, |&x| x as f64 / N as f64).unwrap())
     });
@@ -30,7 +28,10 @@ fn bench_aggregations(c: &mut Criterion) {
         b.iter(|| q.noisy_average(1.0, |&x| x as f64 / N as f64).unwrap())
     });
     g.bench_function("noisy_median_200_buckets", |b| {
-        b.iter(|| q.noisy_median(1.0, 0.0, N as f64, 200, |&x| x as f64).unwrap())
+        b.iter(|| {
+            q.noisy_median(1.0, 0.0, N as f64, 200, |&x| x as f64)
+                .unwrap()
+        })
     });
     g.bench_function("noisy_sum_vector_8d", |b| {
         b.iter(|| {

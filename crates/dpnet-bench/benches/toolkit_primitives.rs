@@ -85,9 +85,7 @@ fn bench_linalg(c: &mut Criterion) {
             m.set(j, i, v);
         }
     }
-    c.bench_function("jacobi_eigen_100x100", |b| {
-        b.iter(|| jacobi_eigen(&m, 20))
-    });
+    c.bench_function("jacobi_eigen_100x100", |b| b.iter(|| jacobi_eigen(&m, 20)));
     c.bench_function("power_iteration_top4_100x100", |b| {
         b.iter(|| top_eigenvectors(&m, 4, 50))
     });

@@ -8,13 +8,38 @@
 //!       table1 example23 fig1 table4 itemsets fig2 worm fig3
 //!       table5 fig4 fig5 table2
 //! ```
+//!
+//! A [`MemorySink`] is installed as the process-global event sink for the
+//! whole run, so every engine charge and toolkit phase is captured. After
+//! the experiment output, `repro` prints a per-phase ε/latency budget
+//! report and writes `bench-reports/BENCH_<target>.json` with the same
+//! data in machine-readable form.
 
 use dpnet_bench::experiments as exp;
+use dpnet_bench::report::RunReport;
+use dpnet_obs::{set_global_sink, MemorySink};
+use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 const IDS: [&str; 18] = [
-    "table1", "example23", "fig1", "table4", "itemsets", "fig2", "worm", "fig3", "table5",
-    "fig4", "fig5", "table2", "rules", "connections", "principals", "ablation", "graphdist",
+    "table1",
+    "example23",
+    "fig1",
+    "table4",
+    "itemsets",
+    "fig2",
+    "worm",
+    "fig3",
+    "table5",
+    "fig4",
+    "fig5",
+    "table2",
+    "rules",
+    "connections",
+    "principals",
+    "ablation",
+    "graphdist",
     "classify",
 ];
 
@@ -50,24 +75,45 @@ fn main() {
         eprintln!("usage: repro all | <id> [<id> ...]\nids: {}", IDS.join(" "));
         std::process::exit(2);
     }
-    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+    let all = args.iter().any(|a| a == "all");
+    let ids: Vec<&str> = if all {
         IDS.to_vec()
     } else {
         args.iter().map(|s| s.as_str()).collect()
     };
+    // Observe the whole run: toolkit phases and engine charges land here.
+    let sink = Arc::new(MemorySink::new());
+    set_global_sink(Some(sink.clone()));
+    let target = if all {
+        "all".to_string()
+    } else {
+        ids.join("-")
+    };
+    let mut report = RunReport::new(&target);
+
     let mut failed = false;
     for id in ids {
+        sink.clear();
         let start = Instant::now();
         match run_one(id) {
-            Ok(report) => {
-                println!("{report}");
-                println!("[{id} completed in {:.1?}]", start.elapsed());
+            Ok(text) => {
+                let wall = start.elapsed();
+                println!("{text}");
+                println!("[{id} completed in {wall:.1?}]");
+                report.record(id, wall.as_nanos() as u64, &sink.drain());
             }
             Err(e) => {
                 eprintln!("experiment {id} failed: {e}");
                 failed = true;
             }
         }
+    }
+    set_global_sink(None);
+
+    println!("{}", report.render_budget_report());
+    match report.write_json(Path::new("bench-reports")) {
+        Ok(path) => println!("run report: {}", path.display()),
+        Err(e) => eprintln!("could not write run report: {e}"),
     }
     if failed {
         std::process::exit(1);

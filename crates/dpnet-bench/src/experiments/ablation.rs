@@ -42,7 +42,11 @@ pub fn run() -> ((CompositionAblation, Vec<(f64, f64)>), String) {
     let q = Queryable::new(trace.packets.clone(), &seq_budget, &noise);
     let mut seq_counts = Vec::new();
     for &port in &ports {
-        seq_counts.push(q.filter(move |p| p.dst_port == port).noisy_count(eps).expect("budget"));
+        seq_counts.push(
+            q.filter(move |p| p.dst_port == port)
+                .noisy_count(eps)
+                .expect("budget"),
+        );
     }
     let sequential_cost = seq_budget.spent();
 
@@ -72,7 +76,10 @@ pub fn run() -> ((CompositionAblation, Vec<(f64, f64)>), String) {
         sweep.push((e, relative_rmse(&cdf.cdf, &exact)));
     }
 
-    let mut out = header("E-ABL", "design ablations: composition rule and privacy-accuracy sweep");
+    let mut out = header(
+        "E-ABL",
+        "design ablations: composition rule and privacy-accuracy sweep",
+    );
     out.push_str(&format!(
         "1) per-port counts, {} ports at eps={} each:\n\
            sequential (Where+Count): budget {}   |   Partition: budget {}\n\

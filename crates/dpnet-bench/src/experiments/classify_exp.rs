@@ -27,8 +27,7 @@ pub fn run() -> (ClassifyResult, String) {
     let trace = datasets::hotspot();
     let cls = example_ruleset();
     let exact_full = rule_traffic_exact(&trace.packets, &cls);
-    let exact: Vec<(String, usize)> =
-        exact_full.iter().map(|(n, c, _)| (n.clone(), *c)).collect();
+    let exact: Vec<(String, usize)> = exact_full.iter().map(|(n, c, _)| (n.clone(), *c)).collect();
 
     let budget = Accountant::new(1e9);
     let noise = NoiseSource::seeded(0xc15);

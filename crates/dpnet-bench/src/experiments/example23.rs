@@ -32,9 +32,7 @@ pub fn run(trials: usize) -> (Example23, String) {
 
     let single_draw = heavy_hosts_to_port(&q, 80, 1024, 0.1).expect("budget");
     let errors: Vec<f64> = (0..trials)
-        .map(|_| {
-            (heavy_hosts_to_port(&q, 80, 1024, 0.1).expect("budget") - exact as f64).abs()
-        })
+        .map(|_| (heavy_hosts_to_port(&q, 80, 1024, 0.1).expect("budget") - exact as f64).abs())
         .collect();
     let mean_abs_error = dpnet_toolkit::mean(&errors);
 

@@ -13,9 +13,9 @@
 
 use crate::datasets;
 use crate::report::{f, header, pct, Table};
-use dpnet_trace::{FlowKey, Packet};
 use dpnet_toolkit::cdf::{cdf_hierarchical, cdf_naive, cdf_partition, noise_free_cdf};
 use dpnet_toolkit::stats::rmse;
+use dpnet_trace::{FlowKey, Packet};
 use pinq::{Accountant, NoiseSource, Queryable, Result};
 
 /// Number of 1 ms buckets: 0–250 ms, as in the paper.
@@ -39,9 +39,7 @@ pub struct Fig1 {
 /// transmissions, keep the first retransmission delay per group.
 pub fn private_retx_delays(packets: &Queryable<Packet>) -> Queryable<usize> {
     packets
-        .filter(|p| {
-            FlowKey::of(p).is_tcp() && !p.flags.is_syn() && !p.payload.is_empty()
-        })
+        .filter(|p| FlowKey::of(p).is_tcp() && !p.flags.is_syn() && !p.payload.is_empty())
         .group_by(|p| (FlowKey::of(p), p.seq))
         .filter(|g| g.items.len() >= 2)
         .map(|g| {

@@ -8,9 +8,7 @@
 
 use crate::datasets::{self, EPSILONS};
 use crate::report::{header, pct, Table};
-use dpnet_analyses::flow_stats::{
-    loss_rate_cdf, loss_rate_cdf_exact, rtt_cdf, rtt_cdf_exact,
-};
+use dpnet_analyses::flow_stats::{loss_rate_cdf, loss_rate_cdf_exact, rtt_cdf, rtt_cdf_exact};
 use dpnet_toolkit::stats::relative_rmse;
 use pinq::{Accountant, NoiseSource, Queryable};
 
@@ -82,7 +80,11 @@ mod tests {
         let (r, report) = run();
         // Weak privacy is near-exact for both statistics.
         assert!(r.rtt_rmse[2].1 < 0.01, "RTT at eps=10: {}", r.rtt_rmse[2].1);
-        assert!(r.loss_rmse[2].1 < 0.01, "loss at eps=10: {}", r.loss_rmse[2].1);
+        assert!(
+            r.loss_rmse[2].1 < 0.01,
+            "loss at eps=10: {}",
+            r.loss_rmse[2].1
+        );
         // Error ordering across ε.
         assert!(r.rtt_rmse[0].1 > r.rtt_rmse[2].1);
         assert!(r.loss_rmse[0].1 > r.loss_rmse[2].1);

@@ -13,7 +13,9 @@
 
 use crate::datasets::{self, EPSILONS};
 use crate::report::{f, header, pct, Table};
-use dpnet_analyses::anomaly::{anomaly_norms, flag_anomalies, private_anomaly_norms, AnomalyConfig};
+use dpnet_analyses::anomaly::{
+    anomaly_norms, flag_anomalies, private_anomaly_norms, AnomalyConfig,
+};
 use dpnet_toolkit::stats::relative_rmse;
 use pinq::{Accountant, NoiseSource, Queryable};
 
@@ -51,13 +53,16 @@ pub fn run() -> (Fig4, String) {
         let budget = Accountant::new(1e9);
         let noise = NoiseSource::seeded(0xf4 ^ eps.to_bits());
         let q = Queryable::new(records.clone(), &budget, &noise);
-        let norms = private_anomaly_norms(&q, &AnomalyConfig { eps, ..cfg_base.clone() })
-            .expect("budget");
+        let norms = private_anomaly_norms(
+            &q,
+            &AnomalyConfig {
+                eps,
+                ..cfg_base.clone()
+            },
+        )
+        .expect("budget");
         let flagged = flag_anomalies(&norms, 8.0);
-        let hit = truth_windows
-            .iter()
-            .filter(|w| flagged.contains(w))
-            .count();
+        let hit = truth_windows.iter().filter(|w| flagged.contains(w)).count();
         detected.push((eps, hit));
         private.push((eps, norms));
     }
@@ -106,7 +111,11 @@ pub fn run() -> (Fig4, String) {
         out.push_str(&format!(
             "eps={eps}: rel RMSE on anomalous bins {}, detected {}/{}\n",
             pct(relative_rmse(&paired.0, &paired.1)),
-            detected.iter().find(|(e, _)| e == eps).map(|(_, d)| *d).unwrap_or(0),
+            detected
+                .iter()
+                .find(|(e, _)| e == eps)
+                .map(|(_, d)| *d)
+                .unwrap_or(0),
             truth_windows.len()
         ));
     }

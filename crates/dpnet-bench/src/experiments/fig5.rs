@@ -139,7 +139,10 @@ mod tests {
         // Strong privacy notably worse than weak.
         assert!(strong > weak * 1.15, "strong {strong} vs weak {weak}");
         // Medium sits between (weakly).
-        assert!(medium <= strong * 1.05, "medium {medium} vs strong {strong}");
+        assert!(
+            medium <= strong * 1.05,
+            "medium {medium} vs strong {strong}"
+        );
         // EM at eps=1 is no better than k-means at eps=1 (the ablation).
         let em = r.gaussian_em[last];
         assert!(em >= medium * 0.9, "EM {em} vs k-means {medium}");

@@ -12,8 +12,8 @@
 
 use crate::datasets;
 use crate::report::{f, header, Table};
-use dpnet_trace::gen::hotspot::COMMON_PORTS;
 use dpnet_toolkit::itemsets::{exact_support, frequent_itemsets, ItemsetConfig};
+use dpnet_trace::gen::hotspot::COMMON_PORTS;
 use pinq::{Accountant, NoiseSource, Queryable};
 use std::collections::BTreeSet;
 
@@ -35,7 +35,10 @@ fn host_port_sets(packets: &[dpnet_trace::Packet]) -> Vec<BTreeSet<u32>> {
         std::collections::HashMap::new();
     for p in packets {
         if p.dst_port > 0 {
-            per_host.entry(p.src_ip).or_default().insert(p.dst_port as u32);
+            per_host
+                .entry(p.src_ip)
+                .or_default()
+                .insert(p.dst_port as u32);
         }
     }
     per_host.into_values().collect()

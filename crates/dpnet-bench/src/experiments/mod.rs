@@ -29,12 +29,12 @@ pub mod ablation;
 pub mod classify_exp;
 pub mod connections_exp;
 pub mod example23;
-pub mod graphdist_exp;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod graphdist_exp;
 pub mod itemsets_exp;
 pub mod principals;
 pub mod rules_exp;

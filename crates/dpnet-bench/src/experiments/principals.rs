@@ -36,11 +36,7 @@ pub fn run(trials: usize) -> (Vec<PrincipalRow>, String) {
     let trace = datasets::hotspot();
 
     // Packet principal: records are packets.
-    let packet_truth = trace
-        .packets
-        .iter()
-        .filter(|p| p.dst_port == 80)
-        .count() as f64;
+    let packet_truth = trace.packets.iter().filter(|p| p.dst_port == 80).count() as f64;
 
     // Host principal (owner-side view): one logical record per source
     // host, carrying all of that host's packets.
@@ -96,7 +92,11 @@ pub fn run(trials: usize) -> (Vec<PrincipalRow>, String) {
         f(packet_truth),
         f(host_truth)
     ));
-    let mut table = Table::new(&["eps", "rel err (packet principal)", "rel err (host principal)"]);
+    let mut table = Table::new(&[
+        "eps",
+        "rel err (packet principal)",
+        "rel err (host principal)",
+    ]);
     for r in &rows {
         table.row(vec![
             r.eps.to_string(),

@@ -75,9 +75,7 @@ pub fn run(trials: usize) -> (Vec<NoiseRow>, String) {
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let gaps: Vec<f64> = (0..trials)
             .map(|_| {
-                let m = q
-                    .noisy_median(eps, 0.0, 1.0, 200, |&v| v)
-                    .expect("budget");
+                let m = q.noisy_median(eps, 0.0, 1.0, 200, |&v| v).expect("budget");
                 let below = sorted.partition_point(|&v| v < m) as f64;
                 (below - n as f64 / 2.0).abs()
             })

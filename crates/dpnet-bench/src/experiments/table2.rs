@@ -9,7 +9,9 @@
 
 use crate::experiments::{fig2, fig3, fig5, table5, worm_exp};
 use crate::report::{header, Table};
-use dpnet_analyses::anomaly::{anomaly_norms, flag_anomalies, private_anomaly_norms, AnomalyConfig};
+use dpnet_analyses::anomaly::{
+    anomaly_norms, flag_anomalies, private_anomaly_norms, AnomalyConfig,
+};
 use pinq::{Accountant, NoiseSource, Queryable};
 
 /// One summary row.
@@ -94,11 +96,7 @@ pub fn run() -> (Vec<Table2Row>, String) {
 
     // Flow statistics: smallest ε with RTT rel RMSE below 5%.
     let (f3, _) = fig3::run();
-    let flow_eps = f3
-        .rtt_rmse
-        .iter()
-        .find(|(_, r)| *r < 0.05)
-        .map(|(e, _)| *e);
+    let flow_eps = f3.rtt_rmse.iter().find(|(_, r)| *r < 0.05).map(|(e, _)| *e);
 
     // Stepping stones: smallest ε with < 25% false positives and mean
     // exact correlation above the 0.3 threshold.
@@ -106,9 +104,7 @@ pub fn run() -> (Vec<Table2Row>, String) {
     let stone_eps = t5
         .iter()
         .find(|r| {
-            r.pairs > 0
-                && (r.false_positives as f64) < 0.25 * r.pairs as f64
-                && r.exact_mean > 0.3
+            r.pairs > 0 && (r.false_positives as f64) < 0.25 * r.pairs as f64 && r.exact_mean > 0.3
         })
         .map(|r| r.eps);
 

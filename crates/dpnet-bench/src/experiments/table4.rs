@@ -97,9 +97,7 @@ pub fn run(k: usize, eps: f64) -> (Vec<Table4Row>, String) {
     );
     out.push_str(&format!("eps per level = {}\n", f(eps)));
     out.push_str(&table.render());
-    out.push_str(
-        "\npaper shape: top-10 discovered correctly, in order, with low count error\n",
-    );
+    out.push_str("\npaper shape: top-10 discovered correctly, in order, with low count error\n");
     (rows, out)
 }
 
@@ -114,11 +112,7 @@ mod tests {
         let correct = rows.iter().filter(|r| r.rank_correct).count();
         assert!(correct >= 8, "only {correct}/10 ranks correct");
         for r in rows.iter().take(5) {
-            assert!(
-                r.pct_err.abs() < 5.0,
-                "top string error {}%",
-                r.pct_err
-            );
+            assert!(r.pct_err.abs() < 5.0, "top string error {}%", r.pct_err);
         }
         assert!(report.contains("E-T4"));
     }

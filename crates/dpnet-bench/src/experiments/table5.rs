@@ -83,10 +83,7 @@ pub fn run_on(trace: &dpnet_trace::gen::hotspot::HotspotTrace) -> (Vec<Table5Row
                 ))
             })
             .collect();
-        let false_positives = exact
-            .iter()
-            .filter(|&&c| c < CORRELATION_THRESHOLD)
-            .count();
+        let false_positives = exact.iter().filter(|&&c| c < CORRELATION_THRESHOLD).count();
         rows.push(Table5Row {
             eps,
             noisy_mean: mean(&noisy),
@@ -98,12 +95,7 @@ pub fn run_on(trace: &dpnet_trace::gen::hotspot::HotspotTrace) -> (Vec<Table5Row
         });
     }
 
-    let mut table = Table::new(&[
-        "eps",
-        "noisy corr",
-        "noise-free corr",
-        "false positives",
-    ]);
+    let mut table = Table::new(&["eps", "noisy corr", "noise-free corr", "false positives"]);
     for r in &rows {
         table.row(vec![
             r.eps.to_string(),
@@ -112,10 +104,7 @@ pub fn run_on(trace: &dpnet_trace::gen::hotspot::HotspotTrace) -> (Vec<Table5Row
             format!("{}/{}", r.false_positives, r.pairs),
         ]);
     }
-    let mut out = header(
-        "E-T5",
-        "private stepping-stone detection (paper Table 5)",
-    );
+    let mut out = header("E-T5", "private stepping-stone detection (paper Table 5)");
     out.push_str(&table.render());
     out.push_str(
         "\npaper: eps=0.1 → 0.06±0.07, 18/20 FP; eps=1.0 → 0.72±0.10, 1/20; eps=10 → 0.78±0.03, 2/20\n\
@@ -132,17 +121,15 @@ mod tests {
     #[test]
     fn table5_shape_holds() {
         // Reduced trace with the same planted stepping-stone structure.
-        let trace = dpnet_trace::gen::hotspot::generate(
-            dpnet_trace::gen::hotspot::HotspotConfig {
-                web_flows: 150,
-                worms_above_threshold: 1,
-                worms_below_threshold: 1,
-                stepping_stone_pairs: 8,
-                interactive_decoys: 16,
-                itemset_hosts: 10,
-                ..Default::default()
-            },
-        );
+        let trace = dpnet_trace::gen::hotspot::generate(dpnet_trace::gen::hotspot::HotspotConfig {
+            web_flows: 150,
+            worms_above_threshold: 1,
+            worms_below_threshold: 1,
+            stepping_stone_pairs: 8,
+            interactive_decoys: 16,
+            itemset_hosts: 10,
+            ..Default::default()
+        });
         let (rows, report) = run_on(&trace);
         assert_eq!(rows.len(), 3);
         let weak = &rows[2]; // eps = 10
@@ -151,18 +138,18 @@ mod tests {
         // Weak and medium privacy find real stones: high exact correlation,
         // few false positives.
         assert!(weak.pairs >= 5, "weak privacy found {} pairs", weak.pairs);
-        assert!(
-            weak.exact_mean > 0.5,
-            "weak exact mean {}",
-            weak.exact_mean
-        );
+        assert!(weak.exact_mean > 0.5, "weak exact mean {}", weak.exact_mean);
         assert!(
             (weak.false_positives as f64) < 0.3 * weak.pairs as f64,
             "weak FPs {}/{}",
             weak.false_positives,
             weak.pairs
         );
-        assert!(medium.exact_mean > 0.4, "medium exact mean {}", medium.exact_mean);
+        assert!(
+            medium.exact_mean > 0.4,
+            "medium exact mean {}",
+            medium.exact_mean
+        );
         // Strong privacy degrades: lower exact correlation among reported
         // pairs or a higher false-positive rate than weak privacy.
         let strong_fp_rate = strong.false_positives as f64 / strong.pairs.max(1) as f64;

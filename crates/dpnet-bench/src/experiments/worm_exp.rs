@@ -37,7 +37,7 @@ pub struct WormResult {
 
 /// Run the worm experiment over the standard Hotspot trace.
 pub fn run() -> (WormResult, String) {
-    run_on(&datasets::hotspot())
+    run_on(datasets::hotspot())
 }
 
 /// Run the worm experiment over a caller-supplied trace (used by tests to
@@ -119,19 +119,21 @@ mod tests {
     #[test]
     fn recovery_grows_with_epsilon() {
         // Reduced trace: same planted-worm structure, debug-mode friendly.
-        let trace = dpnet_trace::gen::hotspot::generate(
-            dpnet_trace::gen::hotspot::HotspotConfig {
-                web_flows: 400,
-                worms_above_threshold: 24,
-                worms_below_threshold: 6,
-                stepping_stone_pairs: 2,
-                interactive_decoys: 3,
-                itemset_hosts: 20,
-                ..Default::default()
-            },
-        );
+        let trace = dpnet_trace::gen::hotspot::generate(dpnet_trace::gen::hotspot::HotspotConfig {
+            web_flows: 400,
+            worms_above_threshold: 24,
+            worms_below_threshold: 6,
+            stepping_stone_pairs: 2,
+            interactive_decoys: 3,
+            itemset_hosts: 20,
+            ..Default::default()
+        });
         let (r, report) = run_on(&trace);
-        assert!(r.exact_count >= 20, "exact set too small: {}", r.exact_count);
+        assert!(
+            r.exact_count >= 20,
+            "exact set too small: {}",
+            r.exact_count
+        );
         // Monotone (weakly) in ε, full recovery at the weakest level.
         assert!(r.recovery[0].recovered <= r.recovery[1].recovered);
         assert!(r.recovery[1].recovered <= r.recovery[2].recovered);

@@ -1,8 +1,19 @@
-//! Plain-text table rendering for experiment reports.
+//! Plain-text table rendering and machine-readable run reports.
 //!
 //! Every experiment prints a paper-style table: a caption referencing the
 //! paper artifact it regenerates, column headers, and rows. Keeping the
 //! rendering here keeps the experiment code about the experiment.
+//!
+//! The [`RunReport`] half collects what the observability layer saw while
+//! the experiments ran — phase events from the toolkit, charge/aggregate
+//! events from the engine — and turns them into the per-phase ε/latency
+//! budget report `repro` prints, plus a timestamped `BENCH_<target>.json`
+//! for dashboards and regression tracking.
+
+use dpnet_obs::json::{escape, number};
+use dpnet_obs::{unix_time_s, Event, MetricsRegistry};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 
 /// A simple fixed-width text table builder.
 #[derive(Debug, Default)]
@@ -88,6 +99,173 @@ pub fn header(id: &str, caption: &str) -> String {
     format!("\n=== {id} — {caption} ===\n")
 }
 
+/// One named phase observed during an experiment.
+#[derive(Debug, Clone)]
+pub struct PhaseLine {
+    /// Phase name (e.g. `cdf_partition`).
+    pub name: String,
+    /// ε the phase spent (by construction of the emitting algorithm).
+    pub eps_spent: f64,
+    /// Wall-clock duration of the phase.
+    pub wall_ns: u64,
+}
+
+/// Everything observed while one experiment ran.
+#[derive(Debug, Clone)]
+pub struct ExperimentRun {
+    /// Experiment id (`fig1`, `table4`, …).
+    pub id: String,
+    /// End-to-end wall time of the experiment.
+    pub wall_ns: u64,
+    /// ε total from the engine's charge events (refund-adjusted).
+    pub eps_charged: f64,
+    /// Named phases, in emission order.
+    pub phases: Vec<PhaseLine>,
+}
+
+/// Collects per-experiment observability data across a `repro` run and
+/// renders the budget report and the machine-readable run report.
+#[derive(Debug)]
+pub struct RunReport {
+    target: String,
+    runs: Vec<ExperimentRun>,
+    registry: MetricsRegistry,
+}
+
+impl RunReport {
+    /// Start an empty report for `target` (names the output file).
+    pub fn new(target: &str) -> Self {
+        RunReport {
+            target: target.to_string(),
+            runs: Vec::new(),
+            registry: MetricsRegistry::new(),
+        }
+    }
+
+    /// The metrics registry fed by [`RunReport::record`]; exposed so
+    /// callers can add their own counters before export.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Record one finished experiment and the events captured while it ran.
+    pub fn record(&mut self, id: &str, wall_ns: u64, events: &[Event]) {
+        let mut phases = Vec::new();
+        let mut eps_charged = 0.0;
+        for ev in events {
+            self.registry
+                .counter(&format!("events.{}", ev.kind()))
+                .inc();
+            match ev {
+                Event::Phase(p) => {
+                    self.registry
+                        .histogram(&format!("phase.{}.wall_ns", p.name))
+                        .record_ns(p.wall_ns);
+                    phases.push(PhaseLine {
+                        name: p.name.to_string(),
+                        eps_spent: p.eps_spent,
+                        wall_ns: p.wall_ns,
+                    });
+                }
+                Event::Charge(c) => eps_charged += c.epsilon,
+                Event::Aggregate(a) => {
+                    self.registry
+                        .histogram(&format!("aggregate.{}.wall_ns", a.operator))
+                        .record_ns(a.wall_ns);
+                }
+                Event::Transform(_) => {}
+            }
+        }
+        self.registry.counter("experiments.completed").inc();
+        self.registry
+            .histogram("experiment.wall_ns")
+            .record_ns(wall_ns);
+        self.runs.push(ExperimentRun {
+            id: id.to_string(),
+            wall_ns,
+            eps_charged,
+            phases,
+        });
+    }
+
+    /// The human-readable per-phase ε/latency budget report.
+    pub fn render_budget_report(&self) -> String {
+        let mut t = Table::new(&["experiment", "phase", "eps", "wall"]);
+        for run in &self.runs {
+            t.row(vec![
+                run.id.clone(),
+                "(total)".into(),
+                f(run.eps_charged),
+                ms(run.wall_ns),
+            ]);
+            for p in &run.phases {
+                t.row(vec![
+                    String::new(),
+                    p.name.clone(),
+                    f(p.eps_spent),
+                    ms(p.wall_ns),
+                ]);
+            }
+        }
+        format!(
+            "{}{}",
+            header("budget", "per-experiment ε spend and latency"),
+            t.render()
+        )
+    }
+
+    /// The machine-readable run report. Nested JSON, built by hand on the
+    /// `dpnet-obs` escaping primitives (no serde in the workspace).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push('{');
+        out.push_str(&format!("\"target\":{},", escape(&self.target)));
+        out.push_str(&format!("\"generated_at_s\":{},", unix_time_s()));
+        out.push_str("\"experiments\":[");
+        for (i, run) in self.runs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            out.push_str(&format!("\"id\":{},", escape(&run.id)));
+            out.push_str(&format!("\"wall_ns\":{},", run.wall_ns));
+            out.push_str(&format!("\"eps_charged\":{},", number(run.eps_charged)));
+            out.push_str("\"phases\":[");
+            for (j, p) in run.phases.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"name\":{},\"eps_spent\":{},\"wall_ns\":{}}}",
+                    escape(&p.name),
+                    number(p.eps_spent),
+                    p.wall_ns
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],");
+        out.push_str(&format!("\"metrics\":{}", self.registry.to_json()));
+        out.push('}');
+        out
+    }
+
+    /// Write `BENCH_<target>.json` under `dir` (created if missing) and
+    /// return its path.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.target));
+        let mut file = std::fs::File::create(&path)?;
+        writeln!(file, "{}", self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Format nanoseconds as milliseconds for reports.
+pub fn ms(ns: u64) -> String {
+    format!("{:.1} ms", ns as f64 / 1e6)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +305,73 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(0.0123), "1.230%");
+    }
+
+    fn sample_events() -> Vec<Event> {
+        use dpnet_obs::event::{ChargeEvent, PhaseEvent};
+        use std::sync::Arc;
+        vec![
+            Event::Phase(PhaseEvent {
+                name: Arc::from("cdf_partition"),
+                eps_spent: 0.5,
+                wall_ns: 2_000_000,
+                at_ns: 1,
+            }),
+            Event::Charge(ChargeEvent {
+                operator: Arc::from("noisy_count"),
+                path: Arc::from("root"),
+                label: None,
+                epsilon: 0.5,
+                spent_after: 0.5,
+                sequence: 1,
+                at_ns: 2,
+            }),
+        ]
+    }
+
+    #[test]
+    fn run_report_collects_phases_and_charges() {
+        let mut r = RunReport::new("test");
+        r.record("fig1", 5_000_000, &sample_events());
+        let text = r.render_budget_report();
+        assert!(text.contains("fig1"));
+        assert!(text.contains("cdf_partition"));
+        assert!(text.contains("0.500"));
+        assert_eq!(r.registry().counter("experiments.completed").get(), 1);
+        assert_eq!(r.registry().counter("events.phase").get(), 1);
+    }
+
+    #[test]
+    fn run_report_json_is_parseable_at_the_phase_level() {
+        let mut r = RunReport::new("test");
+        r.record("fig1", 5_000_000, &sample_events());
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"target\":\"test\""));
+        assert!(json.contains("\"id\":\"fig1\""));
+        assert!(json.contains("\"name\":\"cdf_partition\""));
+        assert!(json.contains("\"eps_charged\":0.5"));
+        // The inner phase objects are flat and parse with the obs parser.
+        let start = json.find("{\"name\":").unwrap();
+        let end = json[start..].find('}').unwrap() + start + 1;
+        let parsed = dpnet_obs::json::parse_flat_object(&json[start..end]).unwrap();
+        assert_eq!(parsed["eps_spent"].as_f64(), Some(0.5));
+    }
+
+    #[test]
+    fn run_report_writes_the_target_file() {
+        let dir = std::env::temp_dir().join("dpnet-bench-report-test");
+        let mut r = RunReport::new("unit");
+        r.record("x", 1, &[]);
+        let path = r.write_json(&dir).unwrap();
+        assert!(path.ends_with("BENCH_unit.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"generated_at_s\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ms_formats() {
+        assert_eq!(ms(2_500_000), "2.5 ms");
     }
 }

@@ -24,9 +24,7 @@ pub fn load_trace(path: &str) -> Result<Vec<Packet>, String> {
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     match extension(path) {
         Some("txt") => read_text(file).map_err(|e| e.to_string()),
-        Some("pcap") => {
-            dpnet_trace::format::read_pcap(file).map_err(|e| e.to_string())
-        }
+        Some("pcap") => dpnet_trace::format::read_pcap(file).map_err(|e| e.to_string()),
         _ => read_trace(file).map_err(|e| e.to_string()),
     }
 }
@@ -36,9 +34,7 @@ pub fn store_trace(path: &str, packets: &[Packet]) -> Result<(), String> {
     let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
     match extension(path) {
         Some("txt") => write_text(file, packets).map_err(|e| e.to_string()),
-        Some("pcap") => {
-            dpnet_trace::format::write_pcap(file, packets).map_err(|e| e.to_string())
-        }
+        Some("pcap") => dpnet_trace::format::write_pcap(file, packets).map_err(|e| e.to_string()),
         _ => write_trace(file, packets).map_err(|e| e.to_string()),
     }
 }
@@ -47,7 +43,7 @@ pub fn store_trace(path: &str, packets: &[Packet]) -> Result<(), String> {
 /// trace and write it out.
 pub fn generate_cmd(args: &Args) -> Result<String, String> {
     let out = args.positional(0, "output file")?;
-    let seed: u64 = args.flag_or("seed", 0xd09e_75u64)?;
+    let seed: u64 = args.flag_or("seed", 0x00d0_9e75u64)?;
     let flows: usize = args.flag_or("flows", 1000usize)?;
     let trace = generate(HotspotConfig {
         seed,
@@ -68,7 +64,10 @@ pub fn convert_cmd(args: &Args) -> Result<String, String> {
     let output = args.positional(1, "output file")?;
     let packets = load_trace(input)?;
     store_trace(output, &packets)?;
-    Ok(format!("converted {} packets: {input} → {output}", packets.len()))
+    Ok(format!(
+        "converted {} packets: {input} → {output}",
+        packets.len()
+    ))
 }
 
 /// Owner-side (non-private) trace summary for `dpnet inspect <file>`.
@@ -80,11 +79,7 @@ pub fn inspect_packets(packets: &[Packet]) -> String {
     }
     let first = packets.iter().map(|p| p.ts_us).min().unwrap_or(0);
     let last = packets.iter().map(|p| p.ts_us).max().unwrap_or(0);
-    let _ = writeln!(
-        out,
-        "duration: {:.1} s",
-        (last - first) as f64 / 1e6
-    );
+    let _ = writeln!(out, "duration: {:.1} s", (last - first) as f64 / 1e6);
     let flows: std::collections::HashSet<FlowKey> =
         packets.iter().map(|p| FlowKey::of(p).canonical()).collect();
     let _ = writeln!(out, "conversations: {}", flows.len());
@@ -95,7 +90,7 @@ pub fn inspect_packets(packets: &[Packet]) -> String {
         *ports.entry(p.dst_port).or_default() += 1;
     }
     let mut top: Vec<(u16, usize)> = ports.into_iter().collect();
-    top.sort_by(|a, b| b.1.cmp(&a.1));
+    top.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     let _ = writeln!(out, "top destination ports:");
     for (port, n) in top.into_iter().take(5) {
         let _ = writeln!(out, "  {port:>5}: {n}");
@@ -110,9 +105,88 @@ pub fn inspect_cmd(args: &Args) -> Result<String, String> {
     Ok(inspect_packets(&packets))
 }
 
-/// `dpnet analyze <file> <query> [--budget E] [--eps E] [--seed N]` — run a
-/// private analysis. Queries: `count`, `lengths`, `ports`, `rtt`, `loss`,
-/// `heavy-hosts`.
+/// Run one named query against an already-protected trace, returning its
+/// report text. Shared by `analyze` and `audit`.
+fn run_query(q: &Queryable<Packet>, query: &str, eps: f64) -> Result<String, String> {
+    let mut out = String::new();
+    match query {
+        "count" => {
+            let c = q.noisy_count(eps).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "noisy packet count: {c:.1}");
+        }
+        "heavy-hosts" => {
+            let c = heavy_hosts_to_port(q, 80, 1024, eps).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "hosts sending >1 KB to port 80 ≈ {c:.1}");
+        }
+        "lengths" => {
+            let cdf = packet_length_cdf(q, 1500, 50, eps).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "packet-length CDF (50-byte buckets):");
+            for (edge, v) in cdf.bucket_edges.iter().zip(&cdf.cdf).step_by(5) {
+                let _ = writeln!(out, "  ≤{edge:>5} B: {v:>12.1}");
+            }
+        }
+        "ports" => {
+            let cdf = port_cdf(q, 1024, eps).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "destination-port CDF (1024-port buckets):");
+            for (edge, v) in cdf.bucket_edges.iter().zip(&cdf.cdf).step_by(8) {
+                let _ = writeln!(out, "  ≤{edge:>6}: {v:>12.1}");
+            }
+        }
+        "rtt" => {
+            let cdf = rtt_cdf(q, 600, 20, eps).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "handshake RTT CDF (20 ms buckets; join costs 2ε):");
+            for (edge, v) in cdf.bucket_edges.iter().zip(&cdf.cdf).step_by(5) {
+                let _ = writeln!(out, "  ≤{edge:>4} ms: {v:>10.1}");
+            }
+        }
+        "loss" => {
+            let cdf = loss_rate_cdf(q, 20, 10, eps).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "flow loss-rate CDF (5% buckets; GroupBy costs 2ε):");
+            for (edge, v) in cdf.bucket_edges.iter().zip(&cdf.cdf).step_by(2) {
+                let _ = writeln!(out, "  ≤{:>3}%: {v:>10.1}", edge * 5);
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown query '{other}' (try count, lengths, ports, rtt, loss, heavy-hosts)"
+            ))
+        }
+    }
+    Ok(out)
+}
+
+/// Build the accountant/noise/queryable triple shared by the private
+/// subcommands. `seed == 0` means fresh entropy.
+fn protect(
+    packets: Vec<Packet>,
+    budget_eps: f64,
+    seed: u64,
+    label: Option<&str>,
+) -> (Accountant, Queryable<Packet>) {
+    let budget = Accountant::new(budget_eps);
+    let noise = if seed == 0 {
+        NoiseSource::from_entropy()
+    } else {
+        NoiseSource::seeded(seed)
+    };
+    let mut q = Queryable::new(packets, &budget, &noise);
+    if let Some(label) = label {
+        q = q.with_label(label);
+    }
+    (budget, q)
+}
+
+/// Write the accountant's JSONL audit ledger to `path`.
+fn write_audit(budget: &Accountant, path: &str) -> Result<(), String> {
+    let mut file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    budget
+        .export_audit_jsonl(&mut file)
+        .map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// `dpnet analyze <file> <query> [--budget E] [--eps E] [--seed N]
+/// [--label L] [--audit-out FILE]` — run a private analysis. Queries:
+/// `count`, `lengths`, `ports`, `rtt`, `loss`, `heavy-hosts`.
 pub fn analyze_cmd(args: &Args) -> Result<String, String> {
     let path = args.positional(0, "trace file")?;
     let query = args.positional(1, "query")?.to_string();
@@ -121,62 +195,73 @@ pub fn analyze_cmd(args: &Args) -> Result<String, String> {
     let seed: u64 = args.flag_or("seed", 0u64)?;
 
     let packets = load_trace(path)?;
-    let budget = Accountant::new(budget_eps);
-    let noise = if seed == 0 {
-        NoiseSource::from_entropy()
-    } else {
-        NoiseSource::seeded(seed)
-    };
-    let q = Queryable::new(packets, &budget, &noise);
-
-    let mut out = String::new();
-    match query.as_str() {
-        "count" => {
-            let c = q.noisy_count(eps).map_err(|e| e.to_string())?;
-            let _ = writeln!(out, "noisy packet count: {c:.1}");
-        }
-        "lengths" => {
-            let cdf = packet_length_cdf(&q, 1500, 50, eps).map_err(|e| e.to_string())?;
-            let _ = writeln!(out, "packet-length CDF (50-byte buckets):");
-            for (edge, v) in cdf.bucket_edges.iter().zip(&cdf.cdf).step_by(5) {
-                let _ = writeln!(out, "  ≤{edge:>5} B: {v:>12.1}");
-            }
-        }
-        "ports" => {
-            let cdf = port_cdf(&q, 1024, eps).map_err(|e| e.to_string())?;
-            let _ = writeln!(out, "destination-port CDF (1024-port buckets):");
-            for (edge, v) in cdf.bucket_edges.iter().zip(&cdf.cdf).step_by(8) {
-                let _ = writeln!(out, "  ≤{edge:>6}: {v:>12.1}");
-            }
-        }
-        "rtt" => {
-            let cdf = rtt_cdf(&q, 600, 20, eps).map_err(|e| e.to_string())?;
-            let _ = writeln!(out, "handshake RTT CDF (20 ms buckets; join costs 2ε):");
-            for (edge, v) in cdf.bucket_edges.iter().zip(&cdf.cdf).step_by(5) {
-                let _ = writeln!(out, "  ≤{edge:>4} ms: {v:>10.1}");
-            }
-        }
-        "loss" => {
-            let cdf = loss_rate_cdf(&q, 20, 10, eps).map_err(|e| e.to_string())?;
-            let _ = writeln!(out, "flow loss-rate CDF (5% buckets; GroupBy costs 2ε):");
-            for (edge, v) in cdf.bucket_edges.iter().zip(&cdf.cdf).step_by(2) {
-                let _ = writeln!(out, "  ≤{:>3}%: {v:>10.1}", edge * 5);
-            }
-        }
-        "heavy-hosts" => {
-            let c = heavy_hosts_to_port(&q, 80, 1024, eps).map_err(|e| e.to_string())?;
-            let _ = writeln!(out, "hosts sending >1 KB to port 80 ≈ {c:.1}");
-        }
-        other => return Err(format!(
-            "unknown query '{other}' (try count, lengths, ports, rtt, loss, heavy-hosts)"
-        )),
-    }
+    let (budget, q) = protect(
+        packets,
+        budget_eps,
+        seed,
+        args.flags.get("label").map(|s| s.as_str()),
+    );
+    let mut out = run_query(&q, &query, eps)?;
     let _ = writeln!(
         out,
         "budget: spent {:.3} of {:.3}",
         budget.spent(),
         budget.total()
     );
+    if let Some(audit_path) = args.flags.get("audit-out") {
+        write_audit(&budget, audit_path)?;
+        let _ = writeln!(out, "audit ledger written to {audit_path}");
+    }
+    Ok(out)
+}
+
+/// `dpnet audit <file> <query> [--budget E] [--eps E] [--seed N]
+/// [--label L] [--out FILE]` — run a private analysis and report the
+/// owner-side view: per-operator ε spend (with provenance-exact totals
+/// that sum to the accountant's reading), ledger retention, and optionally
+/// the full JSONL audit export.
+pub fn audit_cmd(args: &Args) -> Result<String, String> {
+    let path = args.positional(0, "trace file")?;
+    let query = args.positional(1, "query")?.to_string();
+    let budget_eps: f64 = args.flag_or("budget", 1.0f64)?;
+    let eps: f64 = args.flag_or("eps", 0.1f64)?;
+    let seed: u64 = args.flag_or("seed", 0u64)?;
+    let label = args
+        .flags
+        .get("label")
+        .cloned()
+        .unwrap_or_else(|| query.clone());
+
+    let packets = load_trace(path)?;
+    let (budget, q) = protect(packets, budget_eps, seed, Some(&label));
+    let analysis = run_query(&q, &query, eps)?;
+
+    let mut out = analysis;
+    let _ = writeln!(out, "per-operator ε spend (label '{label}'):");
+    let totals = budget.operator_totals();
+    let mut sum = 0.0;
+    for (op, t) in &totals {
+        sum += t.epsilon;
+        // Raw float formatting: the audit view must be exact, not rounded.
+        let _ = writeln!(
+            out,
+            "  {:<16} eps {}  ({} charges)",
+            op, t.epsilon, t.entries
+        );
+    }
+    let _ = writeln!(out, "  {:<16} eps {}", "total", sum);
+    let _ = writeln!(
+        out,
+        "accountant: spent {} of {} ({} ledger entries retained, {} evicted)",
+        budget.spent(),
+        budget.total(),
+        budget.audit_log().len(),
+        budget.evicted_entries()
+    );
+    if let Some(out_path) = args.flags.get("out") {
+        write_audit(&budget, out_path)?;
+        let _ = writeln!(out, "audit ledger written to {out_path}");
+    }
     Ok(out)
 }
 
@@ -200,13 +285,12 @@ pub fn classify_cmd(args: &Args) -> Result<String, String> {
     };
 
     let packets = load_trace(path)?;
-    let budget = Accountant::new(budget_eps);
-    let noise = if seed == 0 {
-        NoiseSource::from_entropy()
-    } else {
-        NoiseSource::seeded(seed)
-    };
-    let q = Queryable::new(packets, &budget, &noise);
+    let (budget, q) = protect(
+        packets,
+        budget_eps,
+        seed,
+        args.flags.get("label").map(|s| s.as_str()),
+    );
     let shares = rule_traffic(&q, &classifier, 1500.0, eps).map_err(|e| e.to_string())?;
 
     let mut out = String::new();
@@ -224,6 +308,10 @@ pub fn classify_cmd(args: &Args) -> Result<String, String> {
         budget.spent(),
         budget.total()
     );
+    if let Some(audit_path) = args.flags.get("audit-out") {
+        write_audit(&budget, audit_path)?;
+        let _ = writeln!(out, "audit ledger written to {audit_path}");
+    }
     Ok(out)
 }
 
@@ -237,10 +325,12 @@ pub fn usage() -> String {
        generate <out> [--seed N] [--flows N]   synthesize a hotspot trace\n\
        convert  <in> <out>                     re-encode (.txt text, .pcap libpcap, else binary)\n\
        inspect  <file>                         owner-side summary (non-private)\n\
-       analyze  <file> <query> [--budget E] [--eps E] [--seed N]\n\
+       analyze  <file> <query> [--budget E] [--eps E] [--seed N] [--label L] [--audit-out FILE]\n\
                 queries: count lengths ports rtt loss heavy-hosts\n\
-       classify <file> [--rules FILE] [--budget E] [--eps E] [--seed N]\n\
-                private per-rule traffic shares\n"
+       classify <file> [--rules FILE] [--budget E] [--eps E] [--seed N] [--audit-out FILE]\n\
+                private per-rule traffic shares\n\
+       audit    <file> <query> [--budget E] [--eps E] [--seed N] [--label L] [--out FILE]\n\
+                run a query, then print the owner-side per-operator \u{3b5} ledger\n"
         .to_string()
 }
 
@@ -262,10 +352,8 @@ mod tests {
     #[test]
     fn generate_inspect_analyze_round_trip() {
         let path = tmp("t1.dpnt");
-        let report = generate_cmd(&args(&[
-            "generate", &path, "--seed", "5", "--flows", "60",
-        ]))
-        .unwrap();
+        let report =
+            generate_cmd(&args(&["generate", &path, "--seed", "5", "--flows", "60"])).unwrap();
         assert!(report.contains("wrote"));
 
         let summary = inspect_cmd(&args(&["inspect", &path])).unwrap();
@@ -311,10 +399,8 @@ mod tests {
     fn classify_reports_rule_shares() {
         let path = tmp("t7.dpnt");
         generate_cmd(&args(&["generate", &path, "--flows", "40"])).unwrap();
-        let report = classify_cmd(&args(&[
-            "classify", &path, "--eps", "0.5", "--seed", "13",
-        ]))
-        .unwrap();
+        let report =
+            classify_cmd(&args(&["classify", &path, "--eps", "0.5", "--seed", "13"])).unwrap();
         assert!(report.contains("web-in"));
         assert!(report.contains("catch-all"));
         assert!(report.contains("spent 1.000")); // 2 × 0.5
@@ -351,6 +437,105 @@ mod tests {
     #[test]
     fn inspect_of_empty_trace() {
         assert!(inspect_packets(&[]).contains("packets: 0"));
+    }
+
+    /// Parse the raw-float eps values out of an `audit` report: the
+    /// per-operator lines and the `total` line, plus the spent figure.
+    fn parse_audit(report: &str) -> (Vec<(String, f64)>, f64, f64) {
+        let mut ops = Vec::new();
+        let mut total = f64::NAN;
+        let mut spent = f64::NAN;
+        for line in report.lines() {
+            let t = line.trim();
+            if let Some(rest) = t.strip_prefix("accountant: spent ") {
+                spent = rest.split(' ').next().unwrap().parse().unwrap();
+            } else if let Some((name, rest)) = t.split_once(" eps ") {
+                let value: f64 = rest.split(' ').next().unwrap().parse().unwrap();
+                if name.trim() == "total" {
+                    total = value;
+                } else {
+                    ops.push((name.trim().to_string(), value));
+                }
+            }
+        }
+        (ops, total, spent)
+    }
+
+    #[test]
+    fn audit_per_operator_spend_sums_to_accountant_total() {
+        let path = tmp("t8.dpnt");
+        generate_cmd(&args(&["generate", &path, "--flows", "40"])).unwrap();
+        // rtt exercises a multi-operator chain (join → group_by → counts).
+        let report = audit_cmd(&args(&[
+            "audit", &path, "rtt", "--budget", "5.0", "--eps", "0.07", "--seed", "21",
+        ]))
+        .unwrap();
+        let (ops, total, spent) = parse_audit(&report);
+        assert!(!ops.is_empty(), "no per-operator lines in:\n{report}");
+        let sum: f64 = ops.iter().map(|(_, e)| e).sum();
+        assert!(
+            (sum - spent).abs() < 1e-9,
+            "operator sum {sum} vs spent {spent}\n{report}"
+        );
+        assert!((total - spent).abs() < 1e-9);
+        assert!(report.contains("label 'rtt'"));
+    }
+
+    #[test]
+    fn audit_exports_a_parseable_ledger() {
+        let path = tmp("t9.dpnt");
+        let ledger = tmp("t9.audit.jsonl");
+        generate_cmd(&args(&["generate", &path, "--flows", "30"])).unwrap();
+        let report = audit_cmd(&args(&[
+            "audit",
+            &path,
+            "count",
+            "--eps",
+            "0.25",
+            "--seed",
+            "3",
+            "--out",
+            &ledger,
+            "--label",
+            "session-42",
+        ]))
+        .unwrap();
+        assert!(report.contains("audit ledger written"));
+        assert!(report.contains("label 'session-42'"));
+        let text = std::fs::read_to_string(&ledger).unwrap();
+        let mut saw_summary = false;
+        for line in text.lines() {
+            let obj = dpnet_obs::json::parse_flat_object(line)
+                .unwrap_or_else(|| panic!("unparseable audit line: {line}"));
+            if obj["type"].as_str() == Some("summary") {
+                saw_summary = true;
+                assert!((obj["spent"].as_f64().unwrap() - 0.25).abs() < 1e-9);
+            }
+        }
+        assert!(saw_summary, "no summary line in:\n{text}");
+    }
+
+    #[test]
+    fn analyze_audit_out_writes_the_ledger() {
+        let path = tmp("t10.dpnt");
+        let ledger = tmp("t10.audit.jsonl");
+        generate_cmd(&args(&["generate", &path, "--flows", "20"])).unwrap();
+        let report = analyze_cmd(&args(&[
+            "analyze",
+            &path,
+            "count",
+            "--seed",
+            "2",
+            "--audit-out",
+            &ledger,
+            "--label",
+            "weekly",
+        ]))
+        .unwrap();
+        assert!(report.contains("audit ledger written"));
+        let text = std::fs::read_to_string(&ledger).unwrap();
+        assert!(text.contains("\"label\":\"weekly\""));
+        assert!(text.contains("\"op\":\"noisy_count\""));
     }
 
     #[test]

@@ -22,11 +22,15 @@ fn main() {
         "inspect" => commands::inspect_cmd(&parsed),
         "analyze" => commands::analyze_cmd(&parsed),
         "classify" => commands::classify_cmd(&parsed),
+        "audit" => commands::audit_cmd(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::usage());
             return;
         }
-        other => Err(format!("unknown command '{other}'\n\n{}", commands::usage())),
+        other => Err(format!(
+            "unknown command '{other}'\n\n{}",
+            commands::usage()
+        )),
     };
     match result {
         Ok(report) => println!("{report}"),

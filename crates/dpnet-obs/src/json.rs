@@ -1,0 +1,297 @@
+//! A deliberately tiny JSON layer: an object writer for event/report
+//! serialization and a parser for *flat* objects (string/number/bool/null
+//! values only — exactly the shape of the JSONL audit export). Not a general
+//! JSON implementation, and not trying to be one; the point is zero
+//! dependencies and a surface small enough to audit by eye.
+
+use std::collections::BTreeMap;
+
+/// Escape `s` into a JSON string literal (including the quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render an `f64` the way the audit format expects: finite values via
+/// Rust's shortest-roundtrip `Display`, non-finite as `null`.
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // Guarantee a numeric token that parses back as f64 (Display prints
+        // integers without a fractional part, which is still valid JSON).
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Incremental writer for one flat JSON object.
+#[derive(Debug, Default)]
+pub struct JsonObj {
+    buf: String,
+}
+
+impl JsonObj {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        JsonObj { buf: String::new() }
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push_str(&escape(name));
+        self.buf.push(':');
+    }
+
+    /// Add a string field.
+    pub fn field_str(&mut self, name: &str, value: &str) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(&escape(value));
+        self
+    }
+
+    /// Add a string field only when `value` is `Some`.
+    pub fn field_opt_str(&mut self, name: &str, value: Option<&str>) -> &mut Self {
+        if let Some(v) = value {
+            self.field_str(name, v);
+        }
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn field_u64(&mut self, name: &str, value: u64) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Add a float field (`null` when non-finite).
+    pub fn field_f64(&mut self, name: &str, value: f64) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(&number(value));
+        self
+    }
+
+    /// Add a float field only when `value` is `Some`.
+    pub fn field_opt_f64(&mut self, name: &str, value: Option<f64>) -> &mut Self {
+        if let Some(v) = value {
+            self.field_f64(name, v);
+        }
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn field_bool(&mut self, name: &str, value: bool) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Close the object and return the JSON text.
+    pub fn finish(&mut self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// A scalar value from a flat JSON object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonScalar {
+    /// A string value (unescaped).
+    Str(String),
+    /// A numeric value.
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// JSON `null`.
+    Null,
+}
+
+impl JsonScalar {
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonScalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonScalar::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one flat JSON object (`{"k": scalar, ...}` — no nesting, no
+/// arrays). Returns `None` on any malformed input rather than guessing.
+pub fn parse_flat_object(line: &str) -> Option<BTreeMap<String, JsonScalar>> {
+    let mut chars = line.trim().chars().peekable();
+    let mut out = BTreeMap::new();
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+    }
+
+    fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+        if chars.next()? != '"' {
+            return None;
+        }
+        let mut s = String::new();
+        loop {
+            match chars.next()? {
+                '"' => return Some(s),
+                '\\' => match chars.next()? {
+                    '"' => s.push('"'),
+                    '\\' => s.push('\\'),
+                    '/' => s.push('/'),
+                    'n' => s.push('\n'),
+                    'r' => s.push('\r'),
+                    't' => s.push('\t'),
+                    'u' => {
+                        let hex: String = (0..4).map_while(|_| chars.next()).collect();
+                        if hex.len() != 4 {
+                            return None;
+                        }
+                        let code = u32::from_str_radix(&hex, 16).ok()?;
+                        s.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                c => s.push(c),
+            }
+        }
+    }
+
+    skip_ws(&mut chars);
+    if chars.next()? != '{' {
+        return None;
+    }
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        return Some(out);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next()? != ':' {
+            return None;
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek()? {
+            '"' => JsonScalar::Str(parse_string(&mut chars)?),
+            't' | 'f' | 'n' => {
+                let word: String =
+                    std::iter::from_fn(|| chars.next_if(|c| c.is_ascii_alphabetic())).collect();
+                match word.as_str() {
+                    "true" => JsonScalar::Bool(true),
+                    "false" => JsonScalar::Bool(false),
+                    "null" => JsonScalar::Null,
+                    _ => return None,
+                }
+            }
+            _ => {
+                let tok: String = std::iter::from_fn(|| {
+                    chars
+                        .next_if(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+                })
+                .collect();
+                JsonScalar::Num(tok.parse().ok()?)
+            }
+        };
+        out.insert(key, value);
+        skip_ws(&mut chars);
+        match chars.next()? {
+            ',' => continue,
+            '}' => break,
+            _ => return None,
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return None;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_produces_valid_flat_objects() {
+        let mut o = JsonObj::new();
+        o.field_str("type", "spend")
+            .field_f64("eps", 0.25)
+            .field_u64("seq", 7)
+            .field_bool("ok", true)
+            .field_opt_str("label", None)
+            .field_f64("bad", f64::NAN);
+        let s = o.finish();
+        assert_eq!(
+            s,
+            r#"{"type":"spend","eps":0.25,"seq":7,"ok":true,"bad":null}"#
+        );
+    }
+
+    #[test]
+    fn escaping_roundtrips() {
+        let nasty = "a\"b\\c\nd\te\u{1}f";
+        let mut o = JsonObj::new();
+        o.field_str("k", nasty);
+        let parsed = parse_flat_object(&o.finish()).expect("parses");
+        assert_eq!(parsed["k"].as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn writer_output_parses_back() {
+        let mut o = JsonObj::new();
+        o.field_str("op", "noisy_count")
+            .field_f64("eps", 1e-9)
+            .field_f64("neg", -2.5)
+            .field_u64("n", u64::MAX);
+        let m = parse_flat_object(&o.finish()).expect("parses");
+        assert_eq!(m["op"].as_str(), Some("noisy_count"));
+        assert_eq!(m["eps"].as_f64(), Some(1e-9));
+        assert_eq!(m["neg"].as_f64(), Some(-2.5));
+        assert_eq!(m["n"].as_f64(), Some(u64::MAX as f64));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{\"a\":1} trailing",
+            "[1,2]",
+            "{\"a\":{\"nested\":1}}",
+        ] {
+            assert!(parse_flat_object(bad).is_none(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn empty_object_is_fine() {
+        assert!(parse_flat_object("{}").expect("parses").is_empty());
+    }
+}

@@ -17,6 +17,7 @@
 //! rule recovery against planted ground truth.
 
 use crate::itemsets::FrequentItemset;
+use dpnet_obs::{emit_phase_global, SpanTimer};
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -46,6 +47,7 @@ pub fn association_rules<I>(
 where
     I: Ord + Hash + Clone,
 {
+    let timer = SpanTimer::start();
     // Index supports by itemset for denominator lookups.
     let support_of: HashMap<Vec<I>, f64> = itemsets
         .iter()
@@ -84,12 +86,11 @@ where
         b.confidence
             .partial_cmp(&a.confidence)
             .expect("finite confidence")
-            .then(
-                b.support
-                    .partial_cmp(&a.support)
-                    .expect("finite support"),
-            )
+            .then(b.support.partial_cmp(&a.support).expect("finite support"))
     });
+    // Pure post-processing of released counts: ε cost is zero, and the
+    // phase event says so explicitly in the owner's timeline.
+    emit_phase_global("association_rules", 0.0, timer.elapsed_ns());
     rules
 }
 
@@ -110,8 +111,8 @@ mod tests {
             itemset(&[53], 800.0, 1),
             itemset(&[80], 500.0, 1),
             itemset(&[443], 300.0, 1),
-            itemset(&[53, 80], 450.0, 2),  // 80 ⇒ 53 at 0.9
-            itemset(&[80, 443], 60.0, 2),  // 443 ⇒ 80 at 0.2
+            itemset(&[53, 80], 450.0, 2), // 80 ⇒ 53 at 0.9
+            itemset(&[80, 443], 60.0, 2), // 443 ⇒ 80 at 0.2
         ]
     }
 
@@ -167,10 +168,9 @@ mod tests {
             itemset(&[1, 2, 3], 85.0, 3),
         ];
         let rules = association_rules(&with_triple, 0.5);
-        assert!(rules
-            .iter()
-            .any(|r| r.antecedent == vec![1, 2] && r.consequent == vec![3]
-                && (r.confidence - 85.0 / 90.0).abs() < 1e-9));
+        assert!(rules.iter().any(|r| r.antecedent == vec![1, 2]
+            && r.consequent == vec![3]
+            && (r.confidence - 85.0 / 90.0).abs() < 1e-9));
     }
 
     #[test]

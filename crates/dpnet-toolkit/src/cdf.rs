@@ -16,6 +16,7 @@
 //! values (e.g. 1-ms bins for the paper's retransmission-delay CDF).
 //! Outputs are estimates of `#{records with bucket ≤ b}` for each `b`.
 
+use dpnet_obs::{emit_phase_global, SpanTimer};
 use pinq::{Queryable, Result};
 
 /// Noise-free reference CDF over bucket indices. Records with out-of-range
@@ -43,13 +44,14 @@ pub fn noise_free_cdf(values: &[usize], n_buckets: usize) -> Vec<f64> {
 /// budget, each count gets only `budget/|buckets|`, and the paper's Figure 1
 /// shows the resulting error is "incredibly high".
 pub fn cdf_naive(data: &Queryable<usize>, n_buckets: usize, eps: f64) -> Result<Vec<f64>> {
+    let timer = SpanTimer::start();
     let mut out = Vec::with_capacity(n_buckets);
     for b in 0..n_buckets {
-        let c = data
-            .filter(|&v| v <= b && v < n_buckets)
-            .noisy_count(eps)?;
+        let c = data.filter(|&v| v <= b && v < n_buckets).noisy_count(eps)?;
         out.push(c);
     }
+    // ε by construction for a stability-1 input: one count per bucket.
+    emit_phase_global("cdf_naive", n_buckets as f64 * eps, timer.elapsed_ns());
     Ok(out)
 }
 
@@ -60,11 +62,8 @@ pub fn cdf_naive(data: &Queryable<usize>, n_buckets: usize, eps: f64) -> Result<
 /// independent and cancel somewhat: the error std at any point is
 /// `O(√|buckets|)·√2/ε`, and the estimate tends to drift coherently (the
 /// paper notes a run may consistently under- or over-estimate).
-pub fn cdf_partition(
-    data: &Queryable<usize>,
-    n_buckets: usize,
-    eps: f64,
-) -> Result<Vec<f64>> {
+pub fn cdf_partition(data: &Queryable<usize>, n_buckets: usize, eps: f64) -> Result<Vec<f64>> {
+    let timer = SpanTimer::start();
     let keys: Vec<usize> = (0..n_buckets).collect();
     let parts = data.partition(&keys, |&v| v);
     let mut out = Vec::with_capacity(n_buckets);
@@ -73,6 +72,8 @@ pub fn cdf_partition(
         tally += part.noisy_count(eps)?;
         out.push(tally);
     }
+    // Parallel composition: ε total regardless of resolution.
+    emit_phase_global("cdf_partition", eps, timer.elapsed_ns());
     Ok(out)
 }
 
@@ -85,28 +86,22 @@ pub fn cdf_partition(
 ///
 /// `n_buckets` is padded internally to a power of two; only the first
 /// `n_buckets` outputs are returned.
-pub fn cdf_hierarchical(
-    data: &Queryable<usize>,
-    n_buckets: usize,
-    eps: f64,
-) -> Result<Vec<f64>> {
+pub fn cdf_hierarchical(data: &Queryable<usize>, n_buckets: usize, eps: f64) -> Result<Vec<f64>> {
     if n_buckets == 0 {
         return Ok(Vec::new());
     }
+    let timer = SpanTimer::start();
     let max = n_buckets.next_power_of_two();
     // Drop out-of-range values so padding buckets stay empty.
     let data = data.filter(|&v| v < n_buckets);
     let mut out = Vec::with_capacity(max);
     rec(&data, eps, max, &mut out)?;
     out.truncate(n_buckets);
+    let levels = (max.trailing_zeros() + 1) as f64;
+    emit_phase_global("cdf_hierarchical", levels * eps, timer.elapsed_ns());
     return Ok(out);
 
-    fn rec(
-        data: &Queryable<usize>,
-        eps: f64,
-        max: usize,
-        out: &mut Vec<f64>,
-    ) -> Result<()> {
+    fn rec(data: &Queryable<usize>, eps: f64, max: usize, out: &mut Vec<f64>) -> Result<()> {
         if max == 1 {
             out.push(data.noisy_count(eps)?);
             return Ok(());
@@ -192,11 +187,7 @@ mod tests {
         cdf_hierarchical(&q, 64, 0.5).unwrap();
         // 64 buckets → log2 = 6 levels of partition + leaf = 7 charges of
         // 0.5 on the deepest path.
-        assert!(
-            (acct.spent() - 3.5).abs() < 1e-9,
-            "spent {}",
-            acct.spent()
-        );
+        assert!((acct.spent() - 3.5).abs() < 1e-9, "spent {}", acct.spent());
     }
 
     #[test]
@@ -277,9 +268,7 @@ mod tests {
     #[test]
     fn error_std_helpers_are_monotone() {
         assert!(cdf_partition_error_std(63, 0.1) > cdf_partition_error_std(0, 0.1));
-        assert!(
-            cdf_hierarchical_error_std(1024, 0.1) > cdf_hierarchical_error_std(2, 0.1)
-        );
+        assert!(cdf_hierarchical_error_std(1024, 0.1) > cdf_hierarchical_error_std(2, 0.1));
         // At 64 buckets, the cdf3 bound beats cdf2's worst point.
         assert!(cdf_hierarchical_error_std(64, 0.1) < cdf_partition_error_std(63, 0.1));
     }

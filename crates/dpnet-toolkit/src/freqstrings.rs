@@ -17,6 +17,7 @@
 //! round; sequential across the `B` rounds). The final counts estimate the
 //! number of records carrying each surviving `B`-byte string.
 
+use dpnet_obs::{emit_phase_global, SpanTimer};
 use pinq::{Queryable, Result};
 
 /// Configuration for the frequent-string search.
@@ -69,11 +70,14 @@ pub fn frequent_strings(
     cfg: &FrequentStringsConfig,
 ) -> Result<Vec<FrequentString>> {
     assert!(cfg.length > 0, "string length must be positive");
+    let timer = SpanTimer::start();
     // Viable prefixes from the previous round (starts with the empty one).
     let mut viable: Vec<Vec<u8>> = vec![Vec::new()];
     let mut counts: Vec<f64> = vec![f64::INFINITY];
+    let mut levels_run = 0usize;
 
     for level in 1..=cfg.length {
+        levels_run = level;
         // Candidates: every viable prefix extended by every byte value.
         let mut candidates: Vec<Vec<u8>> = Vec::with_capacity(viable.len() * 256);
         for prefix in &viable {
@@ -122,6 +126,12 @@ pub fn frequent_strings(
             .partial_cmp(&a.noisy_count)
             .expect("noisy counts are finite")
     });
+    // One partitioned count per extension round actually executed.
+    emit_phase_global(
+        "frequent_strings",
+        levels_run as f64 * cfg.eps_per_level,
+        timer.elapsed_ns(),
+    );
     Ok(out)
 }
 
@@ -133,6 +143,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     /// Dataset: a few planted frequent strings plus unique-random noise.
+    #[allow(clippy::type_complexity)]
     fn dataset(seed: u64) -> (Vec<Vec<u8>>, Vec<(Vec<u8>, usize)>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let planted: Vec<(Vec<u8>, usize)> = vec![

@@ -16,6 +16,7 @@
 //! supports; the count each candidate receives is then roughly its support
 //! divided by the typical overlap, preserving support *order*.
 
+use dpnet_obs::{emit_phase_global, SpanTimer};
 use pinq::{Queryable, Result};
 use std::collections::{BTreeSet, HashSet};
 use std::hash::{Hash, Hasher};
@@ -64,22 +65,20 @@ where
     I: Ord + Hash + Clone + Send + Sync + 'static,
 {
     assert!(cfg.max_size > 0, "max_size must be positive");
+    let timer = SpanTimer::start();
     let mut results: Vec<FrequentItemset<I>> = Vec::new();
+    let mut levels_run = 0usize;
 
     // Level-1 candidates: singletons over the universe.
-    let mut candidates: Vec<Vec<I>> = cfg
-        .universe
-        .iter()
-        .map(|i| vec![i.clone()])
-        .collect();
+    let mut candidates: Vec<Vec<I>> = cfg.universe.iter().map(|i| vec![i.clone()]).collect();
 
     for level in 1..=cfg.max_size {
         if candidates.is_empty() {
             break;
         }
+        levels_run = level;
         let keys: Vec<Vec<I>> = candidates.clone();
-        let key_set: Vec<BTreeSet<I>> =
-            keys.iter().map(|k| k.iter().cloned().collect()).collect();
+        let key_set: Vec<BTreeSet<I>> = keys.iter().map(|k| k.iter().cloned().collect()).collect();
         let keys_in_closure = keys.clone();
         // Partition records among the candidates they support, rotating by
         // record hash to spread the evidence.
@@ -156,6 +155,12 @@ where
                 .expect("finite counts"),
         )
     });
+    // One partitioned count per apriori level actually executed.
+    emit_phase_global(
+        "frequent_itemsets",
+        levels_run as f64 * cfg.eps_per_level,
+        timer.elapsed_ns(),
+    );
     Ok(results)
 }
 
@@ -232,8 +237,7 @@ mod tests {
             threshold: 40.0,
         };
         let found = frequent_itemsets(&q, &cfg).unwrap();
-        let pairs: Vec<&FrequentItemset<u16>> =
-            found.iter().filter(|f| f.size == 2).collect();
+        let pairs: Vec<&FrequentItemset<u16>> = found.iter().filter(|f| f.size == 2).collect();
         assert!(pairs.len() >= 3, "pairs found: {}", pairs.len());
         assert_eq!(pairs[0].items, vec![22, 80]);
         assert_eq!(pairs[1].items, vec![80, 443]);

@@ -33,7 +33,6 @@ pub mod stats;
 
 pub use assoc::{association_rules, AssociationRule};
 pub use cdf::{cdf_hierarchical, cdf_naive, cdf_partition, noise_free_cdf};
-pub use quantiles::{noisy_quantile, quantiles_from_cdf};
 pub use freqstrings::{frequent_strings, FrequentString, FrequentStringsConfig};
 pub use isotonic::isotonic_regression;
 pub use itemsets::{frequent_itemsets, FrequentItemset, ItemsetConfig};
@@ -42,4 +41,5 @@ pub use kmeans::{
     ClusteringTrajectory, KMeansConfig,
 };
 pub use linalg::{jacobi_eigen, pca_residual_norms, Matrix};
+pub use quantiles::{noisy_quantile, quantiles_from_cdf};
 pub use stats::{mean, percentile, relative_rmse, rmse, std_dev};

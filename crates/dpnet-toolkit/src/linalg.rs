@@ -113,16 +113,16 @@ impl Matrix {
     pub fn center_columns(&mut self) -> Vec<f64> {
         let mut means = vec![0.0; self.cols];
         for r in 0..self.rows {
-            for c in 0..self.cols {
-                means[c] += self.get(r, c);
+            for (c, m) in means.iter_mut().enumerate() {
+                *m += self.get(r, c);
             }
         }
         for m in means.iter_mut() {
             *m /= self.rows.max(1) as f64;
         }
         for r in 0..self.rows {
-            for c in 0..self.cols {
-                let v = self.get(r, c) - means[c];
+            for (c, &m) in means.iter().enumerate() {
+                let v = self.get(r, c) - m;
                 self.set(r, c, v);
             }
         }

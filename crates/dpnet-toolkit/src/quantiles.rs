@@ -39,17 +39,14 @@ pub fn noisy_quantile(
     if !(0.0..=1.0).contains(&q) {
         return Err(Error::InvalidRange { lo: 0.0, hi: 1.0 });
     }
-    if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+    if lo >= hi || !lo.is_finite() || !hi.is_finite() {
         return Err(Error::InvalidRange { lo, hi });
     }
     if buckets == 0 {
         return Err(Error::EmptyCandidates);
     }
     let n = values.len() as f64;
-    let mut sorted: Vec<f64> = values
-        .iter()
-        .map(|&v| v.clamp(lo, hi))
-        .collect();
+    let mut sorted: Vec<f64> = values.iter().map(|&v| v.clamp(lo, hi)).collect();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("clamped values compare"));
     let step = (hi - lo) / buckets as f64;
     let candidates: Vec<f64> = (0..=buckets).map(|i| lo + i as f64 * step).collect();
@@ -102,8 +99,7 @@ mod tests {
             let mut total = 0.0;
             let trials = 100;
             for _ in 0..trials {
-                total +=
-                    noisy_quantile(&noise, &values, q, 0.0, 1000.0, 200, 2.0).unwrap();
+                total += noisy_quantile(&noise, &values, q, 0.0, 1000.0, 200, 2.0).unwrap();
             }
             let mean = total / trials as f64;
             assert!(
@@ -138,7 +134,11 @@ mod tests {
         cdf[30] = cdf[29] - 8.0;
         let qs = quantiles_from_cdf(&cdf, &[0.5]);
         // Still lands near the middle.
-        assert!((qs[0] as i64 - 24).unsigned_abs() <= 3, "median bucket {}", qs[0]);
+        assert!(
+            (qs[0] as i64 - 24).unsigned_abs() <= 3,
+            "median bucket {}",
+            qs[0]
+        );
     }
 
     #[test]

@@ -9,11 +9,7 @@
 /// Indices where the noise-free value is zero are skipped (the ratio is
 /// undefined there); if every index is skipped the result is 0.
 pub fn relative_rmse(private: &[f64], noise_free: &[f64]) -> f64 {
-    assert_eq!(
-        private.len(),
-        noise_free.len(),
-        "series lengths must match"
-    );
+    assert_eq!(private.len(), noise_free.len(), "series lengths must match");
     let mut total = 0.0;
     let mut n = 0usize;
     for (&vp, &vnf) in private.iter().zip(noise_free) {

@@ -15,11 +15,10 @@
 //! packets by matched rule, so per-rule traffic shares cost one ε total.
 
 use crate::packet::Packet;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An IPv4 prefix match, e.g. `10.0.0.0/8`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Prefix {
     /// Network address (host byte order).
     pub addr: u32,
@@ -80,7 +79,7 @@ impl fmt::Display for Prefix {
 }
 
 /// An inclusive port range.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PortRange {
     /// Low end, inclusive.
     pub lo: u16,
@@ -90,7 +89,10 @@ pub struct PortRange {
 
 impl PortRange {
     /// The match-all range.
-    pub const ANY: PortRange = PortRange { lo: 0, hi: u16::MAX };
+    pub const ANY: PortRange = PortRange {
+        lo: 0,
+        hi: u16::MAX,
+    };
 
     /// A single-port range.
     pub fn exactly(p: u16) -> Self {
@@ -121,7 +123,7 @@ impl PortRange {
 }
 
 /// One classification rule over the standard five dimensions.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rule {
     /// Human-readable label (e.g. "web-in").
     pub name: String,
@@ -271,7 +273,11 @@ fn rule_overlaps(rule: &Rule, reg: &Region) -> bool {
 }
 
 fn prefix_range(p: Prefix) -> (u32, u32) {
-    let mask = if p.len == 0 { 0 } else { u32::MAX << (32 - p.len) };
+    let mask = if p.len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - p.len)
+    };
     (p.addr, p.addr | !mask)
 }
 
@@ -339,6 +345,7 @@ impl DecisionTree {
                 });
             }
         }
+        #[allow(clippy::type_complexity)]
         let mut best: Option<(Cut, Vec<usize>, Vec<usize>, Region, Region)> = None;
         let mut best_score = rules.len(); // the larger side must shrink
         for cut in candidates {
@@ -362,10 +369,8 @@ impl DecisionTree {
         match best {
             None => (Node::Leaf(rules), 0),
             Some((cut, left, right, lr, rr)) => {
-                let (lnode, ld) =
-                    Self::build_node(cls, left, lr, leaf_size, depth_left - 1);
-                let (rnode, rd) =
-                    Self::build_node(cls, right, rr, leaf_size, depth_left - 1);
+                let (lnode, ld) = Self::build_node(cls, left, lr, leaf_size, depth_left - 1);
+                let (rnode, rd) = Self::build_node(cls, right, rr, leaf_size, depth_left - 1);
                 (
                     Node::Inner {
                         cut,
@@ -492,7 +497,10 @@ mod tests {
         assert_eq!(PortRange::parse("80"), Some(PortRange::exactly(80)));
         assert_eq!(
             PortRange::parse("1024-65535"),
-            Some(PortRange { lo: 1024, hi: 65535 })
+            Some(PortRange {
+                lo: 1024,
+                hi: 65535
+            })
         );
         assert_eq!(PortRange::parse("any"), Some(PortRange::ANY));
         assert!(PortRange::parse("90-80").is_none());
@@ -525,7 +533,10 @@ mod tests {
         assert!(Rule::parse("r tcp any any => any 80").is_err());
         assert!(Rule::parse("r xyz any any -> any 80").is_err());
         assert!(Rule::parse("r tcp 10.0.0.0/40 any -> any 80").is_err());
-        assert!(Classifier::parse("# only comments\n\n").unwrap().rules().is_empty());
+        assert!(Classifier::parse("# only comments\n\n")
+            .unwrap()
+            .rules()
+            .is_empty());
     }
 
     #[test]
@@ -534,7 +545,9 @@ mod tests {
         let tree = DecisionTree::build(cls.clone(), 2, 16);
         assert!(tree.depth() > 0, "tree did not split");
         // Exhaustive-ish sweep over interesting coordinates.
-        let ports = [0u16, 22, 25, 53, 79, 80, 81, 443, 445, 993, 1023, 1024, 60000];
+        let ports = [
+            0u16, 22, 25, 53, 79, 80, 81, 443, 445, 993, 1023, 1024, 60000,
+        ];
         let addrs = [0u32, 0x0a00_0001, 0x0aff_ffff, 0x0b00_0000, 0xffff_ffff];
         let protos = [Proto::Tcp, Proto::Udp, Proto::Icmp];
         for &sp in &ports {
@@ -542,11 +555,7 @@ mod tests {
                 for &src in &addrs {
                     for &proto in &protos {
                         let p = pkt(src, 0x0102_0304, sp, dp, proto);
-                        assert_eq!(
-                            tree.classify(&p),
-                            cls.classify(&p),
-                            "divergence at {p:?}"
-                        );
+                        assert_eq!(tree.classify(&p), cls.classify(&p), "divergence at {p:?}");
                     }
                 }
             }

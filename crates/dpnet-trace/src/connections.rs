@@ -14,14 +14,13 @@
 
 use crate::flow::FlowKey;
 use crate::packet::Packet;
-use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
 /// A packet annotated with the TCP connection it belongs to. Non-TCP
 /// packets receive a connection id derived from their flow alone.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ConnPacket {
     /// Opaque connection identifier: stable across runs for the same trace.
     pub conn_id: u64,
@@ -88,7 +87,15 @@ mod tests {
     use super::*;
     use crate::packet::{Proto, TcpFlags};
 
-    fn tcp(ts: u64, src: u32, dst: u32, sp: u16, dp: u16, flags: TcpFlags, payload: usize) -> Packet {
+    fn tcp(
+        ts: u64,
+        src: u32,
+        dst: u32,
+        sp: u16,
+        dp: u16,
+        flags: TcpFlags,
+        payload: usize,
+    ) -> Packet {
         Packet {
             ts_us: ts,
             src_ip: src,
@@ -113,8 +120,7 @@ mod tests {
             tcp(3, 2, 1, 80, 10, TcpFlags::ack(), 100),
         ];
         let annotated = annotate_connections(&pkts);
-        let ids: std::collections::HashSet<u64> =
-            annotated.iter().map(|c| c.conn_id).collect();
+        let ids: std::collections::HashSet<u64> = annotated.iter().map(|c| c.conn_id).collect();
         assert_eq!(ids.len(), 1, "both directions share one connection");
     }
 
@@ -123,7 +129,15 @@ mod tests {
         let pkts = vec![
             tcp(0, 1, 2, 10, 80, TcpFlags::syn(), 0),
             tcp(1, 1, 2, 10, 80, TcpFlags::ack(), 50),
-            tcp(2, 1, 2, 10, 80, TcpFlags::new(false, true, true, false, false), 0),
+            tcp(
+                2,
+                1,
+                2,
+                10,
+                80,
+                TcpFlags::new(false, true, true, false, false),
+                0,
+            ),
             tcp(3, 1, 2, 10, 80, TcpFlags::syn(), 0), // connection #2
             tcp(4, 1, 2, 10, 80, TcpFlags::ack(), 50),
         ];
@@ -149,8 +163,7 @@ mod tests {
             tcp(3, 1, 2, 10, 80, TcpFlags::ack(), 10),
         ];
         let annotated = annotate_connections(&pkts);
-        let ids: std::collections::HashSet<u64> =
-            annotated.iter().map(|c| c.conn_id).collect();
+        let ids: std::collections::HashSet<u64> = annotated.iter().map(|c| c.conn_id).collect();
         assert_eq!(ids.len(), 1);
     }
 

@@ -7,11 +7,10 @@
 //! baseline implementations and by the trace generators' self-checks.
 
 use crate::packet::{Packet, Proto};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The standard directed 5-tuple flow key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FlowKey {
     /// Source IPv4 address.
     pub src_ip: u32,

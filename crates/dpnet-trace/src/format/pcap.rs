@@ -313,7 +313,10 @@ mod tests {
         let mut buf = Vec::new();
         write_pcap(&mut buf, &[]).unwrap();
         assert_eq!(buf.len(), 24);
-        assert_eq!(u32::from_le_bytes(buf[0..4].try_into().unwrap()), PCAP_MAGIC);
+        assert_eq!(
+            u32::from_le_bytes(buf[0..4].try_into().unwrap()),
+            PCAP_MAGIC
+        );
         assert_eq!(u16::from_le_bytes(buf[4..6].try_into().unwrap()), 2);
         assert_eq!(u16::from_le_bytes(buf[6..8].try_into().unwrap()), 4);
         assert_eq!(

@@ -96,7 +96,7 @@ fn hex_encode(bytes: &[u8]) -> String {
 }
 
 fn hex_decode(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     (0..s.len())
@@ -185,9 +185,15 @@ pub fn parse_packet(line: &str) -> Result<Packet, String> {
         }
         Ok(tokens[value_idx])
     };
-    let seq: u32 = field("seq", 6, 7)?.parse().map_err(|_| "bad seq".to_string())?;
-    let ack: u32 = field("ack", 8, 9)?.parse().map_err(|_| "bad ack".to_string())?;
-    let len: u16 = field("len", 10, 11)?.parse().map_err(|_| "bad len".to_string())?;
+    let seq: u32 = field("seq", 6, 7)?
+        .parse()
+        .map_err(|_| "bad seq".to_string())?;
+    let ack: u32 = field("ack", 8, 9)?
+        .parse()
+        .map_err(|_| "bad ack".to_string())?;
+    let len: u16 = field("len", 10, 11)?
+        .parse()
+        .map_err(|_| "bad len".to_string())?;
     let payload_tok = field("payload", 12, 13)?;
     let payload = if payload_tok == "-" {
         Vec::new()

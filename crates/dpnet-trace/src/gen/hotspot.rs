@@ -86,7 +86,7 @@ pub struct HotspotConfig {
 impl Default for HotspotConfig {
     fn default() -> Self {
         HotspotConfig {
-            seed: 0xd09e_75,
+            seed: 0x00d0_9e75,
             duration_s: 600.0,
             web_flows: 3000,
             mean_flow_packets: 24.0,
@@ -187,8 +187,8 @@ impl Gen {
             cfg,
             packets: Vec::new(),
             truth: HotspotTruth::default(),
-            next_client: 0x0a00_0001,  // 10.0.0.1 and up: hotspot clients
-            next_server: 0x0808_0001,  // public space: servers
+            next_client: 0x0a00_0001, // 10.0.0.1 and up: hotspot clients
+            next_server: 0x0808_0001, // public space: servers
         }
     }
 
@@ -284,7 +284,9 @@ impl Gen {
         };
 
         let span_us = (self.cfg.duration_s * 1e6) as u64;
-        let t0 = self.rng.gen_range(0..span_us.saturating_sub(5_000_000).max(1));
+        let t0 = self
+            .rng
+            .gen_range(0..span_us.saturating_sub(5_000_000).max(1));
 
         // DNS lookup preceding the web transfer: the client asks the
         // resolver before it connects — the communication rule ("talking to
@@ -323,11 +325,41 @@ impl Gen {
             let cport = self.rng.gen_range(32768..61000);
             let mut t_c = t0 + self.rng.gen_range(10_000..400_000);
             let isn: u32 = self.rng.gen();
-            self.push(Self::tcp_packet(t_c, client, companion_server, cport, 443, TcpFlags::syn(), isn, 0, vec![]));
+            self.push(Self::tcp_packet(
+                t_c,
+                client,
+                companion_server,
+                cport,
+                443,
+                TcpFlags::syn(),
+                isn,
+                0,
+                vec![],
+            ));
             t_c += self.rng.gen_range(10_000..60_000);
-            self.push(Self::tcp_packet(t_c, companion_server, client, 443, cport, TcpFlags::syn_ack(), isn ^ 7, isn.wrapping_add(1), vec![]));
+            self.push(Self::tcp_packet(
+                t_c,
+                companion_server,
+                client,
+                443,
+                cport,
+                TcpFlags::syn_ack(),
+                isn ^ 7,
+                isn.wrapping_add(1),
+                vec![],
+            ));
             t_c += 300;
-            self.push(Self::tcp_packet(t_c, client, companion_server, cport, 443, TcpFlags::ack(), isn.wrapping_add(1), (isn ^ 7).wrapping_add(1), vec![]));
+            self.push(Self::tcp_packet(
+                t_c,
+                client,
+                companion_server,
+                cport,
+                443,
+                TcpFlags::ack(),
+                isn.wrapping_add(1),
+                (isn ^ 7).wrapping_add(1),
+                vec![],
+            ));
         }
 
         // HTTP/1.0-style behaviour: a fraction of flows run several
@@ -366,7 +398,17 @@ impl Gen {
 
         // Handshake. The monitor sits on the access link, so it sees both
         // directions; SYN→SYN-ACK spacing is the RTT beyond the monitor.
-        self.push(Self::tcp_packet(t0, client, server, sport, dport, TcpFlags::syn(), isn_c, 0, vec![]));
+        self.push(Self::tcp_packet(
+            t0,
+            client,
+            server,
+            sport,
+            dport,
+            TcpFlags::syn(),
+            isn_c,
+            0,
+            vec![],
+        ));
         self.push(Self::tcp_packet(
             t0 + rtt,
             server,
@@ -406,7 +448,9 @@ impl Gen {
         ));
 
         // Server data packets.
-        let n_data = (exponential(&mut self.rng, 1.0 / self.cfg.mean_flow_packets).round() as usize).clamp(1, 400);
+        let n_data = (exponential(&mut self.rng, 1.0 / self.cfg.mean_flow_packets).round()
+            as usize)
+            .clamp(1, 400);
         let lossy = self.rng.gen::<f64>() < self.cfg.lossy_flow_fraction;
         let loss_rate = if lossy {
             (exponential(&mut self.rng, 1.0 / self.cfg.mean_loss_rate)).min(0.30)
@@ -434,9 +478,7 @@ impl Gen {
             // the front of the payload), or unique bytes. Only the first
             // `payload_len` bytes are stored — a snaplen-style prefix — but
             // the wire length `len` reflects the full `dlen`.
-            let payload = if dlen >= self.cfg.payload_len
-                && self.rng.gen::<f64>() < 0.7
-            {
+            let payload = if dlen >= self.cfg.payload_len && self.rng.gen::<f64>() < 0.7 {
                 pool[zipf.sample(&mut self.rng)].clone()
             } else {
                 let mut p = vec![0u8; self.cfg.payload_len];
@@ -626,7 +668,11 @@ impl Gen {
             }
             let flow_a = self.interactive_flow(&times_a);
             let flow_b = self.interactive_flow(&times_b);
-            self.truth.stones.push(StoneTruth { flow_a, flow_b, rho });
+            self.truth.stones.push(StoneTruth {
+                flow_a,
+                flow_b,
+                rho,
+            });
         }
         for _ in 0..self.cfg.interactive_decoys {
             let count = self.rng.gen_range(lo..hi);
@@ -702,7 +748,14 @@ impl Gen {
         self.truth.dns_server = dns_server;
         self.truth.companion_rule = (servers[0], companion_server);
         for _ in 0..self.cfg.web_flows {
-            self.web_flow(&pool, &zipf, &servers, &server_zipf, dns_server, companion_server);
+            self.web_flow(
+                &pool,
+                &zipf,
+                &servers,
+                &server_zipf,
+                dns_server,
+                companion_server,
+            );
         }
         // Worms above the dispersion threshold of 50. The dispersion
         // schedule is concentrated near the threshold (cubic ramp), so a
@@ -736,10 +789,8 @@ impl Gen {
                 *prefix_counts.entry(p.payload[..plen].to_vec()).or_default() += 1;
             }
         }
-        let mut counts: Vec<(Vec<u8>, usize)> = prefix_counts
-            .into_iter()
-            .filter(|(_, c)| *c > 1)
-            .collect();
+        let mut counts: Vec<(Vec<u8>, usize)> =
+            prefix_counts.into_iter().filter(|(_, c)| *c > 1).collect();
         counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         self.truth.payload_counts = counts;
 
@@ -801,7 +852,11 @@ mod tests {
     #[test]
     fn port_80_dominates() {
         let t = small();
-        let p80 = t.packets.iter().filter(|p| p.dst_port == 80 || p.src_port == 80).count();
+        let p80 = t
+            .packets
+            .iter()
+            .filter(|p| p.dst_port == 80 || p.src_port == 80)
+            .count();
         let p8080 = t
             .packets
             .iter()
@@ -827,7 +882,7 @@ mod tests {
         assert!(delays.len() > 50, "only {} retransmissions", delays.len());
         let in_range = delays
             .iter()
-            .filter(|&&d| d >= 20_000 && d <= 250_000)
+            .filter(|&&d| (20_000..=250_000).contains(&d))
             .count() as f64;
         assert!(in_range / delays.len() as f64 > 0.95);
     }
@@ -847,7 +902,11 @@ mod tests {
                 }
             }
             assert_eq!(srcs.len(), w.sources, "source dispersion mismatch");
-            assert_eq!(dsts.len(), w.destinations, "destination dispersion mismatch");
+            assert_eq!(
+                dsts.len(),
+                w.destinations,
+                "destination dispersion mismatch"
+            );
             assert_eq!(copies, w.copies);
         }
     }
@@ -856,18 +915,14 @@ mod tests {
     fn payload_counts_are_exact_and_sorted() {
         let t = small();
         assert!(t.truth.payload_counts.len() > 50);
-        assert!(t
-            .truth
-            .payload_counts
-            .windows(2)
-            .all(|w| w[0].1 >= w[1].1));
+        assert!(t.truth.payload_counts.windows(2).all(|w| w[0].1 >= w[1].1));
         // Spot-check the top string's count against the trace (truth counts
         // 8-byte payload prefixes).
         let (top, n) = &t.truth.payload_counts[0];
         let actual = t
             .packets
             .iter()
-            .filter(|p| p.payload.len() >= top.len() && &p.payload[..top.len()] == &top[..])
+            .filter(|p| p.payload.len() >= top.len() && p.payload[..top.len()] == top[..])
             .count();
         assert_eq!(actual, *n);
     }

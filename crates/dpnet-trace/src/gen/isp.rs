@@ -19,11 +19,10 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// One de-aggregated packet observation: a 1500-byte packet seen on `link`
 /// during 15-minute window `window`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LinkPacket {
     /// Link index.
     pub link: u16,
@@ -137,10 +136,10 @@ pub fn generate(cfg: IspConfig) -> IspTrace {
     let mut basis: Vec<Vec<f64>> = Vec::with_capacity(cfg.rank);
     for k in 0..cfg.rank {
         let period = match k {
-            0 => 96.0,          // daily
-            1 => 48.0,          // half-daily
+            0 => 96.0,               // daily
+            1 => 48.0,               // half-daily
             2 => cfg.windows as f64, // weekly trend
-            _ => 96.0 / (k as f64), // higher harmonics
+            _ => 96.0 / (k as f64),  // higher harmonics
         };
         let phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
         let row: Vec<f64> = (0..cfg.windows)
@@ -171,7 +170,9 @@ pub fn generate(cfg: IspConfig) -> IspTrace {
                     .sum::<f64>()
                     / wsum;
                 let noise = 1.0 + cfg.noise_sigma * crate::gen::util::standard_normal(&mut rng);
-                (cfg.mean_packets * normal * noise.max(0.1)).round().max(0.0) as u64
+                (cfg.mean_packets * normal * noise.max(0.1))
+                    .round()
+                    .max(0.0) as u64
             })
             .collect();
         volumes.push(row);
@@ -187,8 +188,7 @@ pub fn generate(cfg: IspConfig) -> IspTrace {
         if !used.insert((l, w)) {
             continue;
         }
-        let extra = (cfg.mean_packets * cfg.anomaly_scale
-            * rng.gen_range(0.8..1.6)) as u64;
+        let extra = (cfg.mean_packets * cfg.anomaly_scale * rng.gen_range(0.8..1.6)) as u64;
         volumes[l][w] += extra;
         truth.push(AnomalyTruth {
             link: l as u16,
@@ -238,10 +238,7 @@ mod tests {
         assert_eq!(t.truth.len(), 4);
         for a in &t.truth {
             let v = t.volumes[a.link as usize][a.window as usize];
-            assert!(
-                v as f64 > 3.0 * 20.0,
-                "anomalous cell {v} not prominent"
-            );
+            assert!(v as f64 > 3.0 * 20.0, "anomalous cell {v} not prominent");
         }
     }
 

@@ -16,10 +16,9 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// One observation: monitor `monitor` saw IP `ip` at `hops` hops.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ScatterRecord {
     /// Monitor index (0..monitors).
     pub monitor: u16,
@@ -96,14 +95,13 @@ pub fn generate(cfg: ScatterConfig) -> ScatterTrace {
         let cluster = rng.gen_range(0..cfg.clusters);
         let ip: u32 = 0x1000_0000 + i as u32;
         ip_cluster.push((ip, cluster));
-        for m in 0..cfg.monitors {
+        for (m, &center) in centers[cluster].iter().enumerate() {
             if rng.gen::<f64>() < cfg.missing {
                 continue;
             }
-            let hops = (centers[cluster][m]
-                + cfg.jitter * crate::gen::util::standard_normal(&mut rng))
-            .round()
-            .clamp(1.0, 40.0) as u8;
+            let hops = (center + cfg.jitter * crate::gen::util::standard_normal(&mut rng))
+                .round()
+                .clamp(1.0, 40.0) as u8;
             records.push(ScatterRecord {
                 monitor: m as u16,
                 ip,
@@ -198,15 +196,13 @@ mod tests {
     fn cluster_members_are_near_their_center() {
         let t = small();
         let vectors = t.vectors_mean_imputed();
-        let by_ip: std::collections::HashMap<u32, usize> =
-            t.ip_cluster.iter().cloned().collect();
+        let by_ip: std::collections::HashMap<u32, usize> = t.ip_cluster.iter().cloned().collect();
         let mut own_closer = 0usize;
         let mut total = 0usize;
         for (ip, v) in vectors.iter().take(500) {
             let own = by_ip[ip];
-            let dist = |c: &[f64]| -> f64 {
-                c.iter().zip(v).map(|(a, b)| (a - b).powi(2)).sum::<f64>()
-            };
+            let dist =
+                |c: &[f64]| -> f64 { c.iter().zip(v).map(|(a, b)| (a - b).powi(2)).sum::<f64>() };
             let d_own = dist(&t.centers[own]);
             let d_best_other = t
                 .centers

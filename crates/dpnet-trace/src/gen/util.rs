@@ -176,8 +176,10 @@ mod tests {
     fn exponential_mean_matches_rate() {
         let mut rng = StdRng::seed_from_u64(3);
         let rate = 4.0;
-        let mean: f64 =
-            (0..100_000).map(|_| exponential(&mut rng, rate)).sum::<f64>() / 100_000.0;
+        let mean: f64 = (0..100_000)
+            .map(|_| exponential(&mut rng, rate))
+            .sum::<f64>()
+            / 100_000.0;
         assert!((mean - 0.25).abs() < 0.01);
     }
 

@@ -7,11 +7,10 @@
 //! analyses rely on the sensitive fields (payloads for worm fingerprinting,
 //! addresses/ports for stepping stones) that sanitized public traces remove.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Transport protocol of a packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Proto {
     /// Transmission Control Protocol.
     Tcp,
@@ -46,7 +45,7 @@ impl Proto {
 }
 
 /// TCP header flags, packed into one byte.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct TcpFlags(pub u8);
 
 impl TcpFlags {
@@ -149,7 +148,7 @@ impl fmt::Display for TcpFlags {
 ///
 /// Timestamps are microseconds since the start of the trace: integral
 /// timestamps keep generation and analysis exactly reproducible.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Packet {
     /// Capture time, microseconds since trace start.
     pub ts_us: u64,

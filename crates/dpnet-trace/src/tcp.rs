@@ -27,7 +27,13 @@ pub fn handshake_rtts(packets: &[Packet]) -> Vec<u64> {
     for p in packets {
         if p.flags.is_syn() && !p.flags.is_ack() {
             pending
-                .entry((p.src_ip, p.dst_ip, p.src_port, p.dst_port, p.seq.wrapping_add(1)))
+                .entry((
+                    p.src_ip,
+                    p.dst_ip,
+                    p.src_port,
+                    p.dst_port,
+                    p.seq.wrapping_add(1),
+                ))
                 .or_insert(p.ts_us);
         } else if p.flags.is_syn() && p.flags.is_ack() {
             let key = (p.dst_ip, p.src_ip, p.dst_port, p.src_port, p.ack);
@@ -46,9 +52,7 @@ pub fn handshake_rtts(packets: &[Packet]) -> Vec<u64> {
 pub fn flow_loss_rates(packets: &[Packet], min_packets: usize) -> Vec<(FlowKey, f64)> {
     let data: Vec<Packet> = packets
         .iter()
-        .filter(|p| {
-            FlowKey::of(p).is_tcp() && !p.flags.is_syn() && !p.payload.is_empty()
-        })
+        .filter(|p| FlowKey::of(p).is_tcp() && !p.flags.is_syn() && !p.payload.is_empty())
         .cloned()
         .collect();
     assemble_flows(&data)
@@ -101,10 +105,14 @@ pub fn activations(packets: &[Packet], t_idle_us: u64) -> Vec<Activation> {
     for p in packets {
         let k = FlowKey::of(p);
         match last.get(&k) {
-            None => out.push(Activation { flow: k, ts_us: p.ts_us }),
-            Some(&prev) if p.ts_us.saturating_sub(prev) >= t_idle_us => {
-                out.push(Activation { flow: k, ts_us: p.ts_us })
-            }
+            None => out.push(Activation {
+                flow: k,
+                ts_us: p.ts_us,
+            }),
+            Some(&prev) if p.ts_us.saturating_sub(prev) >= t_idle_us => out.push(Activation {
+                flow: k,
+                ts_us: p.ts_us,
+            }),
             _ => {}
         }
         last.insert(k, p.ts_us);
@@ -138,7 +146,18 @@ mod tests {
     use super::*;
     use crate::packet::{Proto, TcpFlags};
 
-    fn tcp(ts: u64, src: u32, dst: u32, sp: u16, dp: u16, flags: TcpFlags, seq: u32, ack: u32, payload: usize) -> Packet {
+    #[allow(clippy::too_many_arguments)]
+    fn tcp(
+        ts: u64,
+        src: u32,
+        dst: u32,
+        sp: u16,
+        dp: u16,
+        flags: TcpFlags,
+        seq: u32,
+        ack: u32,
+        payload: usize,
+    ) -> Packet {
         Packet {
             ts_us: ts,
             src_ip: src,
@@ -189,10 +208,30 @@ mod tests {
         let mut pkts = Vec::new();
         // 20 distinct data packets, 5 retransmitted once → loss 5/25.
         for i in 0..20u32 {
-            pkts.push(tcp(i as u64 * 1000, 1, 2, 10, 80, TcpFlags::ack(), i * 1000, 0, 100));
+            pkts.push(tcp(
+                i as u64 * 1000,
+                1,
+                2,
+                10,
+                80,
+                TcpFlags::ack(),
+                i * 1000,
+                0,
+                100,
+            ));
         }
         for i in 0..5u32 {
-            pkts.push(tcp(100_000 + i as u64, 1, 2, 10, 80, TcpFlags::ack(), i * 1000, 0, 100));
+            pkts.push(tcp(
+                100_000 + i as u64,
+                1,
+                2,
+                10,
+                80,
+                TcpFlags::ack(),
+                i * 1000,
+                0,
+                100,
+            ));
         }
         let rates = flow_loss_rates(&pkts, 10);
         assert_eq!(rates.len(), 1);
@@ -227,7 +266,7 @@ mod tests {
     #[test]
     fn activations_fire_after_idle_timeout() {
         let pkts = vec![
-            tcp(0, 1, 2, 10, 80, TcpFlags::ack(), 0, 0, 10),       // first → activation
+            tcp(0, 1, 2, 10, 80, TcpFlags::ack(), 0, 0, 10), // first → activation
             tcp(100_000, 1, 2, 10, 80, TcpFlags::ack(), 1, 0, 10), // busy
             tcp(700_000, 1, 2, 10, 80, TcpFlags::ack(), 2, 0, 10), // idle 600ms → activation
         ];

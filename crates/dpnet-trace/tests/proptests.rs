@@ -3,8 +3,8 @@
 //! invariants.
 
 use dpnet_trace::connections::annotate_connections;
-use dpnet_trace::format::{read_trace, write_trace};
 use dpnet_trace::format::text::{read_text, write_text};
+use dpnet_trace::format::{read_trace, write_trace};
 use dpnet_trace::packet::{Packet, Proto, TcpFlags};
 use dpnet_trace::tcp::{activation_correlation, activations};
 use proptest::prelude::*;

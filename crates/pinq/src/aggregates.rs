@@ -111,7 +111,11 @@ pub fn noisy_vector_sum<'a>(
         // would itself reveal the record's presence.
         let sanitized = |x: &f64| if x.is_finite() { *x } else { 0.0 };
         let norm: f64 = v.iter().take(dims).map(|x| sanitized(x).abs()).sum();
-        let scale = if norm > l1_bound { l1_bound / norm } else { 1.0 };
+        let scale = if norm > l1_bound {
+            l1_bound / norm
+        } else {
+            1.0
+        };
         for (t, x) in total.iter_mut().zip(v.iter()) {
             *t += sanitized(x) * scale;
         }
@@ -138,7 +142,7 @@ pub fn noisy_median(
     eps: f64,
 ) -> Result<f64> {
     check_epsilon(eps)?;
-    if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+    if lo >= hi || !lo.is_finite() || !hi.is_finite() {
         return Err(Error::InvalidRange { lo, hi });
     }
     if buckets == 0 {
@@ -173,11 +177,13 @@ mod tests {
             .map(|_| noisy_count(&src, 1000, eps).unwrap() - 1000.0)
             .collect();
         let mean = xs.iter().sum::<f64>() / trials as f64;
-        let std =
-            (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / trials as f64).sqrt();
+        let std = (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / trials as f64).sqrt();
         let expected = std::f64::consts::SQRT_2 / eps; // Table 1
         assert!(mean.abs() < 0.5);
-        assert!((std - expected).abs() / expected < 0.05, "{std} vs {expected}");
+        assert!(
+            (std - expected).abs() / expected < 0.05,
+            "{std} vs {expected}"
+        );
     }
 
     #[test]
@@ -197,7 +203,7 @@ mod tests {
     fn sum_clamps_outliers() {
         let src = NoiseSource::seeded(79);
         // One adversarial record of 1e9 must contribute at most `bound`.
-        let vals = vec![0.5, 0.5, 1e9];
+        let vals = [0.5, 0.5, 1e9];
         let mut total = 0.0;
         let trials = 2000;
         for _ in 0..trials {
@@ -230,7 +236,11 @@ mod tests {
         let spread = |vals: &[f64]| {
             let trials = 5000;
             (0..trials)
-                .map(|_| noisy_average(&src, vals.iter().cloned(), eps).unwrap().abs())
+                .map(|_| {
+                    noisy_average(&src, vals.iter().cloned(), eps)
+                        .unwrap()
+                        .abs()
+                })
                 .sum::<f64>()
                 / trials as f64
         };
@@ -294,12 +304,11 @@ mod tests {
         let src = NoiseSource::seeded(113);
         // One record with L1 norm 10 clamped to bound 1: contributes its
         // direction scaled to norm 1.
-        let vecs = vec![vec![8.0, 2.0]];
+        let vecs = [vec![8.0, 2.0]];
         let trials = 3000;
         let mut mean = [0.0f64; 2];
         for _ in 0..trials {
-            let s =
-                noisy_vector_sum(&src, vecs.iter().cloned(), 2, 1.0, 5.0).unwrap();
+            let s = noisy_vector_sum(&src, vecs.iter().cloned(), 2, 1.0, 5.0).unwrap();
             mean[0] += s[0];
             mean[1] += s[1];
         }
@@ -322,7 +331,10 @@ mod tests {
         }
         let std = (sq / trials as f64).sqrt();
         let expected = std::f64::consts::SQRT_2 * bound / eps;
-        assert!((std - expected).abs() / expected < 0.05, "{std} vs {expected}");
+        assert!(
+            (std - expected).abs() / expected < 0.05,
+            "{std} vs {expected}"
+        );
     }
 
     #[test]
@@ -338,7 +350,7 @@ mod tests {
         // a single hostile record must not be able to make every future
         // release NaN (which would itself leak that the record exists).
         let src = NoiseSource::seeded(137);
-        let vals = vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.25];
+        let vals = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.25];
         for _ in 0..100 {
             let s = noisy_sum(&src, vals.iter().cloned(), 1.0, 1.0).unwrap();
             assert!(s.is_finite(), "sum leaked non-finite value: {s}");

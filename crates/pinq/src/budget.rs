@@ -7,31 +7,133 @@
 //! rule: analyses with costs c₁ and c₂ have total cost at most c₁ + c₂
 //! (paper §7). The complementary *parallel composition* rule for `Partition`
 //! lives in the partition ledger (see [`crate::Queryable::partition`]).
+//!
+//! # Observability & audit
+//!
+//! The accountant is the natural audit point for the paper's mediated
+//! setting (§2, §7): the data owner runs analyses on a researcher's behalf
+//! and must be able to justify every ε that left the budget. Each spend is
+//! recorded as a provenance-rich [`SpendEvent`] — which operator charged,
+//! through which path in the composition tree, under which analysis label,
+//! and when — and simultaneously emitted as a structured
+//! [`dpnet_obs::ChargeEvent`] to any bound [`dpnet_obs::EventSink`].
+//!
+//! The in-memory log is a bounded ring buffer ([`Accountant::set_log_capacity`])
+//! so long-running owner processes cannot grow without bound; *accounting*
+//! is exact regardless of eviction, because cumulative totals and
+//! per-operator aggregates ([`Accountant::operator_totals`]) are maintained
+//! separately from the log. [`Accountant::export_audit_jsonl`] writes the
+//! whole picture — retained spends, exact per-operator totals, and a
+//! summary — as owner-side JSONL.
 
 use crate::error::{Error, Result};
+use dpnet_obs::sink::SinkHandle;
+use dpnet_obs::{now_ns, ChargeEvent, Event, EventSink};
 use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// Small tolerance so that spending exactly the remaining budget succeeds
 /// despite floating-point accumulation.
 const TOLERANCE: f64 = 1e-9;
 
+/// Spend-log entries retained by default before the ring buffer starts
+/// evicting the oldest (see [`Accountant::set_log_capacity`]).
+pub const DEFAULT_LOG_CAPACITY: usize = 8192;
+
 /// One recorded spend against an accountant, for auditability. Data owners
 /// reviewing a mediated-analysis session can replay what was charged.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpendEvent {
-    /// ε charged (after stability scaling).
+    /// ε charged (after stability scaling). Negative for refunds.
     pub epsilon: f64,
     /// Monotonic sequence number of the charge.
     pub sequence: u64,
+    /// Operator that initiated the charge (e.g. `"noisy_count"`).
+    pub operator: Arc<str>,
+    /// Path through the composition tree from the aggregation to this
+    /// accountant, e.g. `"scale(x2)/part[3]/root"`.
+    pub path: Arc<str>,
+    /// Analysis label of the charging queryable, if one was set.
+    pub label: Option<Arc<str>>,
+    /// Monotonic timestamp (ns since process clock epoch).
+    pub at_ns: u64,
 }
 
-#[derive(Debug, Default)]
+/// Exact cumulative spend attributed to one operator name. Maintained
+/// independently of the ring-buffer log, so eviction never loses ε.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OperatorTotal {
+    /// Net ε attributed to the operator (charges minus refunds).
+    pub epsilon: f64,
+    /// Number of ledger entries (charges and refunds) attributed.
+    pub entries: u64,
+}
+
+#[derive(Debug)]
 struct AccountantState {
     total: f64,
     spent: f64,
     sequence: u64,
-    log: Vec<SpendEvent>,
+    log: VecDeque<SpendEvent>,
+    log_capacity: usize,
+    evicted: u64,
+    per_operator: BTreeMap<Arc<str>, OperatorTotal>,
+}
+
+impl Default for AccountantState {
+    fn default() -> Self {
+        AccountantState {
+            total: 0.0,
+            spent: 0.0,
+            sequence: 0,
+            log: VecDeque::new(),
+            log_capacity: DEFAULT_LOG_CAPACITY,
+            evicted: 0,
+            per_operator: BTreeMap::new(),
+        }
+    }
+}
+
+impl AccountantState {
+    /// Record one ledger entry: exact aggregates first, then the bounded log.
+    fn record(&mut self, ev: SpendEvent) {
+        let agg = self.per_operator.entry(ev.operator.clone()).or_default();
+        agg.epsilon += ev.epsilon;
+        agg.entries += 1;
+        if self.log_capacity == 0 {
+            self.evicted += 1;
+            return;
+        }
+        while self.log.len() >= self.log_capacity {
+            self.log.pop_front();
+            self.evicted += 1;
+        }
+        self.log.push_back(ev);
+    }
+}
+
+/// Provenance attached to a charge as it walks the composition tree.
+#[derive(Debug, Clone)]
+pub(crate) struct ChargeMeta {
+    pub(crate) operator: Arc<str>,
+    pub(crate) label: Option<Arc<str>>,
+}
+
+impl ChargeMeta {
+    pub(crate) fn new(operator: &str, label: Option<Arc<str>>) -> Self {
+        ChargeMeta {
+            operator: Arc::from(operator),
+            label,
+        }
+    }
+}
+
+fn direct_meta() -> ChargeMeta {
+    ChargeMeta {
+        operator: Arc::from("direct"),
+        label: None,
+    }
 }
 
 /// The root privacy budget for one protected dataset.
@@ -41,6 +143,7 @@ struct AccountantState {
 #[derive(Debug, Clone)]
 pub struct Accountant {
     state: Arc<Mutex<AccountantState>>,
+    sink: SinkHandle,
 }
 
 impl Accountant {
@@ -59,6 +162,7 @@ impl Accountant {
                 total,
                 ..AccountantState::default()
             })),
+            sink: SinkHandle::new(),
         }
     }
 
@@ -94,45 +198,209 @@ impl Accountant {
         self.state.lock().total += extra;
     }
 
-    /// Snapshot of all spends recorded so far.
+    /// Bind (or with `None`, unbind) the sink that receives this
+    /// accountant's structured [`ChargeEvent`]s. Shared by every clone of
+    /// the accountant and every queryable protected by it. With no sink
+    /// bound, events fall back to [`dpnet_obs::sink::set_global_sink`].
+    pub fn set_sink(&self, sink: Option<Arc<dyn EventSink>>) {
+        self.sink.bind(sink);
+    }
+
+    /// The emission handle shared by this accountant's queryables.
+    pub(crate) fn sink_handle(&self) -> &SinkHandle {
+        &self.sink
+    }
+
+    /// Cap the in-memory spend log at `capacity` entries; the oldest are
+    /// evicted first. Totals and per-operator aggregates stay exact no
+    /// matter how much is evicted. A capacity of 0 retains nothing.
+    pub fn set_log_capacity(&self, capacity: usize) {
+        let mut st = self.state.lock();
+        st.log_capacity = capacity;
+        while st.log.len() > capacity {
+            st.log.pop_front();
+            st.evicted += 1;
+        }
+    }
+
+    /// Ledger entries evicted from the bounded log so far.
+    pub fn evicted_entries(&self) -> u64 {
+        self.state.lock().evicted
+    }
+
+    /// Snapshot of the spends still retained in the bounded log (oldest
+    /// first). For *exact* accounting use [`Accountant::operator_totals`]
+    /// and [`Accountant::spent`], which survive eviction.
     pub fn audit_log(&self) -> Vec<SpendEvent> {
-        self.state.lock().log.clone()
+        self.state.lock().log.iter().cloned().collect()
+    }
+
+    /// Exact net ε per operator name, independent of log eviction. The
+    /// values sum to [`Accountant::spent`] (up to float rounding).
+    pub fn operator_totals(&self) -> Vec<(Arc<str>, OperatorTotal)> {
+        self.state
+            .lock()
+            .per_operator
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
     }
 
     /// Attempt to spend `eps`. Fails without side effects if the budget
     /// would be exceeded.
     pub fn charge(&self, eps: f64) -> Result<()> {
+        self.charge_with(eps, &direct_meta(), "root")
+    }
+
+    /// Attempt to spend `eps`, recording full provenance.
+    pub(crate) fn charge_with(&self, eps: f64, meta: &ChargeMeta, path: &str) -> Result<()> {
         debug_assert!(eps >= 0.0, "negative charge {eps}");
-        let mut st = self.state.lock();
-        if st.spent + eps > st.total + TOLERANCE {
-            return Err(Error::BudgetExceeded {
-                requested: eps,
-                available: (st.total - st.spent).max(0.0),
-            });
-        }
-        st.spent += eps;
-        st.sequence += 1;
-        let ev = SpendEvent {
-            epsilon: eps,
-            sequence: st.sequence,
+        let ev = {
+            let mut st = self.state.lock();
+            if st.spent + eps > st.total + TOLERANCE {
+                return Err(Error::BudgetExceeded {
+                    requested: eps,
+                    available: (st.total - st.spent).max(0.0),
+                });
+            }
+            st.spent += eps;
+            st.sequence += 1;
+            let ev = SpendEvent {
+                epsilon: eps,
+                sequence: st.sequence,
+                operator: meta.operator.clone(),
+                path: Arc::from(path),
+                label: meta.label.clone(),
+                at_ns: now_ns(),
+            };
+            st.record(ev.clone());
+            (ev, st.spent)
         };
-        st.log.push(ev);
+        // Emit outside the lock; sinks may be arbitrarily slow.
+        let (ev, spent_after) = ev;
+        self.sink.emit(|| {
+            Event::Charge(ChargeEvent {
+                operator: ev.operator.clone(),
+                path: ev.path.clone(),
+                label: ev.label.clone(),
+                epsilon: ev.epsilon,
+                spent_after,
+                sequence: ev.sequence,
+                at_ns: ev.at_ns,
+            })
+        });
         Ok(())
     }
 
     /// Return `eps` to the budget. Used internally to roll back partially
     /// applied multi-input charges (e.g. a `Join` whose second input's
     /// budget is exhausted). Refunds are also logged, as negative spends.
+    #[cfg(test)]
     pub(crate) fn refund(&self, eps: f64) {
+        self.refund_with(eps, &direct_meta(), "root");
+    }
+
+    /// Return `eps` to the budget, recording full provenance.
+    pub(crate) fn refund_with(&self, eps: f64, meta: &ChargeMeta, path: &str) {
         debug_assert!(eps >= 0.0);
-        let mut st = self.state.lock();
-        st.spent = (st.spent - eps).max(0.0);
-        st.sequence += 1;
-        let ev = SpendEvent {
-            epsilon: -eps,
-            sequence: st.sequence,
+        let ev = {
+            let mut st = self.state.lock();
+            let before = st.spent;
+            st.spent = (st.spent - eps).max(0.0);
+            // Attribute the *applied* delta so per-operator totals keep
+            // summing exactly to `spent` even if a refund clamps at zero.
+            let applied = before - st.spent;
+            st.sequence += 1;
+            let ev = SpendEvent {
+                epsilon: -applied,
+                sequence: st.sequence,
+                operator: meta.operator.clone(),
+                path: Arc::from(path),
+                label: meta.label.clone(),
+                at_ns: now_ns(),
+            };
+            st.record(ev.clone());
+            (ev, st.spent)
         };
-        st.log.push(ev);
+        let (ev, spent_after) = ev;
+        self.sink.emit(|| {
+            Event::Charge(ChargeEvent {
+                operator: ev.operator.clone(),
+                path: ev.path.clone(),
+                label: ev.label.clone(),
+                epsilon: ev.epsilon,
+                spent_after,
+                sequence: ev.sequence,
+                at_ns: ev.at_ns,
+            })
+        });
+    }
+
+    /// Run `f` as a named analysis phase: measures wall time and the exact
+    /// ε this accountant spent inside `f`, and emits a
+    /// [`dpnet_obs::PhaseEvent`] when it finishes. Returns `f`'s result.
+    pub fn observe_phase<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let timer = dpnet_obs::SpanTimer::start();
+        let spent_before = self.spent();
+        let result = f();
+        let eps_spent = self.spent() - spent_before;
+        self.sink.emit(|| {
+            Event::Phase(dpnet_obs::PhaseEvent {
+                name: Arc::from(name),
+                eps_spent,
+                wall_ns: timer.elapsed_ns(),
+                at_ns: timer.started_at_ns(),
+            })
+        });
+        result
+    }
+
+    /// Write the owner-side audit export as JSONL: one `spend` line per
+    /// retained ledger entry, one `operator` line per operator with its
+    /// *exact* net ε (eviction-proof), and a final `summary` line.
+    pub fn export_audit_jsonl<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        use dpnet_obs::json::JsonObj;
+        let (log, totals, spent, total, evicted) = {
+            let st = self.state.lock();
+            (
+                st.log.iter().cloned().collect::<Vec<_>>(),
+                st.per_operator
+                    .iter()
+                    .map(|(k, v)| (k.clone(), *v))
+                    .collect::<Vec<_>>(),
+                st.spent,
+                st.total,
+                st.evicted,
+            )
+        };
+        for ev in &log {
+            let mut o = JsonObj::new();
+            o.field_str("type", "spend")
+                .field_str("op", &ev.operator)
+                .field_str("path", &ev.path)
+                .field_opt_str("label", ev.label.as_deref())
+                .field_f64("eps", ev.epsilon)
+                .field_u64("seq", ev.sequence)
+                .field_u64("at_ns", ev.at_ns);
+            writeln!(w, "{}", o.finish())?;
+        }
+        for (op, t) in &totals {
+            let mut o = JsonObj::new();
+            o.field_str("type", "operator")
+                .field_str("name", op)
+                .field_f64("eps", t.epsilon)
+                .field_u64("entries", t.entries);
+            writeln!(w, "{}", o.finish())?;
+        }
+        let mut o = JsonObj::new();
+        o.field_str("type", "summary")
+            .field_f64("spent", spent)
+            .field_f64("total", total)
+            .field_f64("remaining", (total - spent).max(0.0))
+            .field_u64("retained", log.len() as u64)
+            .field_u64("evicted", evicted)
+            .field_u64("exported_at", dpnet_obs::unix_time_s());
+        writeln!(w, "{}", o.finish())
     }
 }
 
@@ -238,5 +506,93 @@ mod tests {
             }
         });
         assert!(a.spent() <= a.total() + 1e-6);
+    }
+
+    #[test]
+    fn log_is_bounded_but_accounting_is_exact() {
+        let a = Accountant::new(1000.0);
+        a.set_log_capacity(10);
+        for _ in 0..100 {
+            a.charge(0.5).unwrap();
+        }
+        let log = a.audit_log();
+        assert_eq!(log.len(), 10);
+        assert_eq!(a.evicted_entries(), 90);
+        // The retained entries are the newest.
+        assert_eq!(log.last().unwrap().sequence, 100);
+        assert_eq!(log.first().unwrap().sequence, 91);
+        // Eviction loses log lines, never ε.
+        assert!((a.spent() - 50.0).abs() < 1e-9);
+        let per_op: f64 = a.operator_totals().iter().map(|(_, t)| t.epsilon).sum();
+        assert!((per_op - a.spent()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately() {
+        let a = Accountant::new(10.0);
+        for _ in 0..6 {
+            a.charge(1.0).unwrap();
+        }
+        a.set_log_capacity(2);
+        assert_eq!(a.audit_log().len(), 2);
+        assert_eq!(a.evicted_entries(), 4);
+        a.set_log_capacity(0);
+        a.charge(1.0).unwrap();
+        assert!(a.audit_log().is_empty());
+        assert!((a.spent() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn operator_totals_sum_to_spent_with_refunds() {
+        let a = Accountant::new(10.0);
+        a.charge(2.0).unwrap();
+        a.refund(0.5);
+        a.charge(1.0).unwrap();
+        let per_op: f64 = a.operator_totals().iter().map(|(_, t)| t.epsilon).sum();
+        assert!((per_op - a.spent()).abs() < 1e-12);
+        assert!((a.spent() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_events_reach_the_accountant_sink() {
+        let sink = Arc::new(dpnet_obs::MemorySink::new());
+        let a = Accountant::new(5.0);
+        a.set_sink(Some(sink.clone()));
+        a.charge(1.5).unwrap();
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            dpnet_obs::Event::Charge(c) => {
+                assert_eq!(&*c.operator, "direct");
+                assert_eq!(&*c.path, "root");
+                assert_eq!(c.epsilon, 1.5);
+                assert!((c.spent_after - 1.5).abs() < 1e-12);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn audit_export_is_parseable_and_exact() {
+        let a = Accountant::new(4.0);
+        a.charge(1.0).unwrap();
+        a.charge(0.5).unwrap();
+        let mut buf = Vec::new();
+        a.export_audit_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut operator_eps = 0.0;
+        let mut summary_spent = None;
+        for line in text.lines() {
+            let obj = dpnet_obs::json::parse_flat_object(line)
+                .unwrap_or_else(|| panic!("unparseable line {line}"));
+            match obj["type"].as_str().unwrap() {
+                "operator" => operator_eps += obj["eps"].as_f64().unwrap(),
+                "summary" => summary_spent = obj["spent"].as_f64(),
+                _ => {}
+            }
+        }
+        let summary_spent = summary_spent.expect("summary line present");
+        assert!((summary_spent - 1.5).abs() < 1e-12);
+        assert!((operator_eps - summary_spent).abs() < 1e-9);
     }
 }

@@ -10,8 +10,15 @@
 //! * `PartitionPart` — charge through a [`PartitionLedger`], which forwards
 //!   only increases of the *maximum* child spend to its parent (parallel
 //!   composition).
+//!
+//! The walk also *narrates itself*: each hop appends a segment to a charge
+//! path (`"scale(x2)/part[3]/root"`), which the accountant records in its
+//! ledger alongside the operator name and analysis label. That provenance
+//! is what turns the spend log into an owner-side audit trail — the paper's
+//! mediated model needs the owner to explain not just *how much* ε left the
+//! budget but *through which composition* it did.
 
-use crate::budget::Accountant;
+use crate::budget::{Accountant, ChargeMeta};
 use crate::error::Result;
 use crate::partition::PartitionLedger;
 use std::sync::Arc;
@@ -35,40 +42,80 @@ pub(crate) enum ChargeNode {
     },
 }
 
+fn join_path(prefix: &str, segment: &str) -> String {
+    if prefix.is_empty() {
+        segment.to_string()
+    } else {
+        format!("{prefix}/{segment}")
+    }
+}
+
 impl ChargeNode {
     /// Spend `eps` through this node. On failure nothing is spent anywhere.
+    #[cfg(test)]
     pub(crate) fn charge(&self, eps: f64) -> Result<()> {
+        self.charge_with(eps, &ChargeMeta::new("direct", None), "")
+    }
+
+    /// Spend `eps` through this node, threading provenance: `meta` names
+    /// the initiating operator, `path` accumulates one segment per hop.
+    pub(crate) fn charge_with(&self, eps: f64, meta: &ChargeMeta, path: &str) -> Result<()> {
         match self {
-            ChargeNode::Root(acct) => acct.charge(eps),
-            ChargeNode::Scaled { parent, factor } => parent.charge(eps * factor),
+            ChargeNode::Root(acct) => acct.charge_with(eps, meta, &join_path(path, "root")),
+            ChargeNode::Scaled { parent, factor } => parent.charge_with(
+                eps * factor,
+                meta,
+                &join_path(path, &format!("scale(x{factor})")),
+            ),
             ChargeNode::Combined(parents) => {
                 for (i, p) in parents.iter().enumerate() {
-                    if let Err(e) = p.charge(eps) {
+                    let seg = join_path(path, &format!("in[{i}]"));
+                    if let Err(e) = p.charge_with(eps, meta, &seg) {
                         // Roll back the parents already charged so that a
                         // failed multi-input aggregation is free.
-                        for q in &parents[..i] {
-                            q.refund(eps);
+                        for (j, q) in parents[..i].iter().enumerate() {
+                            q.refund_with(eps, meta, &join_path(path, &format!("in[{j}]")));
                         }
                         return Err(e);
                     }
                 }
                 Ok(())
             }
-            ChargeNode::PartitionPart { ledger, index } => ledger.charge_child(*index, eps),
+            ChargeNode::PartitionPart { ledger, index } => ledger.charge_child_with(
+                *index,
+                eps,
+                meta,
+                &join_path(path, &format!("part[{index}]")),
+            ),
         }
     }
 
     /// Undo a previous successful `charge(eps)`.
+    #[cfg(test)]
     pub(crate) fn refund(&self, eps: f64) {
+        self.refund_with(eps, &ChargeMeta::new("direct", None), "");
+    }
+
+    /// Undo a previous successful `charge_with`, with the same provenance.
+    pub(crate) fn refund_with(&self, eps: f64, meta: &ChargeMeta, path: &str) {
         match self {
-            ChargeNode::Root(acct) => acct.refund(eps),
-            ChargeNode::Scaled { parent, factor } => parent.refund(eps * factor),
+            ChargeNode::Root(acct) => acct.refund_with(eps, meta, &join_path(path, "root")),
+            ChargeNode::Scaled { parent, factor } => parent.refund_with(
+                eps * factor,
+                meta,
+                &join_path(path, &format!("scale(x{factor})")),
+            ),
             ChargeNode::Combined(parents) => {
-                for p in parents {
-                    p.refund(eps);
+                for (i, p) in parents.iter().enumerate() {
+                    p.refund_with(eps, meta, &join_path(path, &format!("in[{i}]")));
                 }
             }
-            ChargeNode::PartitionPart { ledger, index } => ledger.refund_child(*index, eps),
+            ChargeNode::PartitionPart { ledger, index } => ledger.refund_child_with(
+                *index,
+                eps,
+                meta,
+                &join_path(path, &format!("part[{index}]")),
+            ),
         }
     }
 }
@@ -143,5 +190,36 @@ mod tests {
         scaled.charge(1.0).unwrap();
         scaled.refund(1.0);
         assert_eq!(acct.spent(), 0.0);
+    }
+
+    #[test]
+    fn charge_paths_narrate_the_walk() {
+        let acct = Accountant::new(10.0);
+        let root = Arc::new(ChargeNode::Root(acct.clone()));
+        let scaled = ChargeNode::Scaled {
+            parent: root,
+            factor: 2.0,
+        };
+        let meta = ChargeMeta::new("noisy_count", Some(Arc::from("ports")));
+        scaled.charge_with(0.5, &meta, "").unwrap();
+        let log = acct.audit_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(&*log[0].operator, "noisy_count");
+        assert_eq!(&*log[0].path, "scale(x2)/root");
+        assert_eq!(log[0].label.as_deref(), Some("ports"));
+    }
+
+    #[test]
+    fn combined_paths_name_each_input() {
+        let a = Accountant::new(5.0);
+        let b = Accountant::new(5.0);
+        let node = ChargeNode::Combined(vec![
+            Arc::new(ChargeNode::Root(a.clone())),
+            Arc::new(ChargeNode::Root(b.clone())),
+        ]);
+        let meta = ChargeMeta::new("noisy_sum", None);
+        node.charge_with(1.0, &meta, "").unwrap();
+        assert_eq!(&*a.audit_log()[0].path, "in[0]/root");
+        assert_eq!(&*b.audit_log()[0].path, "in[1]/root");
     }
 }

@@ -50,7 +50,10 @@ impl fmt::Display for Error {
                 write!(f, "epsilon must be positive and finite, got {e}")
             }
             Error::EmptyCandidates => {
-                write!(f, "exponential mechanism requires a non-empty candidate set")
+                write!(
+                    f,
+                    "exponential mechanism requires a non-empty candidate set"
+                )
             }
             Error::InvalidRange { lo, hi } => {
                 write!(f, "invalid clamping range: [{lo}, {hi}]")

@@ -64,7 +64,7 @@ pub mod queryable;
 pub mod rng;
 pub mod types;
 
-pub use budget::{Accountant, SpendEvent};
+pub use budget::{Accountant, OperatorTotal, SpendEvent, DEFAULT_LOG_CAPACITY};
 pub use error::{Error, Result};
 pub use policy::{SessionManager, TimedRelease};
 pub use queryable::Queryable;

@@ -122,9 +122,14 @@ mod tests {
     fn generic_wrapper_returns_reference_into_candidates() {
         let src = NoiseSource::seeded(61);
         let cands = ["a", "b", "c"];
-        let pick =
-            exponential_mechanism(&src, &cands, |c| if *c == "b" { 100.0 } else { 0.0 }, 10.0, 1.0)
-                .unwrap();
+        let pick = exponential_mechanism(
+            &src,
+            &cands,
+            |c| if *c == "b" { 100.0 } else { 0.0 },
+            10.0,
+            1.0,
+        )
+        .unwrap();
         assert_eq!(*pick, "b");
     }
 }

@@ -42,7 +42,7 @@ mod tests {
         let src = NoiseSource::seeded(23);
         let n = 200_000;
         let zeros = (0..n).filter(|_| geometric_noise(&src, eps) == 0).count() as f64;
-        let alpha = (-eps as f64).exp();
+        let alpha = (-eps).exp();
         let expected = (1.0 - alpha) / (1.0 + alpha);
         let got = zeros / n as f64;
         assert!((got - expected).abs() < 0.01, "P(0): {got} vs {expected}");
@@ -60,8 +60,8 @@ mod tests {
     #[test]
     fn magnitude_distribution_decays_geometrically() {
         // P(|X| = k+1) / P(|X| = k) = alpha for k >= 1.
-        let eps = 0.7;
-        let alpha = (-eps as f64).exp();
+        let eps = 0.7f64;
+        let alpha = (-eps).exp();
         let src = NoiseSource::seeded(31);
         let n = 400_000;
         let mut counts = [0usize; 6];

@@ -17,7 +17,10 @@ use crate::rng::NoiseSource;
 /// With `u ~ Uniform(-1/2, 1/2)`, `x = -scale · sgn(u) · ln(1 - 2|u|)` is
 /// Laplace-distributed with scale `scale`.
 pub fn laplace_noise(noise: &NoiseSource, scale: f64) -> f64 {
-    debug_assert!(scale.is_finite() && scale > 0.0, "bad Laplace scale {scale}");
+    debug_assert!(
+        scale.is_finite() && scale > 0.0,
+        "bad Laplace scale {scale}"
+    );
     let u = noise.centered_uniform();
     -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
 }
@@ -64,16 +67,14 @@ mod tests {
     fn laplace_std_helper_matches_table1() {
         // Table 1: count noise std is sqrt(2)/eps.
         assert!((laplace_std(0.1) - 14.142).abs() < 0.01);
-        assert!((laplace_std(1.0) - 1.4142).abs() < 0.001);
+        assert!((laplace_std(1.0) - std::f64::consts::SQRT_2).abs() < 0.001);
     }
 
     #[test]
     fn laplace_is_symmetric() {
         let src = NoiseSource::seeded(17);
         let n = 100_000;
-        let positives = (0..n)
-            .filter(|_| laplace_noise(&src, 1.0) > 0.0)
-            .count() as f64;
+        let positives = (0..n).filter(|_| laplace_noise(&src, 1.0) > 0.0).count() as f64;
         let frac = positives / n as f64;
         assert!((frac - 0.5).abs() < 0.01, "positive fraction {frac}");
     }

@@ -47,9 +47,9 @@ where
     let slots: Vec<parking_lot::Mutex<&mut Option<R>>> =
         results.iter_mut().map(parking_lot::Mutex::new).collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= parts.len() {
                     break;
@@ -58,8 +58,7 @@ where
                 **slots[i].lock() = Some(r);
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
     drop(slots);
     results
@@ -90,7 +89,10 @@ mod tests {
     fn dataset(n: u32, budget: f64) -> (Accountant, Queryable<u32>) {
         let acct = Accountant::new(budget);
         let noise = NoiseSource::seeded(3);
-        (acct.clone(), Queryable::new((0..n).collect(), &acct, &noise))
+        (
+            acct.clone(),
+            Queryable::new((0..n).collect(), &acct, &noise),
+        )
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! every port at cost `ε` total, rather than `ε × #ports` — the property the
 //! paper's `cdf2` estimator and frequent-string search rely on.
 
+use crate::budget::ChargeMeta;
 use crate::charge::ChargeNode;
 use crate::error::Result;
 use parking_lot::Mutex;
@@ -40,13 +41,26 @@ impl PartitionLedger {
 
     /// Spend `eps` on behalf of part `index`; forwards only the increase of
     /// the maximum to the parent, rolling back on parent failure.
+    #[cfg(test)]
     pub(crate) fn charge_child(&self, index: usize, eps: f64) -> Result<()> {
+        self.charge_child_with(index, eps, &ChargeMeta::new("direct", None), "")
+    }
+
+    /// [`PartitionLedger::charge_child`] with provenance threaded through:
+    /// the forwarded max-increase carries the same operator/label/path.
+    pub(crate) fn charge_child_with(
+        &self,
+        index: usize,
+        eps: f64,
+        meta: &ChargeMeta,
+        path: &str,
+    ) -> Result<()> {
         let mut spends = self.spends.lock();
         let old_max = Self::current_max(&spends);
         spends[index] += eps;
         let new_max = Self::current_max(&spends);
         if new_max > old_max {
-            if let Err(e) = self.parent.charge(new_max - old_max) {
+            if let Err(e) = self.parent.charge_with(new_max - old_max, meta, path) {
                 spends[index] -= eps;
                 return Err(e);
             }
@@ -56,13 +70,19 @@ impl PartitionLedger {
 
     /// Undo a previous `charge_child(index, eps)`, refunding the parent for
     /// any resulting decrease of the maximum.
+    #[cfg(test)]
     pub(crate) fn refund_child(&self, index: usize, eps: f64) {
+        self.refund_child_with(index, eps, &ChargeMeta::new("direct", None), "");
+    }
+
+    /// [`PartitionLedger::refund_child`] with provenance threaded through.
+    pub(crate) fn refund_child_with(&self, index: usize, eps: f64, meta: &ChargeMeta, path: &str) {
         let mut spends = self.spends.lock();
         let old_max = Self::current_max(&spends);
         spends[index] = (spends[index] - eps).max(0.0);
         let new_max = Self::current_max(&spends);
         if new_max < old_max {
-            self.parent.refund(old_max - new_max);
+            self.parent.refund_with(old_max - new_max, meta, path);
         }
     }
 

@@ -68,7 +68,11 @@ impl<T> SessionManager<T> {
     /// budget.
     pub fn session(&self, analyst: &str) -> Queryable<T> {
         let personal = self.analyst_budget(analyst);
-        Queryable::new_shared(self.records.clone(), &[&self.global, &personal], &self.noise)
+        Queryable::new_shared(
+            self.records.clone(),
+            &[&self.global, &personal],
+            &self.noise,
+        )
     }
 
     /// Names of analysts who have opened sessions, with their spends.

@@ -34,15 +34,27 @@
 //! ```
 
 use crate::aggregates;
-use crate::budget::Accountant;
+use crate::budget::{Accountant, ChargeMeta};
 use crate::charge::ChargeNode;
 use crate::error::{check_epsilon, Error, Result};
 use crate::partition::PartitionLedger;
 use crate::rng::NoiseSource;
 use crate::types::{Group, JoinGroup};
+use dpnet_obs::sink::SinkHandle;
+use dpnet_obs::{now_ns, AggregateEvent, Event, Outcome, SpanTimer, TransformEvent};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::Arc;
+
+/// Classify an aggregation result for event reporting: a budget refusal is
+/// `Denied`, any other error is an invalid request; both cost nothing.
+fn outcome_of<R>(r: &Result<R>) -> Outcome {
+    match r {
+        Ok(_) => Outcome::Ok,
+        Err(Error::BudgetExceeded { .. }) => Outcome::Denied,
+        Err(_) => Outcome::Invalid,
+    }
+}
 
 /// An opaque, privacy-protected dataset.
 ///
@@ -53,6 +65,12 @@ pub struct Queryable<T> {
     charge: Arc<ChargeNode>,
     noise: NoiseSource,
     stability: f64,
+    /// Analyst-facing name for this pipeline stage, carried into ledger
+    /// entries and events. Set with [`Queryable::with_label`].
+    label: Option<Arc<str>>,
+    /// Emission point for structured events; shared with the accountant the
+    /// dataset was created under.
+    sink: SinkHandle,
 }
 
 impl<T> std::fmt::Debug for Queryable<T> {
@@ -61,6 +79,7 @@ impl<T> std::fmt::Debug for Queryable<T> {
         // count: both are protected.
         f.debug_struct("Queryable")
             .field("stability", &self.stability)
+            .field("label", &self.label)
             .finish_non_exhaustive()
     }
 }
@@ -74,6 +93,8 @@ impl<T> Queryable<T> {
             charge: Arc::new(ChargeNode::Root(budget.clone())),
             noise: noise.clone(),
             stability: 1.0,
+            label: None,
+            sink: budget.sink_handle().clone(),
         }
     }
 
@@ -88,11 +109,7 @@ impl<T> Queryable<T> {
     /// # Panics
     /// Panics if `budgets` is empty — an unbudgeted dataset would be
     /// unprotected.
-    pub fn new_shared(
-        records: Arc<Vec<T>>,
-        budgets: &[&Accountant],
-        noise: &NoiseSource,
-    ) -> Self {
+    pub fn new_shared(records: Arc<Vec<T>>, budgets: &[&Accountant], noise: &NoiseSource) -> Self {
         assert!(!budgets.is_empty(), "at least one budget is required");
         let charge = if budgets.len() == 1 {
             Arc::new(ChargeNode::Root(budgets[0].clone()))
@@ -109,6 +126,11 @@ impl<T> Queryable<T> {
             charge,
             noise: noise.clone(),
             stability: 1.0,
+            label: None,
+            // Events route through the first budget's sink: multi-budget
+            // views belong to one owner session, and that owner binds the
+            // sink on the budget they hand out first.
+            sink: budgets[0].sink_handle().clone(),
         }
     }
 
@@ -118,6 +140,8 @@ impl<T> Queryable<T> {
             charge: self.charge.clone(),
             noise: self.noise.clone(),
             stability,
+            label: self.label.clone(),
+            sink: self.sink.clone(),
         }
     }
 
@@ -126,13 +150,86 @@ impl<T> Queryable<T> {
         self.stability
     }
 
-    /// Charge the budget for an aggregation at analyst accuracy `eps`.
-    fn pay(&self, eps: f64) -> Result<()> {
+    /// Name this pipeline stage. The label rides along into every ledger
+    /// entry and structured event produced downstream — it is how an owner
+    /// reading an audit export maps ε spends back to the analysis that
+    /// caused them. Labels are analyst-chosen metadata, never data.
+    pub fn with_label(mut self, label: &str) -> Self {
+        self.label = Some(Arc::from(label));
+        self
+    }
+
+    /// The label set with [`Queryable::with_label`], if any.
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+
+    /// Charge the budget for an aggregation at analyst accuracy `eps`,
+    /// attributing the spend to `operator` in the ledger.
+    fn pay(&self, eps: f64, operator: &'static str) -> Result<()> {
         check_epsilon(eps)?;
         if !(self.stability.is_finite() && self.stability > 0.0) {
             return Err(Error::InvalidStability(self.stability));
         }
-        self.charge.charge(self.stability * eps)
+        let meta = ChargeMeta::new(operator, self.label.clone());
+        self.charge.charge_with(self.stability * eps, &meta, "")
+    }
+
+    /// Emit a [`TransformEvent`] for a just-derived queryable.
+    fn emit_transform(
+        &self,
+        operator: &'static str,
+        stability_out: f64,
+        wall_ns: u64,
+        output_records: usize,
+    ) {
+        // Quiet the unused warning when `trusted-owner` is off: the count
+        // deliberately does not leave this function in that configuration.
+        let _ = output_records;
+        self.sink.emit(|| {
+            Event::Transform(TransformEvent {
+                operator,
+                label: self.label.clone(),
+                stability_in: self.stability,
+                stability_out,
+                wall_ns,
+                at_ns: now_ns(),
+                #[cfg(feature = "trusted-owner")]
+                output_records: output_records as u64,
+            })
+        });
+    }
+
+    /// Emit an [`AggregateEvent`] describing a finished aggregation.
+    fn emit_aggregate(
+        &self,
+        operator: &'static str,
+        mechanism: &'static str,
+        eps: f64,
+        released: Option<f64>,
+        outcome: Outcome,
+        timer: SpanTimer,
+    ) {
+        self.sink.emit(|| {
+            Event::Aggregate(AggregateEvent {
+                operator,
+                mechanism,
+                label: self.label.clone(),
+                stability: self.stability,
+                eps_requested: eps,
+                eps_charged: if outcome == Outcome::Ok {
+                    self.stability * eps
+                } else {
+                    0.0
+                },
+                outcome,
+                released,
+                wall_ns: timer.elapsed_ns(),
+                at_ns: timer.started_at_ns(),
+                #[cfg(feature = "trusted-owner")]
+                input_records: self.records.len() as u64,
+            })
+        });
     }
 
     // ------------------------------------------------------------------
@@ -144,34 +241,39 @@ impl<T> Queryable<T> {
     where
         T: Clone,
     {
+        let t = SpanTimer::start();
         let out: Vec<T> = self.records.iter().filter(|r| pred(r)).cloned().collect();
-        self.derive(out, self.stability)
+        let q = self.derive(out, self.stability);
+        self.emit_transform("filter", q.stability, t.elapsed_ns(), q.records.len());
+        q
     }
 
     /// Transform each record (PINQ `Select`). Stability ×1.
     pub fn map<U>(&self, f: impl Fn(&T) -> U) -> Queryable<U> {
+        let t = SpanTimer::start();
         let out: Vec<U> = self.records.iter().map(f).collect();
-        self.derive(out, self.stability)
+        let q = self.derive(out, self.stability);
+        self.emit_transform("map", q.stability, t.elapsed_ns(), q.records.len());
+        q
     }
 
     /// Expand each record into up to `bound` records (PINQ `SelectMany`).
     /// Outputs beyond `bound` per input are truncated, which is what lets
     /// the engine promise stability ×`bound`.
-    pub fn select_many<U>(
-        &self,
-        bound: usize,
-        f: impl Fn(&T) -> Vec<U>,
-    ) -> Result<Queryable<U>> {
+    pub fn select_many<U>(&self, bound: usize, f: impl Fn(&T) -> Vec<U>) -> Result<Queryable<U>> {
         if bound == 0 {
             return Err(Error::InvalidFanout(bound));
         }
+        let t = SpanTimer::start();
         let mut out = Vec::new();
         for r in self.records.iter() {
             let mut items = f(r);
             items.truncate(bound);
             out.extend(items);
         }
-        Ok(self.derive(out, self.stability * bound as f64))
+        let q = self.derive(out, self.stability * bound as f64);
+        self.emit_transform("select_many", q.stability, t.elapsed_ns(), q.records.len());
+        Ok(q)
     }
 
     /// Group records by a key (PINQ `GroupBy`). Stability ×2: adding or
@@ -182,6 +284,7 @@ impl<T> Queryable<T> {
         K: Eq + Hash + Clone,
         T: Clone,
     {
+        let t = SpanTimer::start();
         let mut order: Vec<K> = Vec::new();
         let mut groups: HashMap<K, Vec<T>> = HashMap::new();
         for r in self.records.iter() {
@@ -201,7 +304,9 @@ impl<T> Queryable<T> {
                 Group { key: k, items }
             })
             .collect();
-        self.derive(out, self.stability * 2.0)
+        let q = self.derive(out, self.stability * 2.0);
+        self.emit_transform("group_by", q.stability, t.elapsed_ns(), q.records.len());
+        q
     }
 
     /// Keep the first record for each distinct key (PINQ `Distinct` over a
@@ -211,6 +316,7 @@ impl<T> Queryable<T> {
         K: Eq + Hash,
         T: Clone,
     {
+        let t = SpanTimer::start();
         let mut seen = std::collections::HashSet::new();
         let out: Vec<T> = self
             .records
@@ -218,7 +324,9 @@ impl<T> Queryable<T> {
             .filter(|r| seen.insert(key(r)))
             .cloned()
             .collect();
-        self.derive(out, self.stability)
+        let q = self.derive(out, self.stability);
+        self.emit_transform("distinct_by", q.stability, t.elapsed_ns(), q.records.len());
+        q
     }
 
     /// Keep one copy of each distinct record. Stability ×1.
@@ -244,6 +352,7 @@ impl<T> Queryable<T> {
         T: Clone,
         U: Clone,
     {
+        let t = SpanTimer::start();
         let mut left: HashMap<K, Vec<T>> = HashMap::new();
         let mut order: Vec<K> = Vec::new();
         for r in self.records.iter() {
@@ -271,7 +380,7 @@ impl<T> Queryable<T> {
                 })
             })
             .collect();
-        Queryable {
+        let q = Queryable {
             records: Arc::new(out),
             charge: Arc::new(ChargeNode::Combined(vec![
                 Arc::new(ChargeNode::Scaled {
@@ -285,7 +394,11 @@ impl<T> Queryable<T> {
             ])),
             noise: self.noise.clone(),
             stability: 1.0,
-        }
+            label: self.label.clone(),
+            sink: self.sink.clone(),
+        };
+        self.emit_transform("join", q.stability, t.elapsed_ns(), q.records.len());
+        q
     }
 
     /// Concatenate two protected datasets (PINQ `Concat`). No sensitivity
@@ -294,9 +407,10 @@ impl<T> Queryable<T> {
     where
         T: Clone,
     {
+        let t = SpanTimer::start();
         let mut out: Vec<T> = (*self.records).clone();
         out.extend(other.records.iter().cloned());
-        Queryable {
+        let q = Queryable {
             records: Arc::new(out),
             charge: Arc::new(ChargeNode::Combined(vec![
                 Arc::new(ChargeNode::Scaled {
@@ -310,7 +424,11 @@ impl<T> Queryable<T> {
             ])),
             noise: self.noise.clone(),
             stability: 1.0,
-        }
+            label: self.label.clone(),
+            sink: self.sink.clone(),
+        };
+        self.emit_transform("concat", q.stability, t.elapsed_ns(), q.records.len());
+        q
     }
 
     /// Distinct records present in both inputs (PINQ `Intersect`). No
@@ -319,6 +437,7 @@ impl<T> Queryable<T> {
     where
         T: Eq + Hash + Clone,
     {
+        let t = SpanTimer::start();
         let theirs: std::collections::HashSet<&T> = other.records.iter().collect();
         let mut seen = std::collections::HashSet::new();
         let out: Vec<T> = self
@@ -327,7 +446,7 @@ impl<T> Queryable<T> {
             .filter(|r| theirs.contains(r) && seen.insert((*r).clone()))
             .cloned()
             .collect();
-        Queryable {
+        let q = Queryable {
             records: Arc::new(out),
             charge: Arc::new(ChargeNode::Combined(vec![
                 Arc::new(ChargeNode::Scaled {
@@ -341,7 +460,11 @@ impl<T> Queryable<T> {
             ])),
             noise: self.noise.clone(),
             stability: 1.0,
-        }
+            label: self.label.clone(),
+            sink: self.sink.clone(),
+        };
+        self.emit_transform("intersect", q.stability, t.elapsed_ns(), q.records.len());
+        q
     }
 
     /// Split into disjoint parts by a *data-independent* key list (PINQ
@@ -351,17 +474,13 @@ impl<T> Queryable<T> {
     /// The source budget is charged the **maximum** of the parts' spends,
     /// not the sum — parallel composition. Partitioning packets by port and
     /// analyzing every port costs the same as analyzing one port.
-    pub fn partition<K>(
-        &self,
-        keys: &[K],
-        key_fn: impl Fn(&T) -> K,
-    ) -> Vec<Queryable<T>>
+    pub fn partition<K>(&self, keys: &[K], key_fn: impl Fn(&T) -> K) -> Vec<Queryable<T>>
     where
         K: Eq + Hash + Clone,
         T: Clone,
     {
-        let index_of: HashMap<&K, usize> =
-            keys.iter().enumerate().map(|(i, k)| (k, i)).collect();
+        let t = SpanTimer::start();
+        let index_of: HashMap<&K, usize> = keys.iter().enumerate().map(|(i, k)| (k, i)).collect();
         let mut parts: Vec<Vec<T>> = (0..keys.len()).map(|_| Vec::new()).collect();
         for r in self.records.iter() {
             if let Some(&i) = index_of.get(&key_fn(r)) {
@@ -375,7 +494,7 @@ impl<T> Queryable<T> {
             }),
             keys.len(),
         ));
-        parts
+        let out: Vec<Queryable<T>> = parts
             .into_iter()
             .enumerate()
             .map(|(index, records)| Queryable {
@@ -386,8 +505,14 @@ impl<T> Queryable<T> {
                 }),
                 noise: self.noise.clone(),
                 stability: 1.0,
+                label: self.label.clone(),
+                sink: self.sink.clone(),
             })
-            .collect()
+            .collect();
+        // One event for the whole partition; the part count is the (public)
+        // key-list length, not a record count.
+        self.emit_transform("partition", 1.0, t.elapsed_ns(), keys.len());
+        out
     }
 
     // ------------------------------------------------------------------
@@ -396,14 +521,36 @@ impl<T> Queryable<T> {
 
     /// Noisy count of records: `n + Lap(1/ε)`. Charges `stability × ε`.
     pub fn noisy_count(&self, eps: f64) -> Result<f64> {
-        self.pay(eps)?;
-        aggregates::noisy_count(&self.noise, self.records.len(), eps)
+        let t = SpanTimer::start();
+        let r = self
+            .pay(eps, "noisy_count")
+            .and_then(|()| aggregates::noisy_count(&self.noise, self.records.len(), eps));
+        self.emit_aggregate(
+            "noisy_count",
+            "laplace",
+            eps,
+            r.as_ref().ok().copied(),
+            outcome_of(&r),
+            t,
+        );
+        r
     }
 
     /// Noisy integral count via the geometric mechanism, clamped at zero.
     pub fn noisy_count_int(&self, eps: f64) -> Result<i64> {
-        self.pay(eps)?;
-        aggregates::noisy_count_int(&self.noise, self.records.len(), eps)
+        let t = SpanTimer::start();
+        let r = self
+            .pay(eps, "noisy_count_int")
+            .and_then(|()| aggregates::noisy_count_int(&self.noise, self.records.len(), eps));
+        self.emit_aggregate(
+            "noisy_count_int",
+            "geometric",
+            eps,
+            r.as_ref().ok().map(|&v| v as f64),
+            outcome_of(&r),
+            t,
+        );
+        r
     }
 
     /// Noisy sum of `f(record)` with values clamped to `[-1, 1]`.
@@ -413,20 +560,27 @@ impl<T> Queryable<T> {
 
     /// Noisy sum with values clamped to `[-bound, bound]`; noise scale
     /// `bound/ε`.
-    pub fn noisy_sum_clamped(
-        &self,
-        eps: f64,
-        bound: f64,
-        f: impl Fn(&T) -> f64,
-    ) -> Result<f64> {
-        if !(bound.is_finite() && bound > 0.0) {
-            return Err(Error::InvalidRange {
-                lo: -bound,
-                hi: bound,
-            });
-        }
-        self.pay(eps)?;
-        aggregates::noisy_sum(&self.noise, self.records.iter().map(f), bound, eps)
+    pub fn noisy_sum_clamped(&self, eps: f64, bound: f64, f: impl Fn(&T) -> f64) -> Result<f64> {
+        let t = SpanTimer::start();
+        let r = (|| {
+            if !(bound.is_finite() && bound > 0.0) {
+                return Err(Error::InvalidRange {
+                    lo: -bound,
+                    hi: bound,
+                });
+            }
+            self.pay(eps, "noisy_sum")?;
+            aggregates::noisy_sum(&self.noise, self.records.iter().map(f), bound, eps)
+        })();
+        self.emit_aggregate(
+            "noisy_sum",
+            "laplace",
+            eps,
+            r.as_ref().ok().copied(),
+            outcome_of(&r),
+            t,
+        );
+        r
     }
 
     /// Noisy vector sum of `f(record)` via the vector Laplace mechanism:
@@ -440,27 +594,45 @@ impl<T> Queryable<T> {
         l1_bound: f64,
         f: impl Fn(&T) -> Vec<f64>,
     ) -> Result<Vec<f64>> {
-        if !(l1_bound.is_finite() && l1_bound > 0.0) {
-            return Err(Error::InvalidRange {
-                lo: 0.0,
-                hi: l1_bound,
-            });
-        }
-        self.pay(eps)?;
-        aggregates::noisy_vector_sum(
-            &self.noise,
-            self.records.iter().map(f),
-            dims,
-            l1_bound,
-            eps,
-        )
+        let t = SpanTimer::start();
+        let r = (|| {
+            if !(l1_bound.is_finite() && l1_bound > 0.0) {
+                return Err(Error::InvalidRange {
+                    lo: 0.0,
+                    hi: l1_bound,
+                });
+            }
+            self.pay(eps, "noisy_sum_vector")?;
+            aggregates::noisy_vector_sum(
+                &self.noise,
+                self.records.iter().map(f),
+                dims,
+                l1_bound,
+                eps,
+            )
+        })();
+        // Vector releases do not fit the scalar `released` slot; the event
+        // still records ε, stability, outcome and timing.
+        self.emit_aggregate("noisy_sum_vector", "laplace", eps, None, outcome_of(&r), t);
+        r
     }
 
     /// Noisy average of `f(record)` with values clamped to `[-1, 1]`;
     /// noise std `√8/(εn)`.
     pub fn noisy_average(&self, eps: f64, f: impl Fn(&T) -> f64) -> Result<f64> {
-        self.pay(eps)?;
-        aggregates::noisy_average(&self.noise, self.records.iter().map(f), eps)
+        let t = SpanTimer::start();
+        let r = self
+            .pay(eps, "noisy_average")
+            .and_then(|()| aggregates::noisy_average(&self.noise, self.records.iter().map(f), eps));
+        self.emit_aggregate(
+            "noisy_average",
+            "laplace",
+            eps,
+            r.as_ref().ok().copied(),
+            outcome_of(&r),
+            t,
+        );
+        r
     }
 
     /// Noisy average of values known to lie in `[lo, hi]`: affinely rescaled
@@ -472,7 +644,7 @@ impl<T> Queryable<T> {
         hi: f64,
         f: impl Fn(&T) -> f64,
     ) -> Result<f64> {
-        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+        if lo >= hi || !lo.is_finite() || !hi.is_finite() {
             return Err(Error::InvalidRange { lo, hi });
         }
         let mid = (lo + hi) / 2.0;
@@ -497,19 +669,31 @@ impl<T> Queryable<T> {
     where
         K: Eq + Hash,
     {
-        if candidates.is_empty() {
-            return Err(Error::EmptyCandidates);
-        }
-        self.pay(eps)?;
-        let index_of: HashMap<&K, usize> =
-            candidates.iter().enumerate().map(|(i, k)| (k, i)).collect();
-        let mut counts = vec![0f64; candidates.len()];
-        for r in self.records.iter() {
-            if let Some(&i) = index_of.get(&key(r)) {
-                counts[i] += 1.0;
+        let t = SpanTimer::start();
+        let r = (|| {
+            if candidates.is_empty() {
+                return Err(Error::EmptyCandidates);
             }
-        }
-        crate::mechanisms::exponential_mechanism_index(&self.noise, &counts, eps, 1.0)
+            self.pay(eps, "most_common_key")?;
+            let index_of: HashMap<&K, usize> =
+                candidates.iter().enumerate().map(|(i, k)| (k, i)).collect();
+            let mut counts = vec![0f64; candidates.len()];
+            for r in self.records.iter() {
+                if let Some(&i) = index_of.get(&key(r)) {
+                    counts[i] += 1.0;
+                }
+            }
+            crate::mechanisms::exponential_mechanism_index(&self.noise, &counts, eps, 1.0)
+        })();
+        self.emit_aggregate(
+            "most_common_key",
+            "exponential",
+            eps,
+            r.as_ref().ok().map(|&i| i as f64),
+            outcome_of(&r),
+            t,
+        );
+        r
     }
 
     /// Noisy median of `f(record)` over `[lo, hi]` discretized into
@@ -522,15 +706,27 @@ impl<T> Queryable<T> {
         buckets: usize,
         f: impl Fn(&T) -> f64,
     ) -> Result<f64> {
-        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
-            return Err(Error::InvalidRange { lo, hi });
-        }
-        if buckets == 0 {
-            return Err(Error::EmptyCandidates);
-        }
-        self.pay(eps)?;
-        let values: Vec<f64> = self.records.iter().map(f).collect();
-        aggregates::noisy_median(&self.noise, &values, lo, hi, buckets, eps)
+        let t = SpanTimer::start();
+        let r = (|| {
+            if lo >= hi || !lo.is_finite() || !hi.is_finite() {
+                return Err(Error::InvalidRange { lo, hi });
+            }
+            if buckets == 0 {
+                return Err(Error::EmptyCandidates);
+            }
+            self.pay(eps, "noisy_median")?;
+            let values: Vec<f64> = self.records.iter().map(f).collect();
+            aggregates::noisy_median(&self.noise, &values, lo, hi, buckets, eps)
+        })();
+        self.emit_aggregate(
+            "noisy_median",
+            "exponential",
+            eps,
+            r.as_ref().ok().copied(),
+            outcome_of(&r),
+            t,
+        );
+        r
     }
 }
 
@@ -811,9 +1007,7 @@ mod tests {
         let budget = Accountant::new(1.0);
         let noise = NoiseSource::seeded(41);
         let q = Queryable::new(vec![[1.0f64, 2.0, 3.0]; 10], &budget, &noise);
-        let s = q
-            .noisy_sum_vector(0.5, 3, 10.0, |v| v.to_vec())
-            .unwrap();
+        let s = q.noisy_sum_vector(0.5, 3, 10.0, |v| v.to_vec()).unwrap();
         assert_eq!(s.len(), 3);
         // Whole-vector release cost exactly 0.5.
         assert!((budget.spent() - 0.5).abs() < 1e-12);
@@ -830,7 +1024,9 @@ mod tests {
     #[test]
     fn invalid_median_range_costs_nothing() {
         let (acct, q) = setup(1.0);
-        assert!(q.noisy_median(0.5, 10.0, 0.0, 10, |p| p.len as f64).is_err());
+        assert!(q
+            .noisy_median(0.5, 10.0, 0.0, 10, |p| p.len as f64)
+            .is_err());
         assert!(q.noisy_median(0.5, 0.0, 10.0, 0, |p| p.len as f64).is_err());
         assert_eq!(acct.spent(), 0.0);
     }

@@ -15,20 +15,12 @@ fn main() {
 
     // Policy: the dataset is worth ε = 1.0 in total; no analyst may spend
     // more than 0.4 alone.
-    let manager = SessionManager::new(
-        trace.packets,
-        NoiseSource::seeded(0x70),
-        1.0,
-        0.4,
-    );
+    let manager = SessionManager::new(trace.packets, NoiseSource::seeded(0x70), 1.0, 0.4);
 
     // Three analysts work the data.
     for analyst in ["alice", "bob", "carol"] {
         let session = manager.session(analyst);
-        match session
-            .filter(|p| p.dst_port == 80)
-            .noisy_count(0.4)
-        {
+        match session.filter(|p| p.dst_port == 80).noisy_count(0.4) {
             Ok(c) => println!("{analyst}: port-80 packets ≈ {c:.0} (spent 0.4)"),
             Err(e) => println!("{analyst}: refused — {e}"),
         }

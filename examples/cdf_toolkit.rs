@@ -25,7 +25,11 @@ fn main() {
         .into_iter()
         .map(|us| ((us / 1000) as usize).min(BUCKETS - 1))
         .collect();
-    println!("{} retransmission delays, {} buckets of 1 ms", values.len(), BUCKETS);
+    println!(
+        "{} retransmission delays, {} buckets of 1 ms",
+        values.len(),
+        BUCKETS
+    );
 
     let truth = noise_free_cdf(&values, BUCKETS);
     let total = *truth.last().unwrap();

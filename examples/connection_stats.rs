@@ -48,5 +48,9 @@ fn main() {
         "\nquantiles from the same release: p25={} p50={} p90={} p99={} packets",
         qs[0], qs[1], qs[2], qs[3]
     );
-    println!("budget: spent {:.2} of {:.2}", budget.spent(), budget.total());
+    println!(
+        "budget: spent {:.2} of {:.2}",
+        budget.spent(),
+        budget.total()
+    );
 }

@@ -39,7 +39,10 @@ fn main() {
     // Query 1: packet length distribution (costs 0.5).
     let lengths = packet_length_cdf(&q, 1500, 50, 0.5).expect("within budget");
     let total = lengths.cdf.last().copied().unwrap_or(0.0);
-    println!("analyst: length CDF over {} buckets, ≈{total:.0} packets total", lengths.cdf.len());
+    println!(
+        "analyst: length CDF over {} buckets, ≈{total:.0} packets total",
+        lengths.cdf.len()
+    );
 
     // Query 2: RTT distribution (the join costs 2 × 0.25).
     let rtts = rtt_cdf(&q, 600, 20, 0.25).expect("within budget");

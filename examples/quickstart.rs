@@ -60,7 +60,9 @@ fn main() {
         Err(Error::BudgetExceeded {
             requested,
             available,
-        }) => println!("a ε={requested} query was refused (only {available:.2} left) — as it should be"),
+        }) => println!(
+            "a ε={requested} query was refused (only {available:.2} left) — as it should be"
+        ),
         other => panic!("expected budget refusal, got {other:?}"),
     }
 }

@@ -22,7 +22,11 @@ fn main() {
         worms_below_threshold: 6,
         ..HotspotConfig::default()
     });
-    println!("trace: {} packets, {} planted worm payloads", trace.packets.len(), trace.truth.worms.len());
+    println!(
+        "trace: {} packets, {} planted worm payloads",
+        trace.packets.len(),
+        trace.truth.worms.len()
+    );
 
     // The owner's own exact scan (ground truth): dispersion > 50 both ways.
     let exact = worm_fingerprints_exact(&trace.packets, 8, 50, 50);

@@ -70,10 +70,12 @@ fn distant_datasets_are_distinguishable() {
     let b = count_distribution(140, eps, 4000);
     let bound = eps.exp();
     let violated = a.iter().any(|(k, &pa)| {
-        pa > 50.0 / TRIALS as f64
-            && pa > b.get(k).copied().unwrap_or(1e-9) * bound * 1.25
+        pa > 50.0 / TRIALS as f64 && pa > b.get(k).copied().unwrap_or(1e-9) * bound * 1.25
     });
-    assert!(violated, "test has no power to detect non-private behaviour");
+    assert!(
+        violated,
+        "test has no power to detect non-private behaviour"
+    );
 }
 
 #[test]
@@ -91,7 +93,10 @@ fn filter_then_count_is_still_private() {
         let q = Queryable::new(records, &acct, &noise);
         let mut hist: HashMap<i64, usize> = HashMap::new();
         for _ in 0..TRIALS {
-            let c = q.filter(|&x| x % 2 == 1).noisy_count_int(eps).expect("budget");
+            let c = q
+                .filter(|&x| x % 2 == 1)
+                .noisy_count_int(eps)
+                .expect("budget");
             *hist.entry(c).or_default() += 1;
         }
         hist.into_iter()

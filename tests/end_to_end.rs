@@ -78,7 +78,10 @@ fn budget_is_shared_across_different_analyses() {
     // The next analysis does not fit; afterwards the remaining 0.5 is
     // still intact and usable.
     assert!(rtt_cdf(&q, 600, 20, 0.5).is_err());
-    assert!((budget.spent() - 3.0).abs() < 1e-9, "failed query must refund");
+    assert!(
+        (budget.spent() - 3.0).abs() < 1e-9,
+        "failed query must refund"
+    );
     q.noisy_count(0.5).unwrap();
     assert!(q.noisy_count(0.01).is_err());
 }

@@ -83,12 +83,11 @@ proptest! {
             // Invariant 2 (approximate form): a failed op charges nothing
             // for single-shot aggregations. (Partition sequences may keep
             // earlier successful parts, which is correct behaviour.)
-            if outcome.is_err() {
-                if !matches!(op, Op::PartitionCounts { .. }) {
+            if outcome.is_err()
+                && !matches!(op, Op::PartitionCounts { .. }) {
                     prop_assert!((after - before).abs() < 1e-9,
                         "failed op changed the ledger: {before} → {after}");
                 }
-            }
         }
     }
 
