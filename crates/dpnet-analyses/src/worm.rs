@@ -20,7 +20,8 @@
 
 use dpnet_toolkit::freqstrings::{frequent_strings, FrequentStringsConfig};
 use dpnet_trace::Packet;
-use pinq::{Queryable, Result};
+use pinq::parallel::parallel_map_parts_with;
+use pinq::{ExecPool, Queryable, Result};
 use std::collections::{HashMap, HashSet};
 
 /// Configuration for private worm fingerprinting.
@@ -102,6 +103,76 @@ pub fn worm_fingerprints(
     for (cand, part) in candidates.into_iter().zip(&parts) {
         let srcs = part.distinct_by(|p| p.src_ip).noisy_count(cfg.eps)?;
         let dsts = part.distinct_by(|p| p.dst_ip).noisy_count(cfg.eps)?;
+        if srcs > cfg.src_threshold && dsts > cfg.dst_threshold {
+            findings.push(WormFinding {
+                payload: cand.bytes,
+                distinct_sources: srcs,
+                distinct_destinations: dsts,
+                presence: cand.noisy_count,
+            });
+        }
+    }
+    findings.sort_by(|a, b| {
+        b.presence
+            .partial_cmp(&a.presence)
+            .expect("finite presence")
+    });
+    Ok(findings)
+}
+
+/// [`worm_fingerprints`] on a worker pool: the candidate partition is built
+/// by the chunked parallel kernel, and the per-candidate dispersion queries
+/// (`distinct → count`, twice per part) fan out across workers with
+/// deterministic per-part noise substreams. At a fixed seed the findings
+/// are identical for **any** worker count; budget charges match the
+/// sequential analysis exactly. (The released values differ from the
+/// sequential [`worm_fingerprints`] at the same seed, because each part
+/// draws from its own substream rather than the shared stream.)
+pub fn worm_fingerprints_with(
+    packets: &Queryable<Packet>,
+    cfg: &WormConfig,
+    pool: &ExecPool,
+) -> Result<Vec<WormFinding>> {
+    let plen = cfg.payload_len;
+    let payloads = packets
+        .filter_with(move |p| p.payload.len() >= plen, pool)
+        .map_with(move |p| p.payload[..plen].to_vec(), pool);
+    let candidates = frequent_strings(
+        &payloads,
+        &FrequentStringsConfig {
+            length: plen,
+            eps_per_level: cfg.eps,
+            threshold: cfg.presence_threshold,
+            max_viable: 512,
+        },
+    )?;
+    if candidates.is_empty() {
+        return Ok(Vec::new());
+    }
+
+    let keys: Vec<Vec<u8>> = candidates.iter().map(|c| c.bytes.clone()).collect();
+    let parts = packets.partition_with(
+        &keys,
+        move |p: &Packet| {
+            if p.payload.len() >= plen {
+                p.payload[..plen].to_vec()
+            } else {
+                Vec::new()
+            }
+        },
+        pool,
+    );
+
+    let eps = cfg.eps;
+    let dispersions = parallel_map_parts_with(&parts, pool, |part| {
+        let srcs = part.distinct_by(|p| p.src_ip).noisy_count(eps)?;
+        let dsts = part.distinct_by(|p| p.dst_ip).noisy_count(eps)?;
+        Ok((srcs, dsts))
+    });
+
+    let mut findings = Vec::new();
+    for (cand, disp) in candidates.into_iter().zip(dispersions) {
+        let (srcs, dsts): (f64, f64) = disp?;
         if srcs > cfg.src_threshold && dsts > cfg.dst_threshold {
             findings.push(WormFinding {
                 payload: cand.bytes,
@@ -550,6 +621,48 @@ mod tests {
         // Search: 6 levels × 0.5 × fanout 4 = 12; dispersion: 2 × 0.5 × 4
         // = 4 (parallel across candidates). Total 16.
         assert!((acct.spent() - 16.0).abs() < 1e-9, "spent {}", acct.spent());
+    }
+
+    #[test]
+    fn pool_fingerprinting_is_identical_for_any_worker_count() {
+        let t = trace();
+        let cfg = WormConfig {
+            eps: 10.0,
+            presence_threshold: 50.0,
+            ..WormConfig::default()
+        };
+        let run = |workers: usize| {
+            let (acct, q) = protect(t.packets.clone(), 100.0, 89);
+            let pool = ExecPool::new(workers).unwrap().with_chunk_size(64);
+            let found = worm_fingerprints_with(&q, &cfg, &pool).unwrap();
+            assert!(!found.is_empty(), "expected findings at weak privacy");
+            (found, acct.spent())
+        };
+        let baseline = run(1);
+        for workers in [2, 8] {
+            assert_eq!(run(workers), baseline, "workers={workers} diverged");
+        }
+    }
+
+    #[test]
+    fn pool_fingerprinting_charges_match_sequential() {
+        let t = trace();
+        let cfg = WormConfig {
+            eps: 1.0,
+            presence_threshold: 50.0,
+            ..WormConfig::default()
+        };
+        let (seq_acct, seq_q) = protect(t.packets.clone(), 100.0, 73);
+        worm_fingerprints(&seq_q, &cfg).unwrap();
+        let (par_acct, par_q) = protect(t.packets.clone(), 100.0, 73);
+        let pool = ExecPool::new(4).unwrap().with_chunk_size(64);
+        worm_fingerprints_with(&par_q, &cfg, &pool).unwrap();
+        assert!(
+            (par_acct.spent() - seq_acct.spent()).abs() < 1e-12,
+            "parallel spent {} vs sequential {}",
+            par_acct.spent(),
+            seq_acct.spent()
+        );
     }
 
     #[test]

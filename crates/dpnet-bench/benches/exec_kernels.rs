@@ -1,0 +1,60 @@
+//! Parallel-kernel benches: the chunked partition construction and the
+//! parallel synthetic-trace generator at 1 vs 4 workers.
+//!
+//! These are the kernels the CI `bench-smoke` job watches: on a
+//! multi-core runner the 4-worker variants should show a clear speedup
+//! (the acceptance bar is ≥1.5×); on a single-core machine they degrade
+//! gracefully to the sequential path plus scheduling overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpnet_trace::gen::scatter::{generate_with, ScatterConfig};
+use pinq::{Accountant, ExecPool, NoiseSource, Queryable};
+
+const KEYS: usize = 256;
+
+fn dataset(n: usize) -> Queryable<u32> {
+    let acct = Accountant::new(f64::MAX / 2.0);
+    let noise = NoiseSource::seeded(11);
+    let values: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761)).collect();
+    Queryable::new(values, &acct, &noise)
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exec_partition");
+    let q = dataset(200_000);
+    let keys: Vec<u32> = (0..KEYS as u32).collect();
+    for &workers in &[1usize, 4] {
+        let pool = ExecPool::new(workers).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("partition_200k", workers),
+            &workers,
+            |b, _| b.iter(|| q.partition_with(&keys, |&v| v % KEYS as u32, &pool).len()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_trace_gen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exec_trace_gen");
+    let cfg = ScatterConfig {
+        seed: 7,
+        ips: 8_000,
+        ..ScatterConfig::default()
+    };
+    for &workers in &[1usize, 4] {
+        let pool = ExecPool::new(workers).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("scatter_8k_ips", workers),
+            &workers,
+            |b, _| b.iter(|| generate_with(cfg.clone(), &pool).records.len()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_partition, bench_trace_gen
+}
+criterion_main!(benches);

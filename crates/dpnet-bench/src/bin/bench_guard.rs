@@ -1,0 +1,280 @@
+//! `bench_guard` — regression and speedup gates over `BENCH_*.json` reports.
+//!
+//! ```text
+//! bench_guard compare <current.json> <baseline.json> [--threshold 0.25]
+//! bench_guard speedup <seq.json> <par.json> [--min 1.5]
+//! bench_guard kernel-speedup [--workers 4] [--min 1.5]
+//! ```
+//!
+//! `compare` fails (exit 1) if any experiment's wall time regressed more
+//! than the threshold against the baseline. Wall times are compared as
+//! multiples of each report's own `calibration_ns` — the wall time of a
+//! fixed CPU spin measured on the machine that produced the report — so a
+//! baseline recorded on one machine remains meaningful on another.
+//!
+//! `speedup` fails (exit 1) if the parallel report's total wall time is not
+//! at least `--min` times faster than the sequential report's. When the
+//! running machine has fewer CPUs than the parallel report's worker count,
+//! the check is skipped with a warning (exit 0): a 4-worker pool cannot
+//! beat 1 worker on a single core.
+//!
+//! `kernel-speedup` times the two data-movement kernels the pool was built
+//! for — chunked partition construction and parallel synthetic-trace
+//! generation — at 1 vs `--workers` workers, in this process, and fails if
+//! the *better* of the two speedups is below `--min`. Skipped (exit 0) on
+//! machines with fewer CPUs than workers.
+
+use dpnet_trace::gen::scatter::{generate_with, ScatterConfig};
+use pinq::{Accountant, ExecPool, NoiseSource, Queryable};
+use std::process::exit;
+use std::time::Instant;
+
+/// First `"key":<number>` occurrence in `json`, parsed as u64.
+fn field_u64(json: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = json.find(&pat)? + pat.len();
+    let digits: String = json[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Per-experiment `(id, wall_ns)` pairs. Relies on the report writer's
+/// field order: each experiment object opens with `"id"` immediately
+/// followed by `"wall_ns"`.
+fn experiment_walls(json: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find("\"id\":\"") {
+        rest = &rest[pos + 6..];
+        let Some(end) = rest.find('"') else { break };
+        let id = rest[..end].to_string();
+        if let Some(wall) = field_u64(rest, "wall_ns") {
+            out.push((id, wall));
+        }
+        rest = &rest[end..];
+    }
+    out
+}
+
+struct Report {
+    calibration_ns: u64,
+    workers: u64,
+    walls: Vec<(String, u64)>,
+}
+
+fn load(path: &str) -> Result<Report, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Ok(Report {
+        calibration_ns: field_u64(&text, "calibration_ns")
+            .ok_or_else(|| format!("{path}: no calibration_ns field"))?
+            .max(1),
+        workers: field_u64(&text, "workers").unwrap_or(1),
+        walls: experiment_walls(&text),
+    })
+}
+
+/// Trailing `--flag <value>` parse with a default.
+fn flag_f64(args: &[String], flag: &str, default: f64) -> f64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn cmd_compare(current: &str, baseline: &str, threshold: f64) -> i32 {
+    let (cur, base) = match (load(current), load(baseline)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let mut failed = false;
+    for (id, wall) in &cur.walls {
+        let Some((_, base_wall)) = base.walls.iter().find(|(b, _)| b == id) else {
+            eprintln!("[skip] {id}: not in baseline");
+            continue;
+        };
+        let cur_units = *wall as f64 / cur.calibration_ns as f64;
+        let base_units = *base_wall as f64 / base.calibration_ns as f64;
+        let ratio = cur_units / base_units.max(f64::MIN_POSITIVE);
+        let verdict = if ratio > 1.0 + threshold {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "[{verdict}] {id}: {cur_units:.1} vs baseline {base_units:.1} calibration units ({ratio:.2}x)"
+        );
+    }
+    for (id, _) in &base.walls {
+        if !cur.walls.iter().any(|(c, _)| c == id) {
+            eprintln!("[warn] {id}: in baseline but missing from current run");
+        }
+    }
+    if failed {
+        eprintln!(
+            "bench_guard: wall-clock regression beyond {threshold:.0}% threshold",
+            threshold = threshold * 100.0
+        );
+        1
+    } else {
+        0
+    }
+}
+
+fn cmd_speedup(seq_path: &str, par_path: &str, min: f64) -> i32 {
+    let (seq, par) = match (load(seq_path), load(par_path)) {
+        (Ok(s), Ok(p)) => (s, p),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+    if cpus < par.workers {
+        eprintln!(
+            "[skip] speedup check: machine has {cpus} CPUs, parallel run used {} workers",
+            par.workers
+        );
+        return 0;
+    }
+    let seq_wall: u64 = seq.walls.iter().map(|(_, w)| w).sum();
+    let par_wall: u64 = par.walls.iter().map(|(_, w)| w).sum::<u64>().max(1);
+    let speedup = seq_wall as f64 / par_wall as f64;
+    println!(
+        "speedup at {} workers: {speedup:.2}x (sequential {seq_wall} ns, parallel {par_wall} ns)",
+        par.workers
+    );
+    if speedup < min {
+        eprintln!("bench_guard: speedup {speedup:.2}x below the {min:.2}x bar");
+        1
+    } else {
+        0
+    }
+}
+
+/// Best-of-3 wall time of `f`.
+fn best_of_3(mut f: impl FnMut()) -> u64 {
+    (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as u64
+        })
+        .min()
+        .expect("three rounds")
+        .max(1)
+}
+
+fn cmd_kernel_speedup(workers: usize, min: f64) -> i32 {
+    let cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if cpus < workers {
+        eprintln!("[skip] kernel-speedup: machine has {cpus} CPUs, need {workers}");
+        return 0;
+    }
+    let seq = ExecPool::sequential();
+    let par = match ExecPool::new(workers) {
+        Ok(pool) => pool,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+
+    // Partition construction: 200k records into 256 parts.
+    let acct = Accountant::new(f64::MAX / 2.0);
+    let noise = NoiseSource::seeded(11);
+    let values: Vec<u32> = (0..200_000u32)
+        .map(|i| i.wrapping_mul(2654435761))
+        .collect();
+    let q = Queryable::new(values, &acct, &noise);
+    let keys: Vec<u32> = (0..256u32).collect();
+    let part_seq = best_of_3(|| {
+        q.partition_with(&keys, |&v| v % 256, &seq);
+    });
+    let part_par = best_of_3(|| {
+        q.partition_with(&keys, |&v| v % 256, &par);
+    });
+    let part_speedup = part_seq as f64 / part_par as f64;
+
+    // Synthetic trace generation: scatter trace, 8k IPs.
+    let cfg = ScatterConfig {
+        seed: 7,
+        ips: 8_000,
+        ..ScatterConfig::default()
+    };
+    let gen_seq = best_of_3(|| {
+        generate_with(cfg.clone(), &seq);
+    });
+    let gen_par = best_of_3(|| {
+        generate_with(cfg.clone(), &par);
+    });
+    let gen_speedup = gen_seq as f64 / gen_par as f64;
+
+    println!("partition kernel:  {part_speedup:.2}x at {workers} workers");
+    println!("trace-gen kernel:  {gen_speedup:.2}x at {workers} workers");
+    let best = part_speedup.max(gen_speedup);
+    if best < min {
+        eprintln!("bench_guard: best kernel speedup {best:.2}x below the {min:.2}x bar");
+        1
+    } else {
+        0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("compare") if args.len() >= 3 => {
+            cmd_compare(&args[1], &args[2], flag_f64(&args, "--threshold", 0.25))
+        }
+        Some("speedup") if args.len() >= 3 => {
+            cmd_speedup(&args[1], &args[2], flag_f64(&args, "--min", 1.5))
+        }
+        Some("kernel-speedup") => cmd_kernel_speedup(
+            flag_f64(&args, "--workers", 4.0) as usize,
+            flag_f64(&args, "--min", 1.5),
+        ),
+        _ => {
+            eprintln!(
+                "usage: bench_guard compare <current.json> <baseline.json> [--threshold 0.25]\n\
+                 \x20      bench_guard speedup <seq.json> <par.json> [--min 1.5]\n\
+                 \x20      bench_guard kernel-speedup [--workers 4] [--min 1.5]"
+            );
+            2
+        }
+    };
+    exit(code);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{"target":"fig1","workers":4,"calibration_ns":1000,"generated_at_s":1,"experiments":[{"id":"fig1","wall_ns":5000,"eps_charged":1,"phases":[{"name":"p","eps_spent":1,"wall_ns":9}]},{"id":"worm","wall_ns":7000,"eps_charged":1,"phases":[]}],"metrics":{}}"#;
+
+    #[test]
+    fn fields_parse() {
+        assert_eq!(field_u64(SAMPLE, "calibration_ns"), Some(1000));
+        assert_eq!(field_u64(SAMPLE, "workers"), Some(4));
+        assert_eq!(field_u64(SAMPLE, "missing"), None);
+    }
+
+    #[test]
+    fn experiment_walls_skip_phase_walls() {
+        let walls = experiment_walls(SAMPLE);
+        assert_eq!(
+            walls,
+            vec![("fig1".to_string(), 5000), ("worm".to_string(), 7000)]
+        );
+    }
+}

@@ -7,7 +7,15 @@
 //! repro <id> [<id> ...]     # one or more of:
 //!       table1 example23 fig1 table4 itemsets fig2 worm fig3
 //!       table5 fig4 fig5 table2
+//! repro --workers N <id>…   # run pool-aware experiments on N workers
 //! ```
+//!
+//! With `--workers N` (N ≥ 1), the experiments that have worker-pool
+//! variants (`fig1`, `itemsets`, `worm`) run on a shared [`pinq::ExecPool`];
+//! the rest are unaffected. Output is deterministic: for a fixed seed, any
+//! two worker counts produce identical results. The report target gains a
+//! `-wN` suffix when N > 1, so `BENCH_fig1.json` and `BENCH_fig1-w4.json`
+//! can be compared side by side.
 //!
 //! A [`MemorySink`] is installed as the process-global event sink for the
 //! whole run, so every engine charge and toolkit phase is captured. After
@@ -18,6 +26,7 @@
 use dpnet_bench::experiments as exp;
 use dpnet_bench::report::RunReport;
 use dpnet_obs::{set_global_sink, MemorySink};
+use pinq::ExecPool;
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
@@ -43,17 +52,17 @@ const IDS: [&str; 18] = [
     "classify",
 ];
 
-fn run_one(id: &str) -> Result<String, String> {
+fn run_one(id: &str, pool: &ExecPool) -> Result<String, String> {
     match id {
         "table1" => Ok(exp::table1::run(3000).1),
         "example23" => Ok(exp::example23::run(400).1),
-        "fig1" => exp::fig1::run(1.0)
+        "fig1" => exp::fig1::run_with(1.0, pool)
             .map(|(_, s)| s)
             .map_err(|e| e.to_string()),
         "table4" => Ok(exp::table4::run(10, 1.0).1),
-        "itemsets" => Ok(exp::itemsets_exp::run(1.0).1),
+        "itemsets" => Ok(exp::itemsets_exp::run_with(1.0, pool).1),
         "fig2" => Ok(exp::fig2::run().1),
-        "worm" => Ok(exp::worm_exp::run().1),
+        "worm" => Ok(exp::worm_exp::run_with(pool).1),
         "fig3" => Ok(exp::fig3::run().1),
         "table5" => Ok(exp::table5::run().1),
         "fig4" => Ok(exp::fig4::run().1),
@@ -69,12 +78,52 @@ fn run_one(id: &str) -> Result<String, String> {
     }
 }
 
+/// Split `--workers N` / `--workers=N` out of the raw argument list,
+/// returning the worker count and the remaining (non-flag) arguments.
+fn parse_workers(raw: Vec<String>) -> Result<(usize, Vec<String>), String> {
+    let mut workers = 1usize;
+    let mut rest = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--workers" {
+            let val = it.next().ok_or("--workers requires a value")?;
+            workers = val
+                .parse()
+                .map_err(|_| format!("invalid --workers value '{val}'"))?;
+        } else if let Some(val) = arg.strip_prefix("--workers=") {
+            workers = val
+                .parse()
+                .map_err(|_| format!("invalid --workers value '{val}'"))?;
+        } else {
+            rest.push(arg);
+        }
+    }
+    Ok((workers, rest))
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (workers, args) = match parse_workers(raw) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
-        eprintln!("usage: repro all | <id> [<id> ...]\nids: {}", IDS.join(" "));
+        eprintln!(
+            "usage: repro [--workers N] all | <id> [<id> ...]\nids: {}",
+            IDS.join(" ")
+        );
         std::process::exit(2);
     }
+    let pool = match ExecPool::new(workers) {
+        Ok(pool) => pool,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
     let all = args.iter().any(|a| a == "all");
     let ids: Vec<&str> = if all {
         IDS.to_vec()
@@ -84,18 +133,22 @@ fn main() {
     // Observe the whole run: toolkit phases and engine charges land here.
     let sink = Arc::new(MemorySink::new());
     set_global_sink(Some(sink.clone()));
-    let target = if all {
+    let mut target = if all {
         "all".to_string()
     } else {
         ids.join("-")
     };
+    if workers > 1 {
+        target.push_str(&format!("-w{workers}"));
+    }
     let mut report = RunReport::new(&target);
+    report.set_workers(workers);
 
     let mut failed = false;
     for id in ids {
         sink.clear();
         let start = Instant::now();
-        match run_one(id) {
+        match run_one(id, &pool) {
             Ok(text) => {
                 let wall = start.elapsed();
                 println!("{text}");

@@ -7,9 +7,11 @@
 
 use crate::datasets::{self, EPSILONS};
 use crate::report::{f, header, Table};
-use dpnet_analyses::worm::{worm_fingerprints, worm_fingerprints_exact, WormConfig};
+use dpnet_analyses::worm::{
+    worm_fingerprints, worm_fingerprints_exact, worm_fingerprints_with, WormConfig,
+};
 use dpnet_trace::FlowKey;
-use pinq::{Accountant, NoiseSource, Queryable};
+use pinq::{Accountant, ExecPool, NoiseSource, Queryable};
 use std::collections::HashSet;
 
 /// Recovery result per privacy level.
@@ -40,9 +42,32 @@ pub fn run() -> (WormResult, String) {
     run_on(datasets::hotspot())
 }
 
+/// [`run`] on a worker pool. The fingerprint search itself is deterministic
+/// for every worker count, but draws per-part noise substreams, so its
+/// released values form a different (equally valid) sample than the
+/// sequential [`run`] at the same seed.
+pub fn run_with(pool: &ExecPool) -> (WormResult, String) {
+    run_on_with(datasets::hotspot(), pool)
+}
+
 /// Run the worm experiment over a caller-supplied trace (used by tests to
 /// keep debug-mode runtimes reasonable).
 pub fn run_on(trace: &dpnet_trace::gen::hotspot::HotspotTrace) -> (WormResult, String) {
+    run_on_impl(trace, None)
+}
+
+/// [`run_on`] on a worker pool.
+pub fn run_on_with(
+    trace: &dpnet_trace::gen::hotspot::HotspotTrace,
+    pool: &ExecPool,
+) -> (WormResult, String) {
+    run_on_impl(trace, Some(pool))
+}
+
+fn run_on_impl(
+    trace: &dpnet_trace::gen::hotspot::HotspotTrace,
+    pool: Option<&ExecPool>,
+) -> (WormResult, String) {
     let exact = worm_fingerprints_exact(&trace.packets, 8, 50, 50);
 
     let budget = Accountant::new(1e9);
@@ -63,14 +88,15 @@ pub fn run_on(trace: &dpnet_trace::gen::hotspot::HotspotTrace) -> (WormResult, S
 
     let mut recovery = Vec::new();
     for &eps in &EPSILONS {
-        let found = worm_fingerprints(
-            &q,
-            &WormConfig {
-                eps,
-                presence_threshold: 50.0,
-                ..WormConfig::default()
-            },
-        )
+        let cfg = WormConfig {
+            eps,
+            presence_threshold: 50.0,
+            ..WormConfig::default()
+        };
+        let found = match pool {
+            None => worm_fingerprints(&q, &cfg),
+            Some(pool) => worm_fingerprints_with(&q, &cfg, pool),
+        }
         .expect("budget");
         let found_set: HashSet<Vec<u8>> = found.iter().map(|w| w.payload.clone()).collect();
         let recovered = exact.iter().filter(|p| found_set.contains(*p)).count();

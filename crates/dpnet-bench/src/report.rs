@@ -123,23 +123,55 @@ pub struct ExperimentRun {
     pub phases: Vec<PhaseLine>,
 }
 
+/// Wall time of a fixed CPU-bound spin, measured on this machine right
+/// now (best of three to dodge scheduler noise). Recorded in every run
+/// report so the regression guard can compare wall times across machines
+/// as multiples of this unit instead of raw nanoseconds.
+pub fn calibrate_ns() -> u64 {
+    (0..3)
+        .map(|round| {
+            let start = std::time::Instant::now();
+            let mut x = 0x9E37_79B9_7F4A_7C15u64 ^ round;
+            for _ in 0..2_000_000u32 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+            }
+            std::hint::black_box(x);
+            start.elapsed().as_nanos() as u64
+        })
+        .min()
+        .expect("three calibration rounds")
+        .max(1)
+}
+
 /// Collects per-experiment observability data across a `repro` run and
 /// renders the budget report and the machine-readable run report.
 #[derive(Debug)]
 pub struct RunReport {
     target: String,
+    workers: usize,
+    calibration_ns: u64,
     runs: Vec<ExperimentRun>,
     registry: MetricsRegistry,
 }
 
 impl RunReport {
-    /// Start an empty report for `target` (names the output file).
+    /// Start an empty report for `target` (names the output file). The
+    /// machine is calibrated once, here, before any experiment runs.
     pub fn new(target: &str) -> Self {
         RunReport {
             target: target.to_string(),
+            workers: 1,
+            calibration_ns: calibrate_ns(),
             runs: Vec::new(),
             registry: MetricsRegistry::new(),
         }
+    }
+
+    /// Record the worker-pool size the experiments ran with.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers;
     }
 
     /// The metrics registry fed by [`RunReport::record`]; exposed so
@@ -172,6 +204,11 @@ impl RunReport {
                     self.registry
                         .histogram(&format!("aggregate.{}.wall_ns", a.operator))
                         .record_ns(a.wall_ns);
+                }
+                Event::Exec(e) => {
+                    self.registry
+                        .histogram(&format!("exec.{}.wall_ns", e.kernel))
+                        .record_ns(e.wall_ns);
                 }
                 Event::Transform(_) => {}
             }
@@ -220,6 +257,8 @@ impl RunReport {
         let mut out = String::new();
         out.push('{');
         out.push_str(&format!("\"target\":{},", escape(&self.target)));
+        out.push_str(&format!("\"workers\":{},", self.workers));
+        out.push_str(&format!("\"calibration_ns\":{},", self.calibration_ns));
         out.push_str(&format!("\"generated_at_s\":{},", unix_time_s()));
         out.push_str("\"experiments\":[");
         for (i, run) in self.runs.iter().enumerate() {
@@ -308,7 +347,7 @@ mod tests {
     }
 
     fn sample_events() -> Vec<Event> {
-        use dpnet_obs::event::{ChargeEvent, PhaseEvent};
+        use dpnet_obs::event::{ChargeEvent, ExecEvent, PhaseEvent};
         use std::sync::Arc;
         vec![
             Event::Phase(PhaseEvent {
@@ -326,6 +365,14 @@ mod tests {
                 sequence: 1,
                 at_ns: 2,
             }),
+            Event::Exec(ExecEvent {
+                kernel: "partition",
+                workers: 4,
+                wall_ns: 1_000_000,
+                at_ns: 3,
+                #[cfg(feature = "trusted-owner")]
+                tasks: 8,
+            }),
         ]
     }
 
@@ -339,6 +386,25 @@ mod tests {
         assert!(text.contains("0.500"));
         assert_eq!(r.registry().counter("experiments.completed").get(), 1);
         assert_eq!(r.registry().counter("events.phase").get(), 1);
+        assert_eq!(r.registry().counter("events.exec").get(), 1);
+    }
+
+    #[test]
+    fn run_report_records_workers_and_calibration() {
+        let mut r = RunReport::new("test");
+        r.set_workers(4);
+        let json = r.to_json();
+        assert!(json.contains("\"workers\":4"));
+        assert!(json.contains("\"calibration_ns\":"));
+    }
+
+    #[test]
+    fn calibration_is_positive_and_repeatable_within_an_order() {
+        let a = calibrate_ns();
+        let b = calibrate_ns();
+        assert!(a > 0 && b > 0);
+        let ratio = a.max(b) as f64 / a.min(b) as f64;
+        assert!(ratio < 10.0, "calibration unstable: {a} vs {b}");
     }
 
     #[test]

@@ -103,6 +103,29 @@ pub struct ChargeEvent {
     pub at_ns: u64,
 }
 
+/// A parallel kernel run finished on a worker pool.
+///
+/// Emitted once per pool-driven kernel invocation (chunked partition
+/// construction, chunked sums, per-part fan-out, trace generation) so that
+/// speedups are observable per kernel. The worker count is analyst-chosen
+/// configuration, not data; the task (chunk) count is derived from the
+/// record count and therefore compiles in only under `trusted-owner`.
+#[derive(Debug, Clone)]
+pub struct ExecEvent {
+    /// Kernel name, e.g. `"partition"`, `"noisy_sum"`, `"map_parts"`.
+    pub kernel: &'static str,
+    /// Worker threads the pool was configured with.
+    pub workers: u64,
+    /// Wall time of the kernel run, ns.
+    pub wall_ns: u64,
+    /// Monotonic timestamp (ns since process clock epoch).
+    pub at_ns: u64,
+    /// Number of tasks (chunks) dispatched. Data-dependent: owner-side
+    /// builds only.
+    #[cfg(feature = "trusted-owner")]
+    pub tasks: u64,
+}
+
 /// A named phase of a higher-level analysis finished.
 #[derive(Debug, Clone)]
 pub struct PhaseEvent {
@@ -127,17 +150,20 @@ pub enum Event {
     Charge(ChargeEvent),
     /// An analysis phase finished.
     Phase(PhaseEvent),
+    /// A parallel kernel run finished.
+    Exec(ExecEvent),
 }
 
 impl Event {
     /// The event's kind as a stable string (`"transform"`, `"aggregate"`,
-    /// `"charge"`, `"phase"`).
+    /// `"charge"`, `"phase"`, `"exec"`).
     pub fn kind(&self) -> &'static str {
         match self {
             Event::Transform(_) => "transform",
             Event::Aggregate(_) => "aggregate",
             Event::Charge(_) => "charge",
             Event::Phase(_) => "phase",
+            Event::Exec(_) => "exec",
         }
     }
 
@@ -186,6 +212,14 @@ impl Event {
                     .field_f64("eps_spent", e.eps_spent)
                     .field_u64("wall_ns", e.wall_ns)
                     .field_u64("at_ns", e.at_ns);
+            }
+            Event::Exec(e) => {
+                o.field_str("kernel", e.kernel)
+                    .field_u64("workers", e.workers)
+                    .field_u64("wall_ns", e.wall_ns)
+                    .field_u64("at_ns", e.at_ns);
+                #[cfg(feature = "trusted-owner")]
+                o.field_u64("tasks", e.tasks);
             }
         }
         o.finish()
@@ -265,5 +299,34 @@ mod tests {
             }
             assert!(!j.contains("records"), "data-dependent field in {j}");
         }
+        let x = Event::Exec(ExecEvent {
+            kernel: "partition",
+            workers: 4,
+            wall_ns: 5,
+            at_ns: 6,
+            #[cfg(feature = "trusted-owner")]
+            tasks: 13,
+        });
+        let j = x.to_json();
+        if !cfg!(feature = "trusted-owner") {
+            assert!(!j.contains("tasks"), "data-dependent field in {j}");
+        }
+    }
+
+    #[test]
+    fn exec_serializes_flat() {
+        let e = Event::Exec(ExecEvent {
+            kernel: "noisy_sum",
+            workers: 8,
+            wall_ns: 777,
+            at_ns: 42,
+            #[cfg(feature = "trusted-owner")]
+            tasks: 3,
+        });
+        let m = parse_flat_object(&e.to_json()).expect("valid flat JSON");
+        assert_eq!(m["type"].as_str(), Some("exec"));
+        assert_eq!(m["kernel"].as_str(), Some("noisy_sum"));
+        assert_eq!(m["workers"].as_f64(), Some(8.0));
+        assert_eq!(m["wall_ns"].as_f64(), Some(777.0));
     }
 }

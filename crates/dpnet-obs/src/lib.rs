@@ -49,9 +49,11 @@ pub mod metrics;
 pub mod sink;
 
 pub use clock::{now_ns, unix_time_s, SpanTimer};
-pub use event::{AggregateEvent, ChargeEvent, Event, Outcome, PhaseEvent, TransformEvent};
+pub use event::{
+    AggregateEvent, ChargeEvent, Event, ExecEvent, Outcome, PhaseEvent, TransformEvent,
+};
 pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricsRegistry};
 pub use sink::{
-    emit_phase_global, global_sink, set_global_sink, EventSink, JsonlSink, MemorySink, NullSink,
-    SinkHandle,
+    emit_exec_global, emit_phase_global, global_sink, set_global_sink, EventSink, JsonlSink,
+    MemorySink, NullSink, SinkHandle,
 };

@@ -153,6 +153,25 @@ pub fn emit_phase_global(name: &str, eps_spent: f64, wall_ns: u64) {
     }
 }
 
+/// Emit an [`crate::ExecEvent`] to the global sink (no-op when none is
+/// installed). For parallel drivers outside the engine — e.g. chunked
+/// synthetic-trace generation — that want their kernel runs observable
+/// without a sink handle. `tasks` is data-dependent (a chunk count) and is
+/// therefore serialized only under `trusted-owner`.
+pub fn emit_exec_global(kernel: &'static str, workers: usize, tasks: usize, wall_ns: u64) {
+    let _ = tasks;
+    if let Some(sink) = global_sink() {
+        sink.emit(&Event::Exec(crate::event::ExecEvent {
+            kernel,
+            workers: workers as u64,
+            wall_ns,
+            at_ns: crate::clock::now_ns(),
+            #[cfg(feature = "trusted-owner")]
+            tasks: tasks as u64,
+        }));
+    }
+}
+
 /// The currently installed global sink, if any.
 pub fn global_sink() -> Option<Arc<dyn EventSink>> {
     let g = global();

@@ -34,6 +34,9 @@ pub enum Error {
     InvalidStability(f64),
     /// `select_many` requires a positive per-record output bound.
     InvalidFanout(usize),
+    /// A worker pool needs at least one worker; `workers: 0` is refused
+    /// rather than silently clamped.
+    InvalidWorkers(usize),
 }
 
 impl fmt::Display for Error {
@@ -63,6 +66,9 @@ impl fmt::Display for Error {
             }
             Error::InvalidFanout(k) => {
                 write!(f, "select_many fanout bound must be positive, got {k}")
+            }
+            Error::InvalidWorkers(n) => {
+                write!(f, "worker pool size must be at least 1, got {n}")
             }
         }
     }

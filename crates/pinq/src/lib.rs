@@ -56,6 +56,7 @@ pub mod aggregates;
 pub mod budget;
 mod charge;
 pub mod error;
+pub mod exec;
 pub mod mechanisms;
 pub mod parallel;
 mod partition;
@@ -66,6 +67,7 @@ pub mod types;
 
 pub use budget::{Accountant, OperatorTotal, SpendEvent, DEFAULT_LOG_CAPACITY};
 pub use error::{Error, Result};
+pub use exec::ExecPool;
 pub use policy::{SessionManager, TimedRelease};
 pub use queryable::Queryable;
 pub use rng::NoiseSource;

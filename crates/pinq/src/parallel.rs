@@ -5,11 +5,17 @@
 //! automatically scale to a cluster (DryadLINQ)". The single-machine analog
 //! here: the parts of a `Partition` are disjoint and every piece of shared
 //! state (the budget accountant, the partition ledger, the noise source) is
-//! thread-safe, so per-part queries can run on a worker pool with no change
-//! to the privacy semantics.
+//! thread-safe, so per-part queries can run on an [`ExecPool`] with no
+//! change to the privacy semantics.
+//!
+//! Each part is handed its own deterministic noise substream (see
+//! [`NoiseSource::substream`](crate::rng::NoiseSource::substream)), derived
+//! on the coordinating thread in part order before dispatch. Workers
+//! therefore never race on a shared generator, and the released values at a
+//! fixed seed are identical for **any** worker count.
 //!
 //! ```
-//! use pinq::{Accountant, NoiseSource, Queryable};
+//! use pinq::{Accountant, ExecPool, NoiseSource, Queryable};
 //! use pinq::parallel::parallel_map_parts;
 //!
 //! let budget = Accountant::new(1.0);
@@ -20,60 +26,64 @@
 //!
 //! // Sixteen noisy counts, measured concurrently, one ε charged (parallel
 //! // composition is about *privacy*; this module adds parallel *compute*).
-//! let counts = parallel_map_parts(&parts, 4, |part| part.noisy_count(0.5));
+//! let counts = parallel_map_parts(&parts, 4, |part| part.noisy_count(0.5)).unwrap();
 //! assert_eq!(counts.len(), 16);
 //! assert!((budget.spent() - 0.5).abs() < 1e-12);
+//!
+//! // `workers: 0` is refused, not clamped.
+//! assert!(parallel_map_parts(&parts, 0, |p| p.stability()).is_err());
+//! # let _ = ExecPool::new(2);
 //! ```
 
+use crate::error::Result;
+use crate::exec::ExecPool;
 use crate::queryable::Queryable;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Apply `f` to every part on up to `workers` threads, preserving order.
 ///
 /// `f` runs on borrowed queryables; each invocation may perform its own
 /// transformations and aggregations. Results come back in part order.
-pub fn parallel_map_parts<T, R, F>(parts: &[Queryable<T>], workers: usize, f: F) -> Vec<R>
+/// Returns [`crate::Error::InvalidWorkers`] for `workers: 0`.
+pub fn parallel_map_parts<T, R, F>(parts: &[Queryable<T>], workers: usize, f: F) -> Result<Vec<R>>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(&Queryable<T>) -> R + Send + Sync,
 {
-    let workers = workers.max(1).min(parts.len().max(1));
-    let next = AtomicUsize::new(0);
-    let mut results: Vec<Option<R>> = (0..parts.len()).map(|_| None).collect();
-    // Raw slice of result slots, one writer per index via the atomic
-    // work-stealing counter — expressed safely through per-slot Mutexes to
-    // honor the crate-wide forbid(unsafe_code).
-    let slots: Vec<parking_lot::Mutex<&mut Option<R>>> =
-        results.iter_mut().map(parking_lot::Mutex::new).collect();
+    let pool = ExecPool::new(workers)?;
+    Ok(parallel_map_parts_with(parts, &pool, f))
+}
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= parts.len() {
-                    break;
-                }
-                let r = f(&parts[i]);
-                **slots[i].lock() = Some(r);
-            });
-        }
-    });
-
-    drop(slots);
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot visited exactly once"))
-        .collect()
+/// [`parallel_map_parts`] over a caller-supplied [`ExecPool`].
+///
+/// Before dispatch, each part is re-bound to a private noise substream —
+/// derived in part order on the calling thread — so noise draws inside `f`
+/// are deterministic at a fixed seed regardless of worker count or
+/// scheduling. Budget accounting is untouched: parts keep their ledger, and
+/// spends race safely on the thread-safe accountant.
+pub fn parallel_map_parts_with<T, R, F>(parts: &[Queryable<T>], pool: &ExecPool, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&Queryable<T>) -> R + Send + Sync,
+{
+    let timer = dpnet_obs::SpanTimer::start();
+    let staged: Vec<Queryable<T>> = parts.iter().map(|p| p.with_substream()).collect();
+    let out = pool.run(&staged, |_, part| f(part));
+    if let Some(first) = parts.first() {
+        first.emit_exec("map_parts", pool.workers(), parts.len(), timer.elapsed_ns());
+    }
+    out
 }
 
 /// Convenience: noisy counts of every part, concurrently. Returns one
-/// result per part, in order.
+/// result per part, in order. The outer `Result` reports an invalid worker
+/// count; the inner ones report per-part budget refusals.
 pub fn parallel_counts<T>(
     parts: &[Queryable<T>],
     workers: usize,
     eps: f64,
-) -> Vec<crate::error::Result<f64>>
+) -> Result<Vec<Result<f64>>>
 where
     T: Send + Sync,
 {
@@ -84,6 +94,7 @@ where
 mod tests {
     use super::*;
     use crate::budget::Accountant;
+    use crate::error::Error;
     use crate::rng::NoiseSource;
 
     fn dataset(n: u32, budget: f64) -> (Accountant, Queryable<u32>) {
@@ -100,13 +111,24 @@ mod tests {
         let (acct, q) = dataset(64_000, 10.0);
         let keys: Vec<u32> = (0..32).collect();
         let parts = q.partition(&keys, |&x| x % 32);
-        let counts = parallel_counts(&parts, 8, 5.0);
+        let counts = parallel_counts(&parts, 8, 5.0).unwrap();
         for c in &counts {
             let c = *c.as_ref().expect("budget is ample");
             assert!((c - 2000.0).abs() < 10.0, "count {c}");
         }
         // Parallel composition still holds under concurrency.
         assert!((acct.spent() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_workers_is_an_error() {
+        let (_, q) = dataset(100, 1.0);
+        let keys: Vec<u32> = (0..4).collect();
+        let parts = q.partition(&keys, |&x| x % 4);
+        assert_eq!(
+            parallel_counts(&parts, 0, 0.1).unwrap_err(),
+            Error::InvalidWorkers(0)
+        );
     }
 
     #[test]
@@ -117,8 +139,26 @@ mod tests {
         // Deterministic per-part value: exact size via a huge epsilon.
         let sizes = parallel_map_parts(&parts, 4, |p| {
             p.noisy_count(1e9).expect("budget").round() as usize
-        });
+        })
+        .unwrap();
         assert_eq!(sizes, vec![100; 10]);
+    }
+
+    #[test]
+    fn released_values_are_identical_for_any_worker_count() {
+        // The core determinism contract: a fixed seed fixes every released
+        // value, no matter how many workers measure the parts.
+        let run = |workers: usize| -> Vec<f64> {
+            let acct = Accountant::new(1e12);
+            let noise = NoiseSource::seeded(0xD5);
+            let q = Queryable::new((0..10_000u32).collect::<Vec<_>>(), &acct, &noise);
+            let keys: Vec<u32> = (0..16).collect();
+            let parts = q.partition(&keys, |&x| x % 16);
+            parallel_map_parts(&parts, workers, |p| p.noisy_count(0.5).unwrap()).unwrap()
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(8));
     }
 
     #[test]
@@ -128,9 +168,9 @@ mod tests {
         let parts = q.partition(&keys, |&x| x % 4);
         // Each part tries to spend 0.2 twice; the ledger allows the first
         // round (max = 0.2) but the second round (max 0.4 > 0.25) fails.
-        let first = parallel_counts(&parts, 4, 0.2);
+        let first = parallel_counts(&parts, 4, 0.2).unwrap();
         assert!(first.iter().all(|r| r.is_ok()));
-        let second = parallel_counts(&parts, 4, 0.2);
+        let second = parallel_counts(&parts, 4, 0.2).unwrap();
         assert!(second.iter().all(|r| r.is_err()));
     }
 
@@ -139,7 +179,7 @@ mod tests {
         let (_, q) = dataset(100, 1e12);
         let keys: Vec<u32> = (0..5).collect();
         let parts = q.partition(&keys, |&x| x % 5);
-        let a = parallel_map_parts(&parts, 1, |p| p.noisy_count(1e9).unwrap().round());
+        let a = parallel_map_parts(&parts, 1, |p| p.noisy_count(1e9).unwrap().round()).unwrap();
         assert_eq!(a, vec![20.0; 5]);
     }
 
@@ -148,7 +188,7 @@ mod tests {
         let (_, q) = dataset(10, 100.0);
         let keys: Vec<u32> = vec![];
         let parts = q.partition(&keys, |&x| x);
-        assert!(parallel_counts(&parts, 4, 1.0).is_empty());
+        assert!(parallel_counts(&parts, 4, 1.0).unwrap().is_empty());
     }
 
     #[test]
@@ -159,7 +199,8 @@ mod tests {
         let medians = parallel_map_parts(&parts, 4, |p| {
             p.noisy_median(1.0, 0.0, 10_000.0, 100, |&x| x as f64)
                 .expect("budget")
-        });
+        })
+        .unwrap();
         assert_eq!(medians.len(), 8);
         // Each part spent 1.0; parallel composition charges 1.0 total.
         assert!((acct.spent() - 1.0).abs() < 1e-9);

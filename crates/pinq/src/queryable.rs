@@ -37,11 +37,12 @@ use crate::aggregates;
 use crate::budget::{Accountant, ChargeMeta};
 use crate::charge::ChargeNode;
 use crate::error::{check_epsilon, Error, Result};
+use crate::exec::ExecPool;
 use crate::partition::PartitionLedger;
 use crate::rng::NoiseSource;
 use crate::types::{Group, JoinGroup};
 use dpnet_obs::sink::SinkHandle;
-use dpnet_obs::{now_ns, AggregateEvent, Event, Outcome, SpanTimer, TransformEvent};
+use dpnet_obs::{now_ns, AggregateEvent, Event, ExecEvent, Outcome, SpanTimer, TransformEvent};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::Arc;
@@ -145,6 +146,22 @@ impl<T> Queryable<T> {
         }
     }
 
+    /// A view of the same dataset whose noise draws come from a derived
+    /// substream of the shared source (see [`NoiseSource::substream`]).
+    /// Used by parallel drivers to give each concurrent task its own
+    /// deterministic stream; must be called on the coordinating thread in
+    /// task order.
+    pub(crate) fn with_substream(&self) -> Self {
+        Queryable {
+            records: self.records.clone(),
+            charge: self.charge.clone(),
+            noise: self.noise.substream(),
+            stability: self.stability,
+            label: self.label.clone(),
+            sink: self.sink.clone(),
+        }
+    }
+
     /// Current sensitivity multiplier relative to the source dataset.
     pub fn stability(&self) -> f64 {
         self.stability
@@ -232,6 +249,29 @@ impl<T> Queryable<T> {
         });
     }
 
+    /// Emit an [`ExecEvent`] describing one finished parallel-kernel run.
+    /// `tasks` (the chunk count) is derived from the record count, so it
+    /// only leaves this function under `trusted-owner`.
+    pub(crate) fn emit_exec(
+        &self,
+        kernel: &'static str,
+        workers: usize,
+        tasks: usize,
+        wall_ns: u64,
+    ) {
+        let _ = tasks;
+        self.sink.emit(|| {
+            Event::Exec(ExecEvent {
+                kernel,
+                workers: workers as u64,
+                wall_ns,
+                at_ns: now_ns(),
+                #[cfg(feature = "trusted-owner")]
+                tasks: tasks as u64,
+            })
+        });
+    }
+
     // ------------------------------------------------------------------
     // Transformations
     // ------------------------------------------------------------------
@@ -253,6 +293,61 @@ impl<T> Queryable<T> {
         let t = SpanTimer::start();
         let out: Vec<U> = self.records.iter().map(f).collect();
         let q = self.derive(out, self.stability);
+        self.emit_transform("map", q.stability, t.elapsed_ns(), q.records.len());
+        q
+    }
+
+    /// [`Queryable::filter`] on a worker pool: fixed-size chunks are
+    /// filtered concurrently and concatenated in chunk order, so the output
+    /// is identical to the sequential path for any worker count.
+    pub fn filter_with(
+        &self,
+        pred: impl Fn(&T) -> bool + Send + Sync,
+        pool: &ExecPool,
+    ) -> Queryable<T>
+    where
+        T: Clone + Send + Sync,
+    {
+        let t = SpanTimer::start();
+        let ranges = pool.chunks(self.records.len());
+        let n_tasks = ranges.len();
+        let chunks: Vec<Vec<T>> = pool.run(&ranges, |_, r| {
+            self.records[r.clone()]
+                .iter()
+                .filter(|x| pred(x))
+                .cloned()
+                .collect()
+        });
+        let mut out = Vec::new();
+        for mut c in chunks {
+            out.append(&mut c);
+        }
+        let q = self.derive(out, self.stability);
+        self.emit_exec("filter", pool.workers(), n_tasks, t.elapsed_ns());
+        self.emit_transform("filter", q.stability, t.elapsed_ns(), q.records.len());
+        q
+    }
+
+    /// [`Queryable::map`] on a worker pool: fixed-size chunks are mapped
+    /// concurrently and concatenated in chunk order, so the output is
+    /// identical to the sequential path for any worker count.
+    pub fn map_with<U>(&self, f: impl Fn(&T) -> U + Send + Sync, pool: &ExecPool) -> Queryable<U>
+    where
+        T: Send + Sync,
+        U: Send,
+    {
+        let t = SpanTimer::start();
+        let ranges = pool.chunks(self.records.len());
+        let n_tasks = ranges.len();
+        let chunks: Vec<Vec<U>> = pool.run(&ranges, |_, r| {
+            self.records[r.clone()].iter().map(&f).collect()
+        });
+        let mut out = Vec::with_capacity(self.records.len());
+        for mut c in chunks {
+            out.append(&mut c);
+        }
+        let q = self.derive(out, self.stability);
+        self.emit_exec("map", pool.workers(), n_tasks, t.elapsed_ns());
         self.emit_transform("map", q.stability, t.elapsed_ns(), q.records.len());
         q
     }
@@ -487,14 +582,69 @@ impl<T> Queryable<T> {
                 parts[i].push(r.clone());
             }
         }
+        let out = self.wrap_parts(parts);
+        // One event for the whole partition; the part count is the (public)
+        // key-list length, not a record count.
+        self.emit_transform("partition", 1.0, t.elapsed_ns(), keys.len());
+        out
+    }
+
+    /// [`Queryable::partition`] on a worker pool. A single concurrent pass:
+    /// each fixed-size chunk of records is bucketed into per-chunk local
+    /// parts, and the local buckets are concatenated in chunk order at the
+    /// end — so every part holds its records in the same order the
+    /// sequential pass would produce, for any worker count.
+    ///
+    /// Privacy is untouched: the parts share one partition ledger exactly
+    /// as in the sequential path, and the budget is charged the maximum of
+    /// the parts' spends.
+    pub fn partition_with<K>(
+        &self,
+        keys: &[K],
+        key_fn: impl Fn(&T) -> K + Send + Sync,
+        pool: &ExecPool,
+    ) -> Vec<Queryable<T>>
+    where
+        K: Eq + Hash + Clone + Sync,
+        T: Clone + Send + Sync,
+    {
+        let t = SpanTimer::start();
+        let index_of: HashMap<&K, usize> = keys.iter().enumerate().map(|(i, k)| (k, i)).collect();
+        let ranges = pool.chunks(self.records.len());
+        let n_tasks = ranges.len();
+        let locals: Vec<Vec<Vec<T>>> = pool.run(&ranges, |_, r| {
+            let mut buckets: Vec<Vec<T>> = (0..keys.len()).map(|_| Vec::new()).collect();
+            for rec in &self.records[r.clone()] {
+                if let Some(&i) = index_of.get(&key_fn(rec)) {
+                    buckets[i].push(rec.clone());
+                }
+            }
+            buckets
+        });
+        let mut parts: Vec<Vec<T>> = (0..keys.len()).map(|_| Vec::new()).collect();
+        for local in locals {
+            for (part, mut bucket) in parts.iter_mut().zip(local) {
+                part.append(&mut bucket);
+            }
+        }
+        let out = self.wrap_parts(parts);
+        self.emit_exec("partition", pool.workers(), n_tasks, t.elapsed_ns());
+        self.emit_transform("partition", 1.0, t.elapsed_ns(), keys.len());
+        out
+    }
+
+    /// Wrap materialized part buckets as queryables sharing one
+    /// [`PartitionLedger`], so that aggregations across parts charge the
+    /// source budget their maximum (parallel composition).
+    fn wrap_parts(&self, parts: Vec<Vec<T>>) -> Vec<Queryable<T>> {
         let ledger = Arc::new(PartitionLedger::new(
             Arc::new(ChargeNode::Scaled {
                 parent: self.charge.clone(),
                 factor: self.stability,
             }),
-            keys.len(),
+            parts.len(),
         ));
-        let out: Vec<Queryable<T>> = parts
+        parts
             .into_iter()
             .enumerate()
             .map(|(index, records)| Queryable {
@@ -508,11 +658,7 @@ impl<T> Queryable<T> {
                 label: self.label.clone(),
                 sink: self.sink.clone(),
             })
-            .collect();
-        // One event for the whole partition; the part count is the (public)
-        // key-list length, not a record count.
-        self.emit_transform("partition", 1.0, t.elapsed_ns(), keys.len());
-        out
+            .collect()
     }
 
     // ------------------------------------------------------------------
@@ -571,6 +717,79 @@ impl<T> Queryable<T> {
             }
             self.pay(eps, "noisy_sum")?;
             aggregates::noisy_sum(&self.noise, self.records.iter().map(f), bound, eps)
+        })();
+        self.emit_aggregate(
+            "noisy_sum",
+            "laplace",
+            eps,
+            r.as_ref().ok().copied(),
+            outcome_of(&r),
+            t,
+        );
+        r
+    }
+
+    /// [`Queryable::noisy_count`] in pool-parameterized form. Counting is
+    /// O(1) on a materialized dataset, so this simply delegates — it exists
+    /// so that pool-threaded analyses can parameterize every aggregation
+    /// uniformly. Charges and releases exactly as the sequential path.
+    pub fn noisy_count_with(&self, eps: f64, pool: &ExecPool) -> Result<f64> {
+        let _ = pool;
+        self.noisy_count(eps)
+    }
+
+    /// [`Queryable::noisy_sum`] on a worker pool: chunked clamped partial
+    /// sums. See [`Queryable::noisy_sum_clamped_with`].
+    pub fn noisy_sum_with(
+        &self,
+        eps: f64,
+        f: impl Fn(&T) -> f64 + Send + Sync,
+        pool: &ExecPool,
+    ) -> Result<f64>
+    where
+        T: Send + Sync,
+    {
+        self.noisy_sum_clamped_with(eps, 1.0, f, pool)
+    }
+
+    /// [`Queryable::noisy_sum_clamped`] on a worker pool.
+    ///
+    /// Clamped partial sums are computed per fixed-size chunk concurrently,
+    /// then combined in chunk order, and a single Laplace draw is taken on
+    /// the calling thread — identical budget charge and noise stream as the
+    /// sequential path. The released value is bit-identical for any worker
+    /// count; it may differ from the *sequential* method in the last ulp,
+    /// because the chunked sum associates floating-point additions at chunk
+    /// boundaries.
+    pub fn noisy_sum_clamped_with(
+        &self,
+        eps: f64,
+        bound: f64,
+        f: impl Fn(&T) -> f64 + Send + Sync,
+        pool: &ExecPool,
+    ) -> Result<f64>
+    where
+        T: Send + Sync,
+    {
+        let t = SpanTimer::start();
+        let r = (|| {
+            if !(bound.is_finite() && bound > 0.0) {
+                return Err(Error::InvalidRange {
+                    lo: -bound,
+                    hi: bound,
+                });
+            }
+            self.pay(eps, "noisy_sum")?;
+            let ranges = pool.chunks(self.records.len());
+            let partials: Vec<f64> = pool.run(&ranges, |_, rg| {
+                self.records[rg.clone()]
+                    .iter()
+                    .map(|rec| aggregates::clamp(f(rec), -bound, bound))
+                    .sum::<f64>()
+            });
+            self.emit_exec("noisy_sum", pool.workers(), ranges.len(), t.elapsed_ns());
+            let total: f64 = partials.iter().sum();
+            Ok(total + crate::mechanisms::laplace_noise(&self.noise, bound / eps))
         })();
         self.emit_aggregate(
             "noisy_sum",
@@ -716,6 +935,54 @@ impl<T> Queryable<T> {
             }
             self.pay(eps, "noisy_median")?;
             let values: Vec<f64> = self.records.iter().map(f).collect();
+            aggregates::noisy_median(&self.noise, &values, lo, hi, buckets, eps)
+        })();
+        self.emit_aggregate(
+            "noisy_median",
+            "exponential",
+            eps,
+            r.as_ref().ok().copied(),
+            outcome_of(&r),
+            t,
+        );
+        r
+    }
+
+    /// [`Queryable::noisy_median`] on a worker pool: the value projection
+    /// `f` runs concurrently over fixed-size chunks, concatenated in chunk
+    /// order, and the exponential mechanism then runs on the calling thread.
+    /// The candidate scores (and thus the released value at a fixed seed)
+    /// are identical to the sequential path for any worker count.
+    pub fn noisy_median_with(
+        &self,
+        eps: f64,
+        lo: f64,
+        hi: f64,
+        buckets: usize,
+        f: impl Fn(&T) -> f64 + Send + Sync,
+        pool: &ExecPool,
+    ) -> Result<f64>
+    where
+        T: Send + Sync,
+    {
+        let t = SpanTimer::start();
+        let r = (|| {
+            if lo >= hi || !lo.is_finite() || !hi.is_finite() {
+                return Err(Error::InvalidRange { lo, hi });
+            }
+            if buckets == 0 {
+                return Err(Error::EmptyCandidates);
+            }
+            self.pay(eps, "noisy_median")?;
+            let ranges = pool.chunks(self.records.len());
+            let chunks: Vec<Vec<f64>> = pool.run(&ranges, |_, rg| {
+                self.records[rg.clone()].iter().map(&f).collect()
+            });
+            self.emit_exec("noisy_median", pool.workers(), ranges.len(), t.elapsed_ns());
+            let mut values = Vec::with_capacity(self.records.len());
+            for mut c in chunks {
+                values.append(&mut c);
+            }
             aggregates::noisy_median(&self.noise, &values, lo, hi, buckets, eps)
         })();
         self.emit_aggregate(

@@ -1,0 +1,121 @@
+//! Concurrency tests for the parallel execution layer: workers racing for
+//! the last ε of a shared budget must never oversubscribe it, and the
+//! composition rules (sequential sum, parallel max-of-parts) must hold
+//! regardless of scheduling.
+
+use pinq::parallel::parallel_map_parts_with;
+use pinq::{Accountant, ExecPool, NoiseSource, Queryable};
+use proptest::prelude::*;
+
+fn protect(n: usize, budget: f64, seed: u64) -> (Accountant, Queryable<u32>) {
+    let acct = Accountant::new(budget);
+    let noise = NoiseSource::seeded(seed);
+    let data: Vec<u32> = (0..n as u32).collect();
+    (acct.clone(), Queryable::new(data, &acct, &noise))
+}
+
+/// Twenty independent datasets share one accountant that can afford exactly
+/// five ε=1 counts. Eight workers race for the last ε; sequential
+/// composition must admit exactly five charges, whatever the interleaving.
+#[test]
+fn budget_exhaustion_race_admits_exactly_the_affordable_charges() {
+    let acct = Accountant::new(5.0);
+    let noise = NoiseSource::seeded(0xACE);
+    let datasets: Vec<Queryable<u32>> = (0..20)
+        .map(|i| Queryable::new(vec![i as u32; 10], &acct, &noise))
+        .collect();
+    let pool = ExecPool::new(8).unwrap();
+    let results = parallel_map_parts_with(&datasets, &pool, |q| q.noisy_count(1.0));
+    let successes = results.iter().filter(|r| r.is_ok()).count();
+    assert_eq!(successes, 5, "exactly floor(budget/eps) charges must fit");
+    assert!(
+        acct.spent() <= acct.total() + 1e-9,
+        "oversubscribed: spent {} of {}",
+        acct.spent(),
+        acct.total()
+    );
+    assert!((acct.spent() - 5.0).abs() < 1e-9);
+}
+
+/// Parts of one partition compose in parallel: with a budget of exactly ε,
+/// counting *every* part concurrently must succeed, because the ledger
+/// charges max-of-parts, not the sum. A race in the max-update would make
+/// some parts fail spuriously or overcharge the root.
+#[test]
+fn concurrent_partition_counts_charge_only_the_max() {
+    let (acct, q) = protect(160, 1.0, 0xBEE);
+    let keys: Vec<u32> = (0..16).collect();
+    let parts = q.partition(&keys, |&v| v % 16);
+    let pool = ExecPool::new(8).unwrap();
+    let results = parallel_map_parts_with(&parts, &pool, |part| part.noisy_count(1.0));
+    for r in &results {
+        r.as_ref().expect("parallel composition affords every part");
+    }
+    assert!(
+        (acct.spent() - 1.0).abs() < 1e-9,
+        "max-of-parts must charge ε once, spent {}",
+        acct.spent()
+    );
+}
+
+/// One pipeline touching every parallel aggregation kernel releases
+/// bit-identical values — and charges identical ε — at 1, 2 and 8 workers.
+#[test]
+fn kernel_released_values_are_identical_for_workers_1_2_8() {
+    let run = |workers: usize| {
+        let (acct, q) = protect(10_000, 100.0, 0xD1CE);
+        let pool = ExecPool::new(workers).unwrap().with_chunk_size(512);
+        let count = q
+            .filter_with(|&v| v % 3 == 0, &pool)
+            .map_with(|&v| u64::from(v) * 2, &pool)
+            .noisy_count(0.5)
+            .unwrap();
+        let sum = q
+            .noisy_sum_clamped_with(0.5, 100.0, |&v| f64::from(v), &pool)
+            .unwrap();
+        let median = q
+            .noisy_median_with(0.5, 0.0, 10_000.0, 64, |&v| f64::from(v), &pool)
+            .unwrap();
+        (count, sum, median, acct.spent())
+    };
+    let baseline = run(1);
+    assert_eq!(run(2), baseline, "workers=2 diverged");
+    assert_eq!(run(8), baseline, "workers=8 diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the budget, charge size, worker count and number of
+    /// contenders, concurrent spends (a) never exceed the budget, (b) sum
+    /// exactly to the successful charges, and (c) admit precisely as many
+    /// charges as a sequential replay of the same accountant logic.
+    #[test]
+    fn concurrent_spends_respect_the_budget(
+        total in 0.0f64..20.0,
+        eps in 0.01f64..2.0,
+        workers in 1usize..9,
+        n in 1usize..40,
+    ) {
+        let acct = Accountant::new(total);
+        let pool = ExecPool::new(workers).unwrap().with_chunk_size(1);
+        let tasks: Vec<usize> = (0..n).collect();
+        let outcomes = pool.run(&tasks, |_, _| acct.charge(eps).is_ok());
+        let admitted = outcomes.iter().filter(|&&ok| ok).count();
+
+        prop_assert!(acct.spent() <= acct.total() + 1e-6);
+        prop_assert!((acct.spent() - admitted as f64 * eps).abs() < 1e-6);
+
+        // All charges are equal, so the admission count is independent of
+        // interleaving: replay the accountant's own rule sequentially.
+        let mut sim_spent = 0.0f64;
+        let mut sim_admitted = 0usize;
+        for _ in 0..n {
+            if sim_spent + eps <= total + 1e-9 {
+                sim_spent += eps;
+                sim_admitted += 1;
+            }
+        }
+        prop_assert_eq!(admitted, sim_admitted);
+    }
+}
