@@ -38,7 +38,7 @@ pub fn rule_traffic(
     // Unmatched packets map to index n_rules and are dropped by Partition.
     let keys: Vec<usize> = (0..n_rules).collect();
     let cls = Arc::new(classifier.clone());
-    let parts = packets.partition(&keys, move |p: &Packet| cls.classify(p).unwrap_or(n_rules));
+    let parts = packets.partition(&keys, move |p: &Packet| cls.classify(p).unwrap_or(n_rules))?;
     let mut out = Vec::with_capacity(n_rules);
     for (rule, part) in classifier.rules().iter().zip(&parts) {
         let count = part.noisy_count(eps)?;

@@ -163,7 +163,7 @@ pub fn communication_rules(
             .cloned()
             .collect()
     })?;
-    let single_parts = singles.partition(&universe, |&s| s);
+    let single_parts = singles.partition(&universe, |&s| s)?;
     let mut single_support: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
     for (&server, part) in universe.iter().zip(&single_parts) {
         single_support.insert(server, part.noisy_count(cfg.eps)?);
@@ -186,7 +186,7 @@ pub fn communication_rules(
         }
         out
     })?;
-    let pair_parts = pairs_q.partition(&candidate_pairs, |&p| p);
+    let pair_parts = pairs_q.partition(&candidate_pairs, |&p| p)?;
 
     // Rules from refined counts (ranking mirrors the association-rule
     // layer; see `dpnet_toolkit::assoc` for the generic free-post-

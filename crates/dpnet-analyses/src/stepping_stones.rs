@@ -210,7 +210,7 @@ pub fn stepping_stones(
     // Step 4: evaluate candidates — partition activations by flow, join the
     // two parts of each pair on δ-bin index.
     let flow_keys: Vec<FlowKey> = flows.clone();
-    let parts = acts.partition(&flow_keys, |(flow, _)| *flow);
+    let parts = acts.partition(&flow_keys, |(flow, _)| *flow)?;
     let index_of = |k: &FlowKey| flow_keys.iter().position(|f| f == k);
 
     let mut out = Vec::new();

@@ -63,7 +63,7 @@ pub fn private_monitor_averages(
     cfg: &TopologyConfig,
 ) -> Result<Vec<f64>> {
     let keys: Vec<u16> = (0..cfg.monitors as u16).collect();
-    let parts = records.partition(&keys, |r| r.monitor);
+    let parts = records.partition(&keys, |r| r.monitor)?;
     let mut avgs = Vec::with_capacity(cfg.monitors);
     let max_hops = cfg.max_hops;
     for part in &parts {

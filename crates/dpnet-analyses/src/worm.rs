@@ -21,7 +21,7 @@
 use dpnet_toolkit::freqstrings::{frequent_strings, FrequentStringsConfig};
 use dpnet_trace::Packet;
 use pinq::parallel::parallel_map_parts_with;
-use pinq::{ExecPool, Queryable, Result};
+use pinq::{ExecCtx, ExecPool, Queryable, Result};
 use std::collections::{HashMap, HashSet};
 
 /// Configuration for private worm fingerprinting.
@@ -97,7 +97,7 @@ pub fn worm_fingerprints(
         } else {
             Vec::new()
         }
-    });
+    })?;
 
     let mut findings = Vec::new();
     for (cand, part) in candidates.into_iter().zip(&parts) {
@@ -134,9 +134,12 @@ pub fn worm_fingerprints_with(
     pool: &ExecPool,
 ) -> Result<Vec<WormFinding>> {
     let plen = cfg.payload_len;
+    // Bind the pool once: every plan materialization and partition below
+    // runs chunked on it.
+    let packets = packets.clone().with_ctx(ExecCtx::pool(pool));
     let payloads = packets
-        .filter_with(move |p| p.payload.len() >= plen, pool)
-        .map_with(move |p| p.payload[..plen].to_vec(), pool);
+        .filter(move |p| p.payload.len() >= plen)
+        .map(move |p| p.payload[..plen].to_vec());
     let candidates = frequent_strings(
         &payloads,
         &FrequentStringsConfig {
@@ -151,17 +154,13 @@ pub fn worm_fingerprints_with(
     }
 
     let keys: Vec<Vec<u8>> = candidates.iter().map(|c| c.bytes.clone()).collect();
-    let parts = packets.partition_with(
-        &keys,
-        move |p: &Packet| {
-            if p.payload.len() >= plen {
-                p.payload[..plen].to_vec()
-            } else {
-                Vec::new()
-            }
-        },
-        pool,
-    );
+    let parts = packets.partition(&keys, move |p: &Packet| {
+        if p.payload.len() >= plen {
+            p.payload[..plen].to_vec()
+        } else {
+            Vec::new()
+        }
+    })?;
 
     let eps = cfg.eps;
     let dispersions = parallel_map_parts_with(&parts, pool, |part| {
@@ -246,7 +245,7 @@ pub fn worm_fingerprints_with_port(
         } else {
             (Vec::new(), 0)
         }
-    });
+    })?;
 
     let mut findings = Vec::new();
     for ((payload, port), part) in keys.into_iter().zip(&parts) {
@@ -348,7 +347,7 @@ pub fn worm_fingerprints_windowed(
     }
 
     let keys: Vec<Vec<u8>> = candidates.iter().map(|c| c.bytes.clone()).collect();
-    let parts = windows.partition(&keys, |r: &WindowRec| r.window.clone());
+    let parts = windows.partition(&keys, |r: &WindowRec| r.window.clone())?;
     let mut findings = Vec::new();
     for (cand, part) in candidates.into_iter().zip(&parts) {
         let srcs = part.distinct_by(|r| r.src).noisy_count(cfg.eps)?;

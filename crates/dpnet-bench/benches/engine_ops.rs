@@ -54,7 +54,7 @@ fn bench_transformations(c: &mut Criterion) {
     });
     let keys: Vec<u64> = (0..64).collect();
     g.bench_function("partition_64_parts", |b| {
-        b.iter(|| q.partition(&keys, |&x| x % 64))
+        b.iter(|| q.partition(&keys, |&x| x % 64).unwrap())
     });
     g.bench_function("join_self_1k_keys", |b| {
         b.iter(|| q.join(&q, |&x| x % 1000, |&x| x % 1000))
@@ -78,7 +78,7 @@ fn bench_accounting(c: &mut Criterion) {
     g.bench_function("partition_ledger_charge", |b| {
         let q = protected();
         let keys: Vec<u64> = (0..16).collect();
-        let parts = q.partition(&keys, |&x| x % 16);
+        let parts = q.partition(&keys, |&x| x % 16).unwrap();
         b.iter(|| {
             for p in &parts {
                 p.noisy_count(0.001).unwrap();

@@ -1,16 +1,27 @@
-//! Parallel-kernel benches: the chunked partition construction and the
-//! parallel synthetic-trace generator at 1 vs 4 workers.
+//! Parallel-kernel benches: the chunked partition construction, the
+//! parallel synthetic-trace generator at 1 vs 4 workers, and the
+//! pipeline-depth bench comparing lazy fused plans against eager
+//! per-operator materialization.
 //!
 //! These are the kernels the CI `bench-smoke` job watches: on a
 //! multi-core runner the 4-worker variants should show a clear speedup
 //! (the acceptance bar is ≥1.5×); on a single-core machine they degrade
-//! gracefully to the sequential path plus scheduling overhead.
+//! gracefully to the sequential path plus scheduling overhead. The
+//! `plan_pipeline` group runs a filter→map→partition chain over 1M
+//! records two ways — lazily (one fused pass, no intermediate buffers)
+//! and eagerly (`collect_protected` after every operator) — and is the
+//! measured evidence behind the lazy execution model.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dpnet_trace::gen::scatter::{generate_with, ScatterConfig};
-use pinq::{Accountant, ExecPool, NoiseSource, Queryable};
+use pinq::{Accountant, ExecCtx, ExecPool, NoiseSource, Queryable};
 
 const KEYS: usize = 256;
+
+/// Records in the pipeline-depth bench. The acceptance bar for the lazy
+/// execution model is measured at this scale: deep chains over ≥1M
+/// records must beat the eager per-operator path.
+const PIPELINE_N: usize = 1_000_000;
 
 fn dataset(n: usize) -> Queryable<u32> {
     let acct = Accountant::new(f64::MAX / 2.0);
@@ -25,10 +36,11 @@ fn bench_partition(c: &mut Criterion) {
     let keys: Vec<u32> = (0..KEYS as u32).collect();
     for &workers in &[1usize, 4] {
         let pool = ExecPool::new(workers).unwrap();
+        let q = q.clone().with_ctx(ExecCtx::pool(&pool));
         g.bench_with_input(
             BenchmarkId::new("partition_200k", workers),
             &workers,
-            |b, _| b.iter(|| q.partition_with(&keys, |&v| v % KEYS as u32, &pool).len()),
+            |b, _| b.iter(|| q.partition(&keys, |&v| v % KEYS as u32).unwrap().len()),
         );
     }
     g.finish();
@@ -52,9 +64,44 @@ fn bench_trace_gen(c: &mut Criterion) {
     g.finish();
 }
 
+/// The canonical deep chain: filter (keep ~half) → map → partition.
+/// `eager` forces a full materialization after every transform — the
+/// pre-refactor per-operator behaviour; the lazy variant materializes
+/// exactly once, inside `partition`, through the fused runner.
+fn pipeline(q: &Queryable<u32>, keys: &[u32], eager: bool) -> usize {
+    let force = |q: Queryable<u32>| if eager { q.collect_protected() } else { q };
+    let filtered = force(q.filter(|&v| v % 2 == 0));
+    let mapped = force(filtered.map(|&v| v / 2));
+    mapped.partition(keys, |&v| v % KEYS as u32).unwrap().len()
+}
+
+fn bench_pipeline_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan_pipeline");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(PIPELINE_N as u64));
+    let q = dataset(PIPELINE_N);
+    let keys: Vec<u32> = (0..KEYS as u32).collect();
+    g.bench_function("filter_map_partition_1m_lazy", |b| {
+        b.iter(|| pipeline(&q, &keys, false))
+    });
+    g.bench_function("filter_map_partition_1m_eager", |b| {
+        b.iter(|| pipeline(&q, &keys, true))
+    });
+    for &workers in &[2usize, 4] {
+        let pool = ExecPool::new(workers).unwrap();
+        let q = q.clone().with_ctx(ExecCtx::pool(&pool));
+        g.bench_with_input(
+            BenchmarkId::new("filter_map_partition_1m_lazy_pool", workers),
+            &workers,
+            |b, _| b.iter(|| pipeline(&q, &keys, false)),
+        );
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_partition, bench_trace_gen
+    targets = bench_partition, bench_trace_gen, bench_pipeline_depth
 }
 criterion_main!(benches);

@@ -4,6 +4,8 @@
 //! bench_guard compare <current.json> <baseline.json> [--threshold 0.25]
 //! bench_guard speedup <seq.json> <par.json> [--min 1.5]
 //! bench_guard kernel-speedup [--workers 4] [--min 1.5]
+//! bench_guard record [--out bench-reports] [<id> ...]
+//! bench_guard golden <current.json> <golden.json>
 //! ```
 //!
 //! `compare` fails (exit 1) if any experiment's wall time regressed more
@@ -23,10 +25,26 @@
 //! generation — at 1 vs `--workers` workers, in this process, and fails if
 //! the *better* of the two speedups is below `--min`. Skipped (exit 0) on
 //! machines with fewer CPUs than workers.
+//!
+//! `record` reruns the baseline experiment set (`fig1 itemsets worm` unless
+//! ids are given) in this process and rewrites
+//! `bench-reports/BENCH_baseline.json`, recalibrating for the current
+//! machine. Run it after an intentional engine change, then commit the
+//! refreshed baseline alongside the change.
+//!
+//! `golden` compares only the *semantic* fields of two reports — experiment
+//! ids, their `eps_charged`, and each phase's name and `eps_spent` — and
+//! ignores wall times entirely. CI runs a fast fixed-seed experiment and
+//! diffs it against a committed `GOLDEN_*.json` fixture: any drift in
+//! released values' privacy charges fails the build even on noisy runners.
 
+use dpnet_bench::experiments as exp;
+use dpnet_bench::report::RunReport;
+use dpnet_obs::{set_global_sink, MemorySink};
 use dpnet_trace::gen::scatter::{generate_with, ScatterConfig};
-use pinq::{Accountant, ExecPool, NoiseSource, Queryable};
+use pinq::{Accountant, ExecCtx, ExecPool, NoiseSource, Queryable};
 use std::process::exit;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// First `"key":<number>` occurrence in `json`, parsed as u64.
@@ -38,6 +56,63 @@ fn field_u64(json: &str, key: &str) -> Option<u64> {
         .take_while(|c| c.is_ascii_digit())
         .collect();
     digits.parse().ok()
+}
+
+/// First `"key":<number>` occurrence in `json`, parsed as f64 (accepts a
+/// sign, a decimal point, and an exponent).
+fn field_f64(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = json.find(&pat)? + pat.len();
+    let digits: String = json[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    digits.parse().ok()
+}
+
+/// The semantic (machine-independent) content of one experiment entry:
+/// its id, total ε charged, and each phase's `(name, eps_spent)`.
+#[derive(Debug, Clone, PartialEq)]
+struct ExpSemantics {
+    id: String,
+    eps_charged: f64,
+    phases: Vec<(String, f64)>,
+}
+
+/// Extract the semantic fields of every experiment in a report, in file
+/// order. Wall times and calibration are deliberately not read.
+fn experiment_semantics(json: &str) -> Vec<ExpSemantics> {
+    let mut out: Vec<ExpSemantics> = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find("\"id\":\"") {
+        rest = &rest[pos + 6..];
+        let Some(end) = rest.find('"') else { break };
+        let id = rest[..end].to_string();
+        rest = &rest[end..];
+        // This experiment's fields run until the next "id" key (or EOF).
+        let segment_end = rest.find("\"id\":\"").unwrap_or(rest.len());
+        let segment = &rest[..segment_end];
+        let eps_charged = field_f64(segment, "eps_charged").unwrap_or(f64::NAN);
+        let mut phases = Vec::new();
+        let mut phase_rest = segment;
+        while let Some(npos) = phase_rest.find("\"name\":\"") {
+            phase_rest = &phase_rest[npos + 8..];
+            let Some(nend) = phase_rest.find('"') else {
+                break;
+            };
+            let name = phase_rest[..nend].to_string();
+            if let Some(eps) = field_f64(phase_rest, "eps_spent") {
+                phases.push((name, eps));
+            }
+            phase_rest = &phase_rest[nend..];
+        }
+        out.push(ExpSemantics {
+            id,
+            eps_charged,
+            phases,
+        });
+    }
+    out
 }
 
 /// Per-experiment `(id, wall_ns)` pairs. Relies on the report writer's
@@ -198,11 +273,13 @@ fn cmd_kernel_speedup(workers: usize, min: f64) -> i32 {
         .collect();
     let q = Queryable::new(values, &acct, &noise);
     let keys: Vec<u32> = (0..256u32).collect();
+    let q_seq = q.clone().with_ctx(ExecCtx::pool(&seq));
+    let q_par = q.clone().with_ctx(ExecCtx::pool(&par));
     let part_seq = best_of_3(|| {
-        q.partition_with(&keys, |&v| v % 256, &seq);
+        q_seq.partition(&keys, |&v| v % 256).expect("distinct keys");
     });
     let part_par = best_of_3(|| {
-        q.partition_with(&keys, |&v| v % 256, &par);
+        q_par.partition(&keys, |&v| v % 256).expect("distinct keys");
     });
     let part_speedup = part_seq as f64 / part_par as f64;
 
@@ -231,6 +308,147 @@ fn cmd_kernel_speedup(workers: usize, min: f64) -> i32 {
     }
 }
 
+/// The experiment set the committed baseline covers.
+const BASELINE_IDS: [&str; 3] = ["fig1", "itemsets", "worm"];
+
+/// Run one pool-aware experiment for `record`, discarding its report text.
+fn run_baseline_experiment(id: &str, pool: &ExecPool) -> Result<(), String> {
+    match id {
+        "fig1" => exp::fig1::run_with(1.0, pool)
+            .map(|_| ())
+            .map_err(|e| e.to_string()),
+        "itemsets" => {
+            exp::itemsets_exp::run_with(1.0, pool);
+            Ok(())
+        }
+        "worm" => {
+            exp::worm_exp::run_with(pool);
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown baseline experiment id '{other}' (expected one of {})",
+            BASELINE_IDS.join(" ")
+        )),
+    }
+}
+
+fn cmd_record(out_dir: &str, ids: &[String]) -> i32 {
+    let ids: Vec<&str> = if ids.is_empty() {
+        BASELINE_IDS.to_vec()
+    } else {
+        ids.iter().map(String::as_str).collect()
+    };
+    let pool = match ExecPool::new(1) {
+        Ok(pool) => pool,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let sink = Arc::new(MemorySink::new());
+    set_global_sink(Some(sink.clone()));
+    let mut report = RunReport::new("baseline");
+    report.set_workers(1);
+    let mut failed = false;
+    for id in &ids {
+        sink.clear();
+        let start = Instant::now();
+        match run_baseline_experiment(id, &pool) {
+            Ok(()) => {
+                let wall = start.elapsed();
+                println!("[{id} recorded in {wall:.1?}]");
+                report.record(id, wall.as_nanos() as u64, &sink.drain());
+            }
+            Err(e) => {
+                eprintln!("experiment {id} failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    set_global_sink(None);
+    if failed {
+        return 1;
+    }
+    match report.write_json(std::path::Path::new(out_dir)) {
+        Ok(path) => {
+            println!("baseline recorded: {}", path.display());
+            0
+        }
+        Err(e) => {
+            eprintln!("could not write baseline report: {e}");
+            2
+        }
+    }
+}
+
+fn cmd_golden(current: &str, golden: &str) -> i32 {
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let (cur_text, gold_text) = match (read(current), read(golden)) {
+        (Ok(c), Ok(g)) => (c, g),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let cur = experiment_semantics(&cur_text);
+    let gold = experiment_semantics(&gold_text);
+    let mut failed = false;
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0);
+    for g in &gold {
+        let failed_before = failed;
+        let Some(c) = cur.iter().find(|c| c.id == g.id) else {
+            eprintln!("[MISSING] {}: in golden but not in current run", g.id);
+            failed = true;
+            continue;
+        };
+        if !close(c.eps_charged, g.eps_charged) {
+            eprintln!(
+                "[DRIFT] {}: eps_charged {} vs golden {}",
+                g.id, c.eps_charged, g.eps_charged
+            );
+            failed = true;
+        }
+        if c.phases.len() != g.phases.len() {
+            eprintln!(
+                "[DRIFT] {}: {} phases vs golden {}",
+                g.id,
+                c.phases.len(),
+                g.phases.len()
+            );
+            failed = true;
+        } else {
+            for ((cn, ce), (gn, ge)) in c.phases.iter().zip(&g.phases) {
+                if cn != gn || !close(*ce, *ge) {
+                    eprintln!(
+                        "[DRIFT] {}: phase {cn} eps {ce} vs golden phase {gn} eps {ge}",
+                        g.id
+                    );
+                    failed = true;
+                }
+            }
+        }
+        if failed == failed_before {
+            println!(
+                "[ok] {}: eps_charged and {} phases match",
+                g.id,
+                g.phases.len()
+            );
+        }
+    }
+    for c in &cur {
+        if !gold.iter().any(|g| g.id == c.id) {
+            eprintln!("[warn] {}: in current run but not in golden fixture", c.id);
+        }
+    }
+    if failed {
+        eprintln!("bench_guard: semantic drift against the golden fixture");
+        1
+    } else {
+        0
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
@@ -244,11 +462,39 @@ fn main() {
             flag_f64(&args, "--workers", 4.0) as usize,
             flag_f64(&args, "--min", 1.5),
         ),
+        Some("record") => {
+            let out = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+                .unwrap_or_else(|| "bench-reports".to_string());
+            let ids: Vec<String> = {
+                let mut rest = Vec::new();
+                let mut skip = false;
+                for a in &args[1..] {
+                    if skip {
+                        skip = false;
+                        continue;
+                    }
+                    if a == "--out" {
+                        skip = true;
+                        continue;
+                    }
+                    rest.push(a.clone());
+                }
+                rest
+            };
+            cmd_record(&out, &ids)
+        }
+        Some("golden") if args.len() >= 3 => cmd_golden(&args[1], &args[2]),
         _ => {
             eprintln!(
                 "usage: bench_guard compare <current.json> <baseline.json> [--threshold 0.25]\n\
                  \x20      bench_guard speedup <seq.json> <par.json> [--min 1.5]\n\
-                 \x20      bench_guard kernel-speedup [--workers 4] [--min 1.5]"
+                 \x20      bench_guard kernel-speedup [--workers 4] [--min 1.5]\n\
+                 \x20      bench_guard record [--out bench-reports] [<id> ...]\n\
+                 \x20      bench_guard golden <current.json> <golden.json>"
             );
             2
         }
@@ -276,5 +522,33 @@ mod tests {
             walls,
             vec![("fig1".to_string(), 5000), ("worm".to_string(), 7000)]
         );
+    }
+
+    #[test]
+    fn semantics_capture_eps_and_phases_but_not_walls() {
+        let sems = experiment_semantics(SAMPLE);
+        assert_eq!(
+            sems,
+            vec![
+                ExpSemantics {
+                    id: "fig1".to_string(),
+                    eps_charged: 1.0,
+                    phases: vec![("p".to_string(), 1.0)],
+                },
+                ExpSemantics {
+                    id: "worm".to_string(),
+                    eps_charged: 1.0,
+                    phases: vec![],
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn float_fields_parse_with_fractions_and_exponents() {
+        let json = r#"{"eps_charged":6.000000000000003,"tiny":1e-9}"#;
+        assert_eq!(field_f64(json, "eps_charged"), Some(6.000000000000003));
+        assert_eq!(field_f64(json, "tiny"), Some(1e-9));
+        assert_eq!(field_f64(json, "absent"), None);
     }
 }

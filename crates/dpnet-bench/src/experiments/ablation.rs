@@ -52,7 +52,7 @@ pub fn run() -> ((CompositionAblation, Vec<(f64, f64)>), String) {
 
     let part_budget = Accountant::new(1e9);
     let q = Queryable::new(trace.packets.clone(), &part_budget, &noise);
-    let parts = q.partition(&ports, |p| p.dst_port);
+    let parts = q.partition(&ports, |p| p.dst_port).expect("distinct ports");
     let mut part_counts = Vec::new();
     for part in &parts {
         part_counts.push(part.noisy_count(eps).expect("budget"));

@@ -13,12 +13,10 @@
 
 use crate::datasets;
 use crate::report::{f, header, pct, Table};
-use dpnet_toolkit::cdf::{
-    cdf_hierarchical_with, cdf_naive_with, cdf_partition_with, noise_free_cdf,
-};
+use dpnet_toolkit::cdf::{cdf_hierarchical, cdf_naive, cdf_partition, noise_free_cdf};
 use dpnet_toolkit::stats::rmse;
 use dpnet_trace::{FlowKey, Packet};
-use pinq::{Accountant, ExecPool, NoiseSource, Queryable, Result};
+use pinq::{Accountant, ExecCtx, ExecPool, NoiseSource, Queryable, Result};
 
 /// Number of 1 ms buckets: 0–250 ms, as in the paper.
 pub const BUCKETS: usize = 250;
@@ -54,13 +52,17 @@ pub fn private_retx_delays(packets: &Queryable<Packet>) -> Queryable<usize> {
 
 /// Run Figure 1 with the given total ε per estimator.
 pub fn run(eps_total: f64) -> Result<(Fig1, String)> {
-    run_with(eps_total, &ExecPool::sequential())
+    run_ctx(eps_total, ExecCtx::Sequential)
 }
 
 /// [`run`] on a worker pool. The parallel CDF estimators are bit-identical
 /// to the sequential ones (noise draws never move off the calling thread),
 /// so the output is the same for every worker count.
 pub fn run_with(eps_total: f64, pool: &ExecPool) -> Result<(Fig1, String)> {
+    run_ctx(eps_total, ExecCtx::pool(pool))
+}
+
+fn run_ctx(eps_total: f64, ctx: ExecCtx) -> Result<(Fig1, String)> {
     let trace = datasets::hotspot();
 
     // Noise-free reference from the exact reference computation.
@@ -72,13 +74,13 @@ pub fn run_with(eps_total: f64, pool: &ExecPool) -> Result<(Fig1, String)> {
 
     let budget = Accountant::new(1e9);
     let noise = NoiseSource::seeded(0xf1);
-    let q = Queryable::new(trace.packets.clone(), &budget, &noise);
+    let q = Queryable::new(trace.packets.clone(), &budget, &noise).with_ctx(ctx);
     let delays = private_retx_delays(&q);
 
     let levels = (BUCKETS.next_power_of_two().trailing_zeros() + 1) as f64;
-    let cdf1 = cdf_naive_with(&delays, BUCKETS, eps_total / BUCKETS as f64, pool)?;
-    let cdf2 = cdf_partition_with(&delays, BUCKETS, eps_total, pool)?;
-    let cdf3 = cdf_hierarchical_with(&delays, BUCKETS, eps_total / levels, pool)?;
+    let cdf1 = cdf_naive(&delays, BUCKETS, eps_total / BUCKETS as f64)?;
+    let cdf2 = cdf_partition(&delays, BUCKETS, eps_total)?;
+    let cdf3 = cdf_hierarchical(&delays, BUCKETS, eps_total / levels)?;
 
     let result = Fig1 {
         truth: truth.clone(),

@@ -12,9 +12,9 @@
 
 use crate::datasets;
 use crate::report::{f, header, Table};
-use dpnet_toolkit::itemsets::{exact_support, frequent_itemsets_with, ItemsetConfig};
+use dpnet_toolkit::itemsets::{exact_support, frequent_itemsets, ItemsetConfig};
 use dpnet_trace::gen::hotspot::COMMON_PORTS;
-use pinq::{Accountant, ExecPool, NoiseSource, Queryable};
+use pinq::{Accountant, ExecCtx, ExecPool, NoiseSource, Queryable};
 use std::collections::BTreeSet;
 
 /// One discovered port pair.
@@ -46,16 +46,20 @@ fn host_port_sets(packets: &[dpnet_trace::Packet]) -> Vec<BTreeSet<u32>> {
 
 /// Run the port-itemset discovery at per-level accuracy `eps`.
 pub fn run(eps: f64) -> (Vec<ItemsetRow>, String) {
-    run_with(eps, &ExecPool::sequential())
+    run_ctx(eps, ExecCtx::Sequential)
 }
 
 /// [`run`] on a worker pool. Mining is bit-identical to the sequential
 /// path for every worker count (only partition data movement fans out).
 pub fn run_with(eps: f64, pool: &ExecPool) -> (Vec<ItemsetRow>, String) {
+    run_ctx(eps, ExecCtx::pool(pool))
+}
+
+fn run_ctx(eps: f64, ctx: ExecCtx) -> (Vec<ItemsetRow>, String) {
     let trace = datasets::hotspot();
     let budget = Accountant::new(1e9);
     let noise = NoiseSource::seeded(0x17e3);
-    let q = Queryable::new(trace.packets.clone(), &budget, &noise);
+    let q = Queryable::new(trace.packets.clone(), &budget, &noise).with_ctx(ctx);
 
     // Per-host port sets. Each record carries the host address as an item
     // outside the 16-bit port space, keeping records distinct (the
@@ -73,7 +77,7 @@ pub fn run_with(eps: f64, pool: &ExecPool) -> (Vec<ItemsetRow>, String) {
     });
 
     let universe: Vec<u32> = COMMON_PORTS.iter().map(|&p| p as u32).collect();
-    let found = frequent_itemsets_with(
+    let found = frequent_itemsets(
         &records,
         &ItemsetConfig {
             universe,
@@ -81,7 +85,6 @@ pub fn run_with(eps: f64, pool: &ExecPool) -> (Vec<ItemsetRow>, String) {
             eps_per_level: eps,
             threshold: 8.0,
         },
-        pool,
     )
     .expect("budget is huge");
 

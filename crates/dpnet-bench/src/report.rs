@@ -210,6 +210,12 @@ impl RunReport {
                         .histogram(&format!("exec.{}.wall_ns", e.kernel))
                         .record_ns(e.wall_ns);
                 }
+                Event::Plan(p) => {
+                    self.registry.counter("plan.materializations").inc();
+                    self.registry
+                        .histogram("plan.materialize.wall_ns")
+                        .record_ns(p.wall_ns);
+                }
                 Event::Transform(_) => {}
             }
         }

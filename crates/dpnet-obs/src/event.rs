@@ -126,6 +126,37 @@ pub struct ExecEvent {
     pub tasks: u64,
 }
 
+/// A lazy query plan materialized its fused pipeline.
+///
+/// Emitted once per *actual* materialization — memoized re-reads of an
+/// already-forced plan emit nothing — so the number of `Plan` events is the
+/// number of intermediate buffers the engine really allocated. The fusion
+/// width (how many adjacent operators collapsed into the single pass) and
+/// the execution mode are analyst-chosen query structure, not data; the
+/// true source/output record counts are data-dependent and compile in only
+/// under `trusted-owner`.
+#[derive(Debug, Clone)]
+pub struct PlanEvent {
+    /// Number of adjacent operators fused into the materialized pass.
+    pub fused_stages: u64,
+    /// Execution mode that forced the plan: `"sequential"` or `"pool"`.
+    pub mode: &'static str,
+    /// Worker threads used by the forcing run (1 for sequential).
+    pub workers: u64,
+    /// Wall time of the materialization, ns.
+    pub wall_ns: u64,
+    /// Monotonic timestamp (ns since process clock epoch).
+    pub at_ns: u64,
+    /// True record count of the plan's source. Data-dependent: owner-side
+    /// builds only.
+    #[cfg(feature = "trusted-owner")]
+    pub source_records: u64,
+    /// True record count of the materialized output. Data-dependent:
+    /// owner-side builds only.
+    #[cfg(feature = "trusted-owner")]
+    pub output_records: u64,
+}
+
 /// A named phase of a higher-level analysis finished.
 #[derive(Debug, Clone)]
 pub struct PhaseEvent {
@@ -152,11 +183,13 @@ pub enum Event {
     Phase(PhaseEvent),
     /// A parallel kernel run finished.
     Exec(ExecEvent),
+    /// A lazy query plan materialized.
+    Plan(PlanEvent),
 }
 
 impl Event {
     /// The event's kind as a stable string (`"transform"`, `"aggregate"`,
-    /// `"charge"`, `"phase"`, `"exec"`).
+    /// `"charge"`, `"phase"`, `"exec"`, `"plan"`).
     pub fn kind(&self) -> &'static str {
         match self {
             Event::Transform(_) => "transform",
@@ -164,6 +197,7 @@ impl Event {
             Event::Charge(_) => "charge",
             Event::Phase(_) => "phase",
             Event::Exec(_) => "exec",
+            Event::Plan(_) => "plan",
         }
     }
 
@@ -220,6 +254,16 @@ impl Event {
                     .field_u64("at_ns", e.at_ns);
                 #[cfg(feature = "trusted-owner")]
                 o.field_u64("tasks", e.tasks);
+            }
+            Event::Plan(e) => {
+                o.field_u64("fused_stages", e.fused_stages)
+                    .field_str("mode", e.mode)
+                    .field_u64("workers", e.workers)
+                    .field_u64("wall_ns", e.wall_ns)
+                    .field_u64("at_ns", e.at_ns);
+                #[cfg(feature = "trusted-owner")]
+                o.field_u64("source_records", e.source_records)
+                    .field_u64("output_records", e.output_records);
             }
         }
         o.finish()
@@ -311,6 +355,41 @@ mod tests {
         if !cfg!(feature = "trusted-owner") {
             assert!(!j.contains("tasks"), "data-dependent field in {j}");
         }
+        let p = Event::Plan(PlanEvent {
+            fused_stages: 3,
+            mode: "pool",
+            workers: 4,
+            wall_ns: 9,
+            at_ns: 10,
+            #[cfg(feature = "trusted-owner")]
+            source_records: 1000,
+            #[cfg(feature = "trusted-owner")]
+            output_records: 500,
+        });
+        let j = p.to_json();
+        if !cfg!(feature = "trusted-owner") {
+            assert!(!j.contains("records"), "data-dependent field in {j}");
+        }
+    }
+
+    #[test]
+    fn plan_serializes_flat() {
+        let e = Event::Plan(PlanEvent {
+            fused_stages: 2,
+            mode: "sequential",
+            workers: 1,
+            wall_ns: 321,
+            at_ns: 7,
+            #[cfg(feature = "trusted-owner")]
+            source_records: 10,
+            #[cfg(feature = "trusted-owner")]
+            output_records: 4,
+        });
+        let m = parse_flat_object(&e.to_json()).expect("valid flat JSON");
+        assert_eq!(m["type"].as_str(), Some("plan"));
+        assert_eq!(m["fused_stages"].as_f64(), Some(2.0));
+        assert_eq!(m["mode"].as_str(), Some("sequential"));
+        assert_eq!(m["workers"].as_f64(), Some(1.0));
     }
 
     #[test]

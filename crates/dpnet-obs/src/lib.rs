@@ -50,7 +50,7 @@ pub mod sink;
 
 pub use clock::{now_ns, unix_time_s, SpanTimer};
 pub use event::{
-    AggregateEvent, ChargeEvent, Event, ExecEvent, Outcome, PhaseEvent, TransformEvent,
+    AggregateEvent, ChargeEvent, Event, ExecEvent, Outcome, PhaseEvent, PlanEvent, TransformEvent,
 };
 pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricsRegistry};
 pub use sink::{

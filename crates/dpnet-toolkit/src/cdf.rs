@@ -18,16 +18,18 @@
 
 //! ## Parallel evaluation
 //!
-//! Each estimator has a `_with` variant taking a [`pinq::ExecPool`]. The
-//! parallelism lives entirely in data movement (chunked filtering and
-//! partition construction); every noise draw happens on the calling thread
-//! in the same order as the sequential path, so at a fixed seed the pool
-//! variants release **bit-identical** values for any worker count — and the
-//! plain functions are just the `_with` forms run on a sequential pool.
-//! Budget charges are identical by construction.
+//! The estimators honor the execution context carried by the input
+//! queryable: bind a pool once with
+//! `data.with_ctx(ExecCtx::pool(&pool))` and every plan materialization
+//! and partition inside runs chunked on that pool. Every noise draw still
+//! happens on the calling thread in the same order as the sequential path,
+//! so at a fixed seed the released values are **bit-identical** for any
+//! worker count, and budget charges are identical by construction. The
+//! legacy `_with` variants remain as deprecated wrappers that bind the
+//! pool and delegate.
 
 use dpnet_obs::{emit_phase_global, SpanTimer};
-use pinq::{ExecPool, Queryable, Result};
+use pinq::{ExecCtx, ExecPool, Queryable, Result};
 
 /// Noise-free reference CDF over bucket indices. Records with out-of-range
 /// buckets are ignored, mirroring the private estimators.
@@ -54,29 +56,28 @@ pub fn noise_free_cdf(values: &[usize], n_buckets: usize) -> Vec<f64> {
 /// budget, each count gets only `budget/|buckets|`, and the paper's Figure 1
 /// shows the resulting error is "incredibly high".
 pub fn cdf_naive(data: &Queryable<usize>, n_buckets: usize, eps: f64) -> Result<Vec<f64>> {
-    cdf_naive_with(data, n_buckets, eps, &ExecPool::sequential())
-}
-
-/// [`cdf_naive`] on a worker pool: each bucket's `Where` runs as a chunked
-/// parallel filter; the counts (and their noise draws) stay sequential in
-/// bucket order, so released values match the sequential path exactly.
-pub fn cdf_naive_with(
-    data: &Queryable<usize>,
-    n_buckets: usize,
-    eps: f64,
-    pool: &ExecPool,
-) -> Result<Vec<f64>> {
     let timer = SpanTimer::start();
     let mut out = Vec::with_capacity(n_buckets);
     for b in 0..n_buckets {
         let c = data
-            .filter_with(move |&v| v <= b && v < n_buckets, pool)
+            .filter(move |&v| v <= b && v < n_buckets)
             .noisy_count(eps)?;
         out.push(c);
     }
     // ε by construction for a stability-1 input: one count per bucket.
     emit_phase_global("cdf_naive", n_buckets as f64 * eps, timer.elapsed_ns());
     Ok(out)
+}
+
+/// Deprecated twin of [`cdf_naive`] on an explicit pool.
+#[deprecated(note = "bind the pool once with `.with_ctx(ExecCtx::pool(pool))` and use `cdf_naive`")]
+pub fn cdf_naive_with(
+    data: &Queryable<usize>,
+    n_buckets: usize,
+    eps: f64,
+    pool: &ExecPool,
+) -> Result<Vec<f64>> {
+    cdf_naive(&data.clone().with_ctx(ExecCtx::pool(pool)), n_buckets, eps)
 }
 
 /// cdf2: `Partition` into buckets, count each part once, prefix-sum.
@@ -87,22 +88,9 @@ pub fn cdf_naive_with(
 /// `O(√|buckets|)·√2/ε`, and the estimate tends to drift coherently (the
 /// paper notes a run may consistently under- or over-estimate).
 pub fn cdf_partition(data: &Queryable<usize>, n_buckets: usize, eps: f64) -> Result<Vec<f64>> {
-    cdf_partition_with(data, n_buckets, eps, &ExecPool::sequential())
-}
-
-/// [`cdf_partition`] on a worker pool: the partition is built by the
-/// chunked parallel kernel (the hot path — one pass over the whole
-/// dataset), then counted part-by-part on the calling thread, so released
-/// values match the sequential path exactly.
-pub fn cdf_partition_with(
-    data: &Queryable<usize>,
-    n_buckets: usize,
-    eps: f64,
-    pool: &ExecPool,
-) -> Result<Vec<f64>> {
     let timer = SpanTimer::start();
     let keys: Vec<usize> = (0..n_buckets).collect();
-    let parts = data.partition_with(&keys, |&v| v, pool);
+    let parts = data.partition(&keys, |&v| v)?;
     let mut out = Vec::with_capacity(n_buckets);
     let mut tally = 0.0;
     for part in &parts {
@@ -112,6 +100,19 @@ pub fn cdf_partition_with(
     // Parallel composition: ε total regardless of resolution.
     emit_phase_global("cdf_partition", eps, timer.elapsed_ns());
     Ok(out)
+}
+
+/// Deprecated twin of [`cdf_partition`] on an explicit pool.
+#[deprecated(
+    note = "bind the pool once with `.with_ctx(ExecCtx::pool(pool))` and use `cdf_partition`"
+)]
+pub fn cdf_partition_with(
+    data: &Queryable<usize>,
+    n_buckets: usize,
+    eps: f64,
+    pool: &ExecPool,
+) -> Result<Vec<f64>> {
+    cdf_partition(&data.clone().with_ctx(ExecCtx::pool(pool)), n_buckets, eps)
 }
 
 /// cdf3: hierarchical measurement at log-many resolutions.
@@ -124,60 +125,54 @@ pub fn cdf_partition_with(
 /// `n_buckets` is padded internally to a power of two; only the first
 /// `n_buckets` outputs are returned.
 pub fn cdf_hierarchical(data: &Queryable<usize>, n_buckets: usize, eps: f64) -> Result<Vec<f64>> {
-    cdf_hierarchical_with(data, n_buckets, eps, &ExecPool::sequential())
-}
-
-/// [`cdf_hierarchical`] on a worker pool: every `Partition`, `Where` and
-/// `Select` in the recursion runs as a chunked parallel kernel; counts stay
-/// sequential in recursion order, so released values match the sequential
-/// path exactly.
-pub fn cdf_hierarchical_with(
-    data: &Queryable<usize>,
-    n_buckets: usize,
-    eps: f64,
-    pool: &ExecPool,
-) -> Result<Vec<f64>> {
     if n_buckets == 0 {
         return Ok(Vec::new());
     }
     let timer = SpanTimer::start();
     let max = n_buckets.next_power_of_two();
     // Drop out-of-range values so padding buckets stay empty.
-    let data = data.filter_with(|&v| v < n_buckets, pool);
+    let data = data.filter(move |&v| v < n_buckets);
     let mut out = Vec::with_capacity(max);
-    rec(&data, eps, max, &mut out, pool)?;
+    rec(&data, eps, max, &mut out)?;
     out.truncate(n_buckets);
     let levels = (max.trailing_zeros() + 1) as f64;
     emit_phase_global("cdf_hierarchical", levels * eps, timer.elapsed_ns());
     return Ok(out);
 
-    fn rec(
-        data: &Queryable<usize>,
-        eps: f64,
-        max: usize,
-        out: &mut Vec<f64>,
-        pool: &ExecPool,
-    ) -> Result<()> {
+    fn rec(data: &Queryable<usize>, eps: f64, max: usize, out: &mut Vec<f64>) -> Result<()> {
         if max == 1 {
             out.push(data.noisy_count(eps)?);
             return Ok(());
         }
         let half = max / 2;
         let keys = [0usize, 1];
-        let parts = data.partition_with(&keys, move |&v| usize::from(v >= half), pool);
+        let parts = data.partition(&keys, move |&v| usize::from(v >= half))?;
         // Cumulative counts within [0, half).
-        rec(&parts[0], eps, half, out, pool)?;
+        rec(&parts[0], eps, half, out)?;
         // One cumulative count for the whole left half, then frequencies
         // for [half, max) shifted on top of it.
         let count = parts[0].noisy_count(eps)?;
-        let shifted = parts[1].map_with(move |&v| v - half, pool);
+        let shifted = parts[1].map(move |&v| v - half);
         let mark = out.len();
-        rec(&shifted, eps, half, out, pool)?;
+        rec(&shifted, eps, half, out)?;
         for v in &mut out[mark..] {
             *v += count;
         }
         Ok(())
     }
+}
+
+/// Deprecated twin of [`cdf_hierarchical`] on an explicit pool.
+#[deprecated(
+    note = "bind the pool once with `.with_ctx(ExecCtx::pool(pool))` and use `cdf_hierarchical`"
+)]
+pub fn cdf_hierarchical_with(
+    data: &Queryable<usize>,
+    n_buckets: usize,
+    eps: f64,
+    pool: &ExecPool,
+) -> Result<Vec<f64>> {
+    cdf_hierarchical(&data.clone().with_ctx(ExecCtx::pool(pool)), n_buckets, eps)
 }
 
 /// Theoretical error standard deviation of `cdf2` at bucket `b` (0-based):
@@ -322,10 +317,12 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn pool_variants_release_identical_values_and_charges() {
-        // The determinism contract, end to end: every estimator's `_with`
-        // form matches the sequential path bit-for-bit at a fixed seed, for
-        // any worker count, with identical budget spends.
+        // The determinism contract, end to end: every estimator's deprecated
+        // `_with` wrapper (which binds an ExecCtx and delegates) matches the
+        // sequential path bit-for-bit at a fixed seed, for any worker count,
+        // with identical budget spends.
         let run = |workers: Option<usize>| -> (Vec<f64>, Vec<f64>, Vec<f64>, f64) {
             let (acct, q, _) = dataset(0xCDF, 1000.0);
             let pool = workers.map(|w| ExecPool::new(w).unwrap());

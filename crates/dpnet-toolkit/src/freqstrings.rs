@@ -96,7 +96,7 @@ pub fn frequent_strings(
             } else {
                 Vec::new() // never a candidate at level ≥ 1
             }
-        });
+        })?;
         let mut survivors: Vec<(Vec<u8>, f64)> = Vec::new();
         for (cand, part) in candidates.into_iter().zip(&parts) {
             let c = part.noisy_count(cfg.eps_per_level)?;

@@ -17,7 +17,7 @@
 //! divided by the typical overlap, preserving support *order*.
 
 use dpnet_obs::{emit_phase_global, SpanTimer};
-use pinq::{ExecPool, Queryable, Result};
+use pinq::{ExecCtx, ExecPool, Queryable, Result};
 use std::collections::{BTreeSet, HashSet};
 use std::hash::{Hash, Hasher};
 
@@ -64,23 +64,6 @@ pub fn frequent_itemsets<I>(
 where
     I: Ord + Hash + Clone + Send + Sync + 'static,
 {
-    frequent_itemsets_with(data, cfg, &ExecPool::sequential())
-}
-
-/// [`frequent_itemsets`] on a worker pool. Candidate counting is the hot
-/// path — every record runs a subset check against every live candidate —
-/// and it happens inside the per-level `Partition`, which here runs as the
-/// chunked parallel kernel. Noisy counts stay sequential in candidate
-/// order, so released values (and budget charges) match the sequential path
-/// exactly, for any worker count.
-pub fn frequent_itemsets_with<I>(
-    data: &Queryable<BTreeSet<I>>,
-    cfg: &ItemsetConfig<I>,
-    pool: &ExecPool,
-) -> Result<Vec<FrequentItemset<I>>>
-where
-    I: Ord + Hash + Clone + Send + Sync + 'static,
-{
     assert!(cfg.max_size > 0, "max_size must be positive");
     let timer = SpanTimer::start();
     let mut results: Vec<FrequentItemset<I>> = Vec::new();
@@ -99,26 +82,22 @@ where
         let keys_in_closure = keys.clone();
         // Partition records among the candidates they support, rotating by
         // record hash to spread the evidence.
-        let parts = data.partition_with(
-            &keys,
-            move |rec: &BTreeSet<I>| {
-                let keys = &keys_in_closure;
-                let matching: Vec<usize> = key_set
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, cand)| cand.is_subset(rec))
-                    .map(|(i, _)| i)
-                    .collect();
-                if matching.is_empty() {
-                    // A key outside the candidate list: the record is dropped.
-                    Vec::new()
-                } else {
-                    let pick = (stable_hash(rec) as usize) % matching.len();
-                    keys[matching[pick]].clone()
-                }
-            },
-            pool,
-        );
+        let parts = data.partition(&keys, move |rec: &BTreeSet<I>| {
+            let keys = &keys_in_closure;
+            let matching: Vec<usize> = key_set
+                .iter()
+                .enumerate()
+                .filter(|(_, cand)| cand.is_subset(rec))
+                .map(|(i, _)| i)
+                .collect();
+            if matching.is_empty() {
+                // A key outside the candidate list: the record is dropped.
+                Vec::new()
+            } else {
+                let pick = (stable_hash(rec) as usize) % matching.len();
+                keys[matching[pick]].clone()
+            }
+        })?;
 
         let mut survivors: Vec<(Vec<I>, f64)> = Vec::new();
         for (cand, part) in candidates.iter().zip(&parts) {
@@ -183,6 +162,21 @@ where
         timer.elapsed_ns(),
     );
     Ok(results)
+}
+
+/// Deprecated twin of [`frequent_itemsets`] on an explicit pool.
+#[deprecated(
+    note = "bind the pool once with `.with_ctx(ExecCtx::pool(pool))` and use `frequent_itemsets`"
+)]
+pub fn frequent_itemsets_with<I>(
+    data: &Queryable<BTreeSet<I>>,
+    cfg: &ItemsetConfig<I>,
+    pool: &ExecPool,
+) -> Result<Vec<FrequentItemset<I>>>
+where
+    I: Ord + Hash + Clone + Send + Sync + 'static,
+{
+    frequent_itemsets(&data.clone().with_ctx(ExecCtx::pool(pool)), cfg)
 }
 
 /// Noise-free exact support counts for reference: the number of records
@@ -354,6 +348,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the deprecated `_with` wrapper on purpose
     fn pool_mining_is_identical_for_any_worker_count() {
         let cfg = ItemsetConfig {
             universe: universe(),

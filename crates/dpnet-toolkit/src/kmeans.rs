@@ -87,7 +87,7 @@ pub fn dp_kmeans(
     for _ in 0..cfg.iterations {
         let keys: Vec<usize> = (0..k).collect();
         let assign_centers = centers.clone();
-        let parts = data.partition(&keys, move |p: &Vec<f64>| nearest(p, &assign_centers));
+        let parts = data.partition(&keys, move |p: &Vec<f64>| nearest(p, &assign_centers))?;
         for (i, part) in parts.iter().enumerate() {
             let count = part.noisy_count(eps_q)?;
             let sum = part.noisy_sum_vector(eps_q, cfg.dims, cfg.l1_bound, |p| p.clone())?;
@@ -144,7 +144,7 @@ pub fn dp_gaussian_em(
                 }
             }
             best
-        });
+        })?;
         for (i, part) in parts.iter().enumerate() {
             let count = part.noisy_count(eps_q)?;
             let sum = part.noisy_sum_vector(eps_q, cfg.dims, cfg.l1_bound, |p| p.clone())?;

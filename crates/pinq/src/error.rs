@@ -37,6 +37,11 @@ pub enum Error {
     /// A worker pool needs at least one worker; `workers: 0` is refused
     /// rather than silently clamped.
     InvalidWorkers(usize),
+    /// The key list handed to `partition` contains duplicates. Buckets are
+    /// looked up through a key→index map, so a duplicate key would silently
+    /// route every matching record to the *last* occurrence and leave the
+    /// earlier buckets empty — skewing per-key results rather than failing.
+    DuplicatePartitionKeys,
 }
 
 impl fmt::Display for Error {
@@ -69,6 +74,9 @@ impl fmt::Display for Error {
             }
             Error::InvalidWorkers(n) => {
                 write!(f, "worker pool size must be at least 1, got {n}")
+            }
+            Error::DuplicatePartitionKeys => {
+                write!(f, "partition keys must be distinct")
             }
         }
     }

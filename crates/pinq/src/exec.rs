@@ -182,6 +182,69 @@ impl ExecPool {
     }
 }
 
+/// The execution context a [`crate::Queryable`] carries: where its plans
+/// materialize and where its chunked aggregation kernels run.
+///
+/// One code path serves both modes — every operator consults the context at
+/// its barrier instead of existing in `op`/`op_with` twin form. The pool
+/// variant *owns* a (cheap, thread-less) [`ExecPool`] clone so the context
+/// can ride inside `Queryable` without a lifetime parameter.
+///
+/// Floating-point identity: the context is part of a released value's
+/// identity for chunked reductions. `Sequential` sums flat;
+/// `Pool` sums per fixed-size chunk and combines in chunk order — identical
+/// for **any worker count** (even one), but possibly an ulp away from the
+/// flat sequential sum. This mirrors the old `noisy_sum_clamped` versus
+/// `noisy_sum_clamped_with` split exactly.
+///
+/// ```
+/// use pinq::{ExecCtx, ExecPool};
+///
+/// let ctx = ExecCtx::pool(&ExecPool::new(4).unwrap());
+/// assert_eq!(ctx.workers(), 4);
+/// assert_eq!(ExecCtx::Sequential.workers(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub enum ExecCtx {
+    /// Run on the calling thread; flat (unchunked) reductions.
+    #[default]
+    Sequential,
+    /// Run chunked kernels on a worker pool; deterministic for any worker
+    /// count at a fixed chunk size.
+    Pool(ExecPool),
+}
+
+impl ExecCtx {
+    /// A pool-backed context (clones the pool's configuration).
+    pub fn pool(pool: &ExecPool) -> Self {
+        ExecCtx::Pool(pool.clone())
+    }
+
+    /// Worker threads a kernel run may use (1 when sequential).
+    pub fn workers(&self) -> usize {
+        match self {
+            ExecCtx::Sequential => 1,
+            ExecCtx::Pool(p) => p.workers(),
+        }
+    }
+
+    /// The backing pool, when parallel.
+    pub fn as_pool(&self) -> Option<&ExecPool> {
+        match self {
+            ExecCtx::Sequential => None,
+            ExecCtx::Pool(p) => Some(p),
+        }
+    }
+
+    /// Stable mode string used in plan events.
+    pub fn mode(&self) -> &'static str {
+        match self {
+            ExecCtx::Sequential => "sequential",
+            ExecCtx::Pool(_) => "pool",
+        }
+    }
+}
+
 /// Split `0..len` into consecutive ranges of at most `chunk` items. The
 /// split depends only on `len` and `chunk` — see the module docs on why
 /// that matters for determinism.

@@ -60,6 +60,7 @@ pub mod exec;
 pub mod mechanisms;
 pub mod parallel;
 mod partition;
+mod plan;
 pub mod policy;
 pub mod queryable;
 pub mod rng;
@@ -67,7 +68,7 @@ pub mod types;
 
 pub use budget::{Accountant, OperatorTotal, SpendEvent, DEFAULT_LOG_CAPACITY};
 pub use error::{Error, Result};
-pub use exec::ExecPool;
+pub use exec::{ExecCtx, ExecPool};
 pub use policy::{SessionManager, TimedRelease};
 pub use queryable::Queryable;
 pub use rng::NoiseSource;

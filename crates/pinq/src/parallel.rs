@@ -22,7 +22,7 @@
 //! let noise = NoiseSource::seeded(1);
 //! let data = Queryable::new((0..100_000u32).collect::<Vec<_>>(), &budget, &noise);
 //! let keys: Vec<u32> = (0..16).collect();
-//! let parts = data.partition(&keys, |&x| x % 16);
+//! let parts = data.partition(&keys, |&x| x % 16).unwrap();
 //!
 //! // Sixteen noisy counts, measured concurrently, one ε charged (parallel
 //! // composition is about *privacy*; this module adds parallel *compute*).
@@ -110,7 +110,7 @@ mod tests {
     fn parallel_counts_match_part_sizes() {
         let (acct, q) = dataset(64_000, 10.0);
         let keys: Vec<u32> = (0..32).collect();
-        let parts = q.partition(&keys, |&x| x % 32);
+        let parts = q.partition(&keys, |&x| x % 32).unwrap();
         let counts = parallel_counts(&parts, 8, 5.0).unwrap();
         for c in &counts {
             let c = *c.as_ref().expect("budget is ample");
@@ -124,7 +124,7 @@ mod tests {
     fn zero_workers_is_an_error() {
         let (_, q) = dataset(100, 1.0);
         let keys: Vec<u32> = (0..4).collect();
-        let parts = q.partition(&keys, |&x| x % 4);
+        let parts = q.partition(&keys, |&x| x % 4).unwrap();
         assert_eq!(
             parallel_counts(&parts, 0, 0.1).unwrap_err(),
             Error::InvalidWorkers(0)
@@ -135,7 +135,7 @@ mod tests {
     fn results_preserve_part_order() {
         let (_, q) = dataset(1000, 1e12);
         let keys: Vec<u32> = (0..10).collect();
-        let parts = q.partition(&keys, |&x| x % 10);
+        let parts = q.partition(&keys, |&x| x % 10).unwrap();
         // Deterministic per-part value: exact size via a huge epsilon.
         let sizes = parallel_map_parts(&parts, 4, |p| {
             p.noisy_count(1e9).expect("budget").round() as usize
@@ -153,7 +153,7 @@ mod tests {
             let noise = NoiseSource::seeded(0xD5);
             let q = Queryable::new((0..10_000u32).collect::<Vec<_>>(), &acct, &noise);
             let keys: Vec<u32> = (0..16).collect();
-            let parts = q.partition(&keys, |&x| x % 16);
+            let parts = q.partition(&keys, |&x| x % 16).unwrap();
             parallel_map_parts(&parts, workers, |p| p.noisy_count(0.5).unwrap()).unwrap()
         };
         let one = run(1);
@@ -165,7 +165,7 @@ mod tests {
     fn budget_exhaustion_is_reported_per_part() {
         let (_, q) = dataset(1000, 0.25);
         let keys: Vec<u32> = (0..4).collect();
-        let parts = q.partition(&keys, |&x| x % 4);
+        let parts = q.partition(&keys, |&x| x % 4).unwrap();
         // Each part tries to spend 0.2 twice; the ledger allows the first
         // round (max = 0.2) but the second round (max 0.4 > 0.25) fails.
         let first = parallel_counts(&parts, 4, 0.2).unwrap();
@@ -178,7 +178,7 @@ mod tests {
     fn single_worker_degenerates_to_sequential() {
         let (_, q) = dataset(100, 1e12);
         let keys: Vec<u32> = (0..5).collect();
-        let parts = q.partition(&keys, |&x| x % 5);
+        let parts = q.partition(&keys, |&x| x % 5).unwrap();
         let a = parallel_map_parts(&parts, 1, |p| p.noisy_count(1e9).unwrap().round()).unwrap();
         assert_eq!(a, vec![20.0; 5]);
     }
@@ -187,7 +187,7 @@ mod tests {
     fn empty_parts_are_fine() {
         let (_, q) = dataset(10, 100.0);
         let keys: Vec<u32> = vec![];
-        let parts = q.partition(&keys, |&x| x);
+        let parts = q.partition(&keys, |&x| x).unwrap();
         assert!(parallel_counts(&parts, 4, 1.0).unwrap().is_empty());
     }
 
@@ -195,7 +195,7 @@ mod tests {
     fn nested_queries_inside_workers() {
         let (acct, q) = dataset(10_000, 10.0);
         let keys: Vec<u32> = (0..8).collect();
-        let parts = q.partition(&keys, |&x| x % 8);
+        let parts = q.partition(&keys, |&x| x % 8).unwrap();
         let medians = parallel_map_parts(&parts, 4, |p| {
             p.noisy_median(1.0, 0.0, 10_000.0, 100, |&x| x as f64)
                 .expect("budget")

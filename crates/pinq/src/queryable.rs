@@ -37,15 +37,35 @@ use crate::aggregates;
 use crate::budget::{Accountant, ChargeMeta};
 use crate::charge::ChargeNode;
 use crate::error::{check_epsilon, Error, Result};
-use crate::exec::ExecPool;
+use crate::exec::{ExecCtx, ExecPool};
 use crate::partition::PartitionLedger;
+use crate::plan::{LazyPlan, View};
 use crate::rng::NoiseSource;
 use crate::types::{Group, JoinGroup};
 use dpnet_obs::sink::SinkHandle;
-use dpnet_obs::{now_ns, AggregateEvent, Event, ExecEvent, Outcome, SpanTimer, TransformEvent};
+use dpnet_obs::{
+    now_ns, AggregateEvent, Event, ExecEvent, Outcome, PlanEvent, SpanTimer, TransformEvent,
+};
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::ops::Range;
 use std::sync::Arc;
+
+/// The records behind a queryable: a materialized buffer, or a lazy fused
+/// plan that will produce one when forced.
+enum Data<T> {
+    Ready(Arc<Vec<T>>),
+    Lazy(Arc<LazyPlan<T>>),
+}
+
+impl<T> Clone for Data<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Data::Ready(a) => Data::Ready(a.clone()),
+            Data::Lazy(p) => Data::Lazy(p.clone()),
+        }
+    }
+}
 
 /// Classify an aggregation result for event reporting: a budget refusal is
 /// `Denied`, any other error is an invalid request; both cost nothing.
@@ -60,9 +80,18 @@ fn outcome_of<R>(r: &Result<R>) -> Outcome {
 /// An opaque, privacy-protected dataset.
 ///
 /// Cloning is cheap (the records are shared); clones charge the same budget.
-#[derive(Clone)]
+///
+/// Record-shaping operators (`filter`, `map`, `select_many`) are **lazy**:
+/// they fuse into a single per-record pass that runs — once, memoized —
+/// when an aggregation or a key-shuffling barrier (`group_by`, `join`,
+/// `partition`, …) forces it, or on an explicit
+/// [`Queryable::collect_protected`]. Stability and budget bookkeeping
+/// happen at operator *declaration*, so laziness never changes what is
+/// charged or released. The [`ExecCtx`] bound with
+/// [`Queryable::with_ctx`] decides where forced plans and chunked
+/// aggregation kernels run.
 pub struct Queryable<T> {
-    records: Arc<Vec<T>>,
+    data: Data<T>,
     charge: Arc<ChargeNode>,
     noise: NoiseSource,
     stability: f64,
@@ -72,6 +101,22 @@ pub struct Queryable<T> {
     /// Emission point for structured events; shared with the accountant the
     /// dataset was created under.
     sink: SinkHandle,
+    /// Execution context: where plans materialize and chunked kernels run.
+    ctx: ExecCtx,
+}
+
+impl<T> Clone for Queryable<T> {
+    fn clone(&self) -> Self {
+        Queryable {
+            data: self.data.clone(),
+            charge: self.charge.clone(),
+            noise: self.noise.clone(),
+            stability: self.stability,
+            label: self.label.clone(),
+            sink: self.sink.clone(),
+            ctx: self.ctx.clone(),
+        }
+    }
 }
 
 impl<T> std::fmt::Debug for Queryable<T> {
@@ -90,12 +135,13 @@ impl<T> Queryable<T> {
     /// owner's entry point; everything downstream sees only the handle.
     pub fn new(records: Vec<T>, budget: &Accountant, noise: &NoiseSource) -> Self {
         Queryable {
-            records: Arc::new(records),
+            data: Data::Ready(Arc::new(records)),
             charge: Arc::new(ChargeNode::Root(budget.clone())),
             noise: noise.clone(),
             stability: 1.0,
             label: None,
             sink: budget.sink_handle().clone(),
+            ctx: ExecCtx::Sequential,
         }
     }
 
@@ -123,7 +169,7 @@ impl<T> Queryable<T> {
             ))
         };
         Queryable {
-            records,
+            data: Data::Ready(records),
             charge,
             noise: noise.clone(),
             stability: 1.0,
@@ -132,17 +178,66 @@ impl<T> Queryable<T> {
             // views belong to one owner session, and that owner binds the
             // sink on the budget they hand out first.
             sink: budgets[0].sink_handle().clone(),
+            ctx: ExecCtx::Sequential,
         }
     }
 
     fn derive<U>(&self, records: Vec<U>, stability: f64) -> Queryable<U> {
         Queryable {
-            records: Arc::new(records),
+            data: Data::Ready(Arc::new(records)),
             charge: self.charge.clone(),
             noise: self.noise.clone(),
             stability,
             label: self.label.clone(),
             sink: self.sink.clone(),
+            ctx: self.ctx.clone(),
+        }
+    }
+
+    fn derive_lazy<U>(&self, plan: LazyPlan<U>, stability: f64) -> Queryable<U> {
+        Queryable {
+            data: Data::Lazy(Arc::new(plan)),
+            charge: self.charge.clone(),
+            noise: self.noise.clone(),
+            stability,
+            label: self.label.clone(),
+            sink: self.sink.clone(),
+            ctx: self.ctx.clone(),
+        }
+    }
+
+    /// The source buffer or fused chain a downstream transform composes
+    /// against. A memoized plan is read as a buffer, so chains declared
+    /// after a force do not re-run the upstream stages.
+    fn view(&self) -> View<T> {
+        match &self.data {
+            Data::Ready(a) => View::Source(a.clone()),
+            Data::Lazy(p) => p.view(),
+        }
+    }
+
+    /// Force materialization (memoized) and return the shared buffer.
+    ///
+    /// Emits one [`PlanEvent`] per *actual* materialization; reads of the
+    /// memo are free and silent.
+    fn records(&self) -> Arc<Vec<T>>
+    where
+        T: Send + Sync,
+    {
+        match &self.data {
+            Data::Ready(a) => a.clone(),
+            Data::Lazy(plan) => {
+                let t = SpanTimer::start();
+                let mut fresh = false;
+                let out = match &self.ctx {
+                    ExecCtx::Sequential => plan.force_sequential(&mut fresh),
+                    ExecCtx::Pool(pool) => plan.force_pool(pool, &mut fresh),
+                };
+                if fresh {
+                    self.emit_plan(plan.fused(), t.elapsed_ns(), plan.source_len(), out.len());
+                }
+                out
+            }
         }
     }
 
@@ -153,18 +248,57 @@ impl<T> Queryable<T> {
     /// task order.
     pub(crate) fn with_substream(&self) -> Self {
         Queryable {
-            records: self.records.clone(),
+            data: self.data.clone(),
             charge: self.charge.clone(),
             noise: self.noise.substream(),
             stability: self.stability,
             label: self.label.clone(),
             sink: self.sink.clone(),
+            ctx: self.ctx.clone(),
         }
     }
 
     /// Current sensitivity multiplier relative to the source dataset.
     pub fn stability(&self) -> f64 {
         self.stability
+    }
+
+    /// Bind an execution context: where this queryable's lazy plans
+    /// materialize and where chunked aggregation kernels run. The context
+    /// is inherited by every derived queryable.
+    ///
+    /// Privacy accounting is identical in both modes. Released values are
+    /// identical too, except that chunked floating-point reductions
+    /// (`noisy_sum*`) under [`ExecCtx::Pool`] may differ from the flat
+    /// sequential sum in the last ulp — while staying bit-identical across
+    /// *any* pool worker count (see [`ExecCtx`]).
+    pub fn with_ctx(mut self, ctx: ExecCtx) -> Self {
+        self.ctx = ctx;
+        self
+    }
+
+    /// The execution context bound with [`Queryable::with_ctx`].
+    pub fn ctx(&self) -> &ExecCtx {
+        &self.ctx
+    }
+
+    /// Force the pending fused plan (if any) and return a handle over the
+    /// materialized buffer. Stability, charges and the noise stream are
+    /// untouched — this only pins *when* the record buffer exists, e.g. to
+    /// pay a pipeline's cost once before aggregating in a loop.
+    pub fn collect_protected(&self) -> Queryable<T>
+    where
+        T: Send + Sync,
+    {
+        Queryable {
+            data: Data::Ready(self.records()),
+            charge: self.charge.clone(),
+            noise: self.noise.clone(),
+            stability: self.stability,
+            label: self.label.clone(),
+            sink: self.sink.clone(),
+            ctx: self.ctx.clone(),
+        }
     }
 
     /// Name this pipeline stage. The label rides along into every ledger
@@ -218,6 +352,8 @@ impl<T> Queryable<T> {
     }
 
     /// Emit an [`AggregateEvent`] describing a finished aggregation.
+    /// `input_records` only leaves this function under `trusted-owner`.
+    #[allow(clippy::too_many_arguments)]
     fn emit_aggregate(
         &self,
         operator: &'static str,
@@ -226,7 +362,9 @@ impl<T> Queryable<T> {
         released: Option<f64>,
         outcome: Outcome,
         timer: SpanTimer,
+        input_records: usize,
     ) {
+        let _ = input_records;
         self.sink.emit(|| {
             Event::Aggregate(AggregateEvent {
                 operator,
@@ -244,7 +382,26 @@ impl<T> Queryable<T> {
                 wall_ns: timer.elapsed_ns(),
                 at_ns: timer.started_at_ns(),
                 #[cfg(feature = "trusted-owner")]
-                input_records: self.records.len() as u64,
+                input_records: input_records as u64,
+            })
+        });
+    }
+
+    /// Emit a [`PlanEvent`] describing one actual plan materialization.
+    /// The record counts only leave this function under `trusted-owner`.
+    fn emit_plan(&self, fused: usize, wall_ns: u64, source_records: usize, output_records: usize) {
+        let _ = (source_records, output_records);
+        self.sink.emit(|| {
+            Event::Plan(PlanEvent {
+                fused_stages: fused as u64,
+                mode: self.ctx.mode(),
+                workers: self.ctx.workers() as u64,
+                wall_ns,
+                at_ns: now_ns(),
+                #[cfg(feature = "trusted-owner")]
+                source_records: source_records as u64,
+                #[cfg(feature = "trusted-owner")]
+                output_records: output_records as u64,
             })
         });
     }
@@ -277,97 +434,123 @@ impl<T> Queryable<T> {
     // ------------------------------------------------------------------
 
     /// Keep records satisfying `pred` (PINQ `Where`). Stability ×1.
-    pub fn filter(&self, pred: impl Fn(&T) -> bool) -> Queryable<T>
+    ///
+    /// Lazy: fuses onto the pending plan; nothing runs until a barrier
+    /// forces materialization.
+    pub fn filter(&self, pred: impl Fn(&T) -> bool + Send + Sync + 'static) -> Queryable<T>
     where
-        T: Clone,
+        T: Clone + Send + Sync + 'static,
     {
         let t = SpanTimer::start();
-        let out: Vec<T> = self.records.iter().filter(|r| pred(r)).cloned().collect();
-        let q = self.derive(out, self.stability);
-        self.emit_transform("filter", q.stability, t.elapsed_ns(), q.records.len());
+        let plan = match self.view() {
+            View::Source(src) => {
+                let len = src.len();
+                LazyPlan::new(len, 1, move |r: Range<usize>, emit: &mut dyn FnMut(T)| {
+                    for rec in &src[r] {
+                        if pred(rec) {
+                            emit(rec.clone());
+                        }
+                    }
+                })
+            }
+            View::Chain(run, len, fused) => LazyPlan::new(
+                len,
+                fused + 1,
+                move |r: Range<usize>, emit: &mut dyn FnMut(T)| {
+                    run(r, &mut |rec: T| {
+                        if pred(&rec) {
+                            emit(rec);
+                        }
+                    });
+                },
+            ),
+        };
+        let q = self.derive_lazy(plan, self.stability);
+        self.emit_transform("filter", q.stability, t.elapsed_ns(), 0);
         q
     }
 
     /// Transform each record (PINQ `Select`). Stability ×1.
-    pub fn map<U>(&self, f: impl Fn(&T) -> U) -> Queryable<U> {
-        let t = SpanTimer::start();
-        let out: Vec<U> = self.records.iter().map(f).collect();
-        let q = self.derive(out, self.stability);
-        self.emit_transform("map", q.stability, t.elapsed_ns(), q.records.len());
-        q
-    }
-
-    /// [`Queryable::filter`] on a worker pool: fixed-size chunks are
-    /// filtered concurrently and concatenated in chunk order, so the output
-    /// is identical to the sequential path for any worker count.
-    pub fn filter_with(
-        &self,
-        pred: impl Fn(&T) -> bool + Send + Sync,
-        pool: &ExecPool,
-    ) -> Queryable<T>
+    ///
+    /// Lazy: fuses onto the pending plan; nothing runs until a barrier
+    /// forces materialization.
+    pub fn map<U>(&self, f: impl Fn(&T) -> U + Send + Sync + 'static) -> Queryable<U>
     where
-        T: Clone + Send + Sync,
+        T: Send + Sync + 'static,
+        U: 'static,
     {
         let t = SpanTimer::start();
-        let ranges = pool.chunks(self.records.len());
-        let n_tasks = ranges.len();
-        let chunks: Vec<Vec<T>> = pool.run(&ranges, |_, r| {
-            self.records[r.clone()]
-                .iter()
-                .filter(|x| pred(x))
-                .cloned()
-                .collect()
-        });
-        let mut out = Vec::new();
-        for mut c in chunks {
-            out.append(&mut c);
-        }
-        let q = self.derive(out, self.stability);
-        self.emit_exec("filter", pool.workers(), n_tasks, t.elapsed_ns());
-        self.emit_transform("filter", q.stability, t.elapsed_ns(), q.records.len());
-        q
-    }
-
-    /// [`Queryable::map`] on a worker pool: fixed-size chunks are mapped
-    /// concurrently and concatenated in chunk order, so the output is
-    /// identical to the sequential path for any worker count.
-    pub fn map_with<U>(&self, f: impl Fn(&T) -> U + Send + Sync, pool: &ExecPool) -> Queryable<U>
-    where
-        T: Send + Sync,
-        U: Send,
-    {
-        let t = SpanTimer::start();
-        let ranges = pool.chunks(self.records.len());
-        let n_tasks = ranges.len();
-        let chunks: Vec<Vec<U>> = pool.run(&ranges, |_, r| {
-            self.records[r.clone()].iter().map(&f).collect()
-        });
-        let mut out = Vec::with_capacity(self.records.len());
-        for mut c in chunks {
-            out.append(&mut c);
-        }
-        let q = self.derive(out, self.stability);
-        self.emit_exec("map", pool.workers(), n_tasks, t.elapsed_ns());
-        self.emit_transform("map", q.stability, t.elapsed_ns(), q.records.len());
+        let plan = match self.view() {
+            View::Source(src) => {
+                let len = src.len();
+                LazyPlan::new(len, 1, move |r: Range<usize>, emit: &mut dyn FnMut(U)| {
+                    for rec in &src[r] {
+                        emit(f(rec));
+                    }
+                })
+            }
+            View::Chain(run, len, fused) => LazyPlan::new(
+                len,
+                fused + 1,
+                move |r: Range<usize>, emit: &mut dyn FnMut(U)| {
+                    run(r, &mut |rec: T| emit(f(&rec)));
+                },
+            ),
+        };
+        let q = self.derive_lazy(plan, self.stability);
+        self.emit_transform("map", q.stability, t.elapsed_ns(), 0);
         q
     }
 
     /// Expand each record into up to `bound` records (PINQ `SelectMany`).
     /// Outputs beyond `bound` per input are truncated, which is what lets
     /// the engine promise stability ×`bound`.
-    pub fn select_many<U>(&self, bound: usize, f: impl Fn(&T) -> Vec<U>) -> Result<Queryable<U>> {
+    ///
+    /// Lazy: fuses onto the pending plan; nothing runs until a barrier
+    /// forces materialization. The stability scaling applies at
+    /// declaration, as always.
+    pub fn select_many<U>(
+        &self,
+        bound: usize,
+        f: impl Fn(&T) -> Vec<U> + Send + Sync + 'static,
+    ) -> Result<Queryable<U>>
+    where
+        T: Send + Sync + 'static,
+        U: 'static,
+    {
         if bound == 0 {
             return Err(Error::InvalidFanout(bound));
         }
         let t = SpanTimer::start();
-        let mut out = Vec::new();
-        for r in self.records.iter() {
-            let mut items = f(r);
-            items.truncate(bound);
-            out.extend(items);
-        }
-        let q = self.derive(out, self.stability * bound as f64);
-        self.emit_transform("select_many", q.stability, t.elapsed_ns(), q.records.len());
+        let plan = match self.view() {
+            View::Source(src) => {
+                let len = src.len();
+                LazyPlan::new(len, 1, move |r: Range<usize>, emit: &mut dyn FnMut(U)| {
+                    for rec in &src[r] {
+                        let mut items = f(rec);
+                        items.truncate(bound);
+                        for item in items {
+                            emit(item);
+                        }
+                    }
+                })
+            }
+            View::Chain(run, len, fused) => LazyPlan::new(
+                len,
+                fused + 1,
+                move |r: Range<usize>, emit: &mut dyn FnMut(U)| {
+                    run(r, &mut |rec: T| {
+                        let mut items = f(&rec);
+                        items.truncate(bound);
+                        for item in items {
+                            emit(item);
+                        }
+                    });
+                },
+            ),
+        };
+        let q = self.derive_lazy(plan, self.stability * bound as f64);
+        self.emit_transform("select_many", q.stability, t.elapsed_ns(), 0);
         Ok(q)
     }
 
@@ -377,12 +560,13 @@ impl<T> Queryable<T> {
     pub fn group_by<K>(&self, key: impl Fn(&T) -> K) -> Queryable<Group<K, T>>
     where
         K: Eq + Hash + Clone,
-        T: Clone,
+        T: Clone + Send + Sync,
     {
         let t = SpanTimer::start();
+        let records = self.records();
         let mut order: Vec<K> = Vec::new();
         let mut groups: HashMap<K, Vec<T>> = HashMap::new();
-        for r in self.records.iter() {
+        for r in records.iter() {
             let k = key(r);
             groups
                 .entry(k.clone())
@@ -399,8 +583,9 @@ impl<T> Queryable<T> {
                 Group { key: k, items }
             })
             .collect();
+        let n_out = out.len();
         let q = self.derive(out, self.stability * 2.0);
-        self.emit_transform("group_by", q.stability, t.elapsed_ns(), q.records.len());
+        self.emit_transform("group_by", q.stability, t.elapsed_ns(), n_out);
         q
     }
 
@@ -409,25 +594,26 @@ impl<T> Queryable<T> {
     pub fn distinct_by<K>(&self, key: impl Fn(&T) -> K) -> Queryable<T>
     where
         K: Eq + Hash,
-        T: Clone,
+        T: Clone + Send + Sync,
     {
         let t = SpanTimer::start();
+        let records = self.records();
         let mut seen = std::collections::HashSet::new();
-        let out: Vec<T> = self
-            .records
+        let out: Vec<T> = records
             .iter()
             .filter(|r| seen.insert(key(r)))
             .cloned()
             .collect();
+        let n_out = out.len();
         let q = self.derive(out, self.stability);
-        self.emit_transform("distinct_by", q.stability, t.elapsed_ns(), q.records.len());
+        self.emit_transform("distinct_by", q.stability, t.elapsed_ns(), n_out);
         q
     }
 
     /// Keep one copy of each distinct record. Stability ×1.
     pub fn distinct(&self) -> Queryable<T>
     where
-        T: Eq + Hash + Clone,
+        T: Eq + Hash + Clone + Send + Sync,
     {
         self.distinct_by(|r| r.clone())
     }
@@ -444,13 +630,15 @@ impl<T> Queryable<T> {
     ) -> Queryable<JoinGroup<K, T, U>>
     where
         K: Eq + Hash + Clone,
-        T: Clone,
-        U: Clone,
+        T: Clone + Send + Sync,
+        U: Clone + Send + Sync,
     {
         let t = SpanTimer::start();
+        let left_records = self.records();
+        let right_records = other.records();
         let mut left: HashMap<K, Vec<T>> = HashMap::new();
         let mut order: Vec<K> = Vec::new();
-        for r in self.records.iter() {
+        for r in left_records.iter() {
             let k = left_key(r);
             left.entry(k.clone())
                 .or_insert_with(|| {
@@ -460,7 +648,7 @@ impl<T> Queryable<T> {
                 .push(r.clone());
         }
         let mut right: HashMap<K, Vec<U>> = HashMap::new();
-        for r in other.records.iter() {
+        for r in right_records.iter() {
             right.entry(right_key(r)).or_default().push(r.clone());
         }
         let out: Vec<JoinGroup<K, T, U>> = order
@@ -475,54 +663,70 @@ impl<T> Queryable<T> {
                 })
             })
             .collect();
+        let n_out = out.len();
         let q = Queryable {
-            records: Arc::new(out),
-            charge: Arc::new(ChargeNode::Combined(vec![
-                Arc::new(ChargeNode::Scaled {
-                    parent: self.charge.clone(),
-                    factor: self.stability,
-                }),
-                Arc::new(ChargeNode::Scaled {
-                    parent: other.charge.clone(),
-                    factor: other.stability,
-                }),
-            ])),
+            data: Data::Ready(Arc::new(out)),
+            charge: self.combined_charge(other.charge.clone(), other.stability),
             noise: self.noise.clone(),
             stability: 1.0,
             label: self.label.clone(),
             sink: self.sink.clone(),
+            ctx: self.ctx.clone(),
         };
-        self.emit_transform("join", q.stability, t.elapsed_ns(), q.records.len());
+        self.emit_transform("join", q.stability, t.elapsed_ns(), n_out);
         q
+    }
+
+    /// A charge node billing both this queryable's lineage and another's,
+    /// each scaled by its accumulated stability (`concat`, `join`,
+    /// `intersect` all reset stability to 1 against this combined node).
+    fn combined_charge(&self, other: Arc<ChargeNode>, other_stability: f64) -> Arc<ChargeNode> {
+        Arc::new(ChargeNode::Combined(vec![
+            Arc::new(ChargeNode::Scaled {
+                parent: self.charge.clone(),
+                factor: self.stability,
+            }),
+            Arc::new(ChargeNode::Scaled {
+                parent: other,
+                factor: other_stability,
+            }),
+        ]))
     }
 
     /// Concatenate two protected datasets (PINQ `Concat`). No sensitivity
     /// increase for either input; aggregations charge both budgets.
+    ///
+    /// When one input is empty the other's buffer is reused as-is (no
+    /// copy); the combined charge node is built either way, because a
+    /// neighboring dataset of the empty side could hold a record.
     pub fn concat(&self, other: &Queryable<T>) -> Queryable<T>
     where
-        T: Clone,
+        T: Clone + Send + Sync,
     {
         let t = SpanTimer::start();
-        let mut out: Vec<T> = (*self.records).clone();
-        out.extend(other.records.iter().cloned());
+        let left = self.records();
+        let right = other.records();
+        let records = if right.is_empty() {
+            left
+        } else if left.is_empty() {
+            right
+        } else {
+            let mut out = Vec::with_capacity(left.len() + right.len());
+            out.extend(left.iter().cloned());
+            out.extend(right.iter().cloned());
+            Arc::new(out)
+        };
+        let n_out = records.len();
         let q = Queryable {
-            records: Arc::new(out),
-            charge: Arc::new(ChargeNode::Combined(vec![
-                Arc::new(ChargeNode::Scaled {
-                    parent: self.charge.clone(),
-                    factor: self.stability,
-                }),
-                Arc::new(ChargeNode::Scaled {
-                    parent: other.charge.clone(),
-                    factor: other.stability,
-                }),
-            ])),
+            data: Data::Ready(records),
+            charge: self.combined_charge(other.charge.clone(), other.stability),
             noise: self.noise.clone(),
             stability: 1.0,
             label: self.label.clone(),
             sink: self.sink.clone(),
+            ctx: self.ctx.clone(),
         };
-        self.emit_transform("concat", q.stability, t.elapsed_ns(), q.records.len());
+        self.emit_transform("concat", q.stability, t.elapsed_ns(), n_out);
         q
     }
 
@@ -530,35 +734,29 @@ impl<T> Queryable<T> {
     /// sensitivity increase; aggregations charge both budgets.
     pub fn intersect(&self, other: &Queryable<T>) -> Queryable<T>
     where
-        T: Eq + Hash + Clone,
+        T: Eq + Hash + Clone + Send + Sync,
     {
         let t = SpanTimer::start();
-        let theirs: std::collections::HashSet<&T> = other.records.iter().collect();
+        let mine = self.records();
+        let others = other.records();
+        let theirs: std::collections::HashSet<&T> = others.iter().collect();
         let mut seen = std::collections::HashSet::new();
-        let out: Vec<T> = self
-            .records
+        let out: Vec<T> = mine
             .iter()
             .filter(|r| theirs.contains(r) && seen.insert((*r).clone()))
             .cloned()
             .collect();
+        let n_out = out.len();
         let q = Queryable {
-            records: Arc::new(out),
-            charge: Arc::new(ChargeNode::Combined(vec![
-                Arc::new(ChargeNode::Scaled {
-                    parent: self.charge.clone(),
-                    factor: self.stability,
-                }),
-                Arc::new(ChargeNode::Scaled {
-                    parent: other.charge.clone(),
-                    factor: other.stability,
-                }),
-            ])),
+            data: Data::Ready(Arc::new(out)),
+            charge: self.combined_charge(other.charge.clone(), other.stability),
             noise: self.noise.clone(),
             stability: 1.0,
             label: self.label.clone(),
             sink: self.sink.clone(),
+            ctx: self.ctx.clone(),
         };
-        self.emit_transform("intersect", q.stability, t.elapsed_ns(), q.records.len());
+        self.emit_transform("intersect", q.stability, t.elapsed_ns(), n_out);
         q
     }
 
@@ -569,68 +767,69 @@ impl<T> Queryable<T> {
     /// The source budget is charged the **maximum** of the parts' spends,
     /// not the sum — parallel composition. Partitioning packets by port and
     /// analyzing every port costs the same as analyzing one port.
-    pub fn partition<K>(&self, keys: &[K], key_fn: impl Fn(&T) -> K) -> Vec<Queryable<T>>
-    where
-        K: Eq + Hash + Clone,
-        T: Clone,
-    {
-        let t = SpanTimer::start();
-        let index_of: HashMap<&K, usize> = keys.iter().enumerate().map(|(i, k)| (k, i)).collect();
-        let mut parts: Vec<Vec<T>> = (0..keys.len()).map(|_| Vec::new()).collect();
-        for r in self.records.iter() {
-            if let Some(&i) = index_of.get(&key_fn(r)) {
-                parts[i].push(r.clone());
-            }
-        }
-        let out = self.wrap_parts(parts);
-        // One event for the whole partition; the part count is the (public)
-        // key-list length, not a record count.
-        self.emit_transform("partition", 1.0, t.elapsed_ns(), keys.len());
-        out
-    }
-
-    /// [`Queryable::partition`] on a worker pool. A single concurrent pass:
-    /// each fixed-size chunk of records is bucketed into per-chunk local
-    /// parts, and the local buckets are concatenated in chunk order at the
-    /// end — so every part holds its records in the same order the
-    /// sequential pass would produce, for any worker count.
     ///
-    /// Privacy is untouched: the parts share one partition ledger exactly
-    /// as in the sequential path, and the budget is charged the maximum of
-    /// the parts' spends.
-    pub fn partition_with<K>(
+    /// A barrier: forces the pending fused plan. Under [`ExecCtx::Pool`]
+    /// the bucketing pass runs chunked on the pool — each fixed-size chunk
+    /// fills per-chunk local buckets, concatenated in chunk order — so
+    /// every part holds its records in the sequential order for any worker
+    /// count.
+    ///
+    /// Returns [`Error::DuplicatePartitionKeys`] when `keys` repeats a key:
+    /// buckets are looked up by key, so a duplicate would silently route
+    /// all matching records to one of the two buckets and leave the other
+    /// empty.
+    pub fn partition<K>(
         &self,
         keys: &[K],
         key_fn: impl Fn(&T) -> K + Send + Sync,
-        pool: &ExecPool,
-    ) -> Vec<Queryable<T>>
+    ) -> Result<Vec<Queryable<T>>>
     where
         K: Eq + Hash + Clone + Sync,
         T: Clone + Send + Sync,
     {
         let t = SpanTimer::start();
         let index_of: HashMap<&K, usize> = keys.iter().enumerate().map(|(i, k)| (k, i)).collect();
-        let ranges = pool.chunks(self.records.len());
-        let n_tasks = ranges.len();
-        let locals: Vec<Vec<Vec<T>>> = pool.run(&ranges, |_, r| {
-            let mut buckets: Vec<Vec<T>> = (0..keys.len()).map(|_| Vec::new()).collect();
-            for rec in &self.records[r.clone()] {
-                if let Some(&i) = index_of.get(&key_fn(rec)) {
-                    buckets[i].push(rec.clone());
-                }
-            }
-            buckets
-        });
-        let mut parts: Vec<Vec<T>> = (0..keys.len()).map(|_| Vec::new()).collect();
-        for local in locals {
-            for (part, mut bucket) in parts.iter_mut().zip(local) {
-                part.append(&mut bucket);
-            }
+        if index_of.len() != keys.len() {
+            return Err(Error::DuplicatePartitionKeys);
         }
+        let records = self.records();
+        let parts: Vec<Vec<T>> = match &self.ctx {
+            ExecCtx::Sequential => {
+                let mut parts: Vec<Vec<T>> = (0..keys.len()).map(|_| Vec::new()).collect();
+                for r in records.iter() {
+                    if let Some(&i) = index_of.get(&key_fn(r)) {
+                        parts[i].push(r.clone());
+                    }
+                }
+                parts
+            }
+            ExecCtx::Pool(pool) => {
+                let ranges = pool.chunks(records.len());
+                let n_tasks = ranges.len();
+                let locals: Vec<Vec<Vec<T>>> = pool.run(&ranges, |_, r| {
+                    let mut buckets: Vec<Vec<T>> = (0..keys.len()).map(|_| Vec::new()).collect();
+                    for rec in &records[r.clone()] {
+                        if let Some(&i) = index_of.get(&key_fn(rec)) {
+                            buckets[i].push(rec.clone());
+                        }
+                    }
+                    buckets
+                });
+                self.emit_exec("partition", pool.workers(), n_tasks, t.elapsed_ns());
+                let mut parts: Vec<Vec<T>> = (0..keys.len()).map(|_| Vec::new()).collect();
+                for local in locals {
+                    for (part, mut bucket) in parts.iter_mut().zip(local) {
+                        part.append(&mut bucket);
+                    }
+                }
+                parts
+            }
+        };
         let out = self.wrap_parts(parts);
-        self.emit_exec("partition", pool.workers(), n_tasks, t.elapsed_ns());
+        // One event for the whole partition; the part count is the (public)
+        // key-list length, not a record count.
         self.emit_transform("partition", 1.0, t.elapsed_ns(), keys.len());
-        out
+        Ok(out)
     }
 
     /// Wrap materialized part buckets as queryables sharing one
@@ -648,7 +847,7 @@ impl<T> Queryable<T> {
             .into_iter()
             .enumerate()
             .map(|(index, records)| Queryable {
-                records: Arc::new(records),
+                data: Data::Ready(Arc::new(records)),
                 charge: Arc::new(ChargeNode::PartitionPart {
                     ledger: ledger.clone(),
                     index,
@@ -657,6 +856,7 @@ impl<T> Queryable<T> {
                 stability: 1.0,
                 label: self.label.clone(),
                 sink: self.sink.clone(),
+                ctx: self.ctx.clone(),
             })
             .collect()
     }
@@ -666,11 +866,15 @@ impl<T> Queryable<T> {
     // ------------------------------------------------------------------
 
     /// Noisy count of records: `n + Lap(1/ε)`. Charges `stability × ε`.
-    pub fn noisy_count(&self, eps: f64) -> Result<f64> {
+    pub fn noisy_count(&self, eps: f64) -> Result<f64>
+    where
+        T: Send + Sync,
+    {
         let t = SpanTimer::start();
+        let records = self.records();
         let r = self
             .pay(eps, "noisy_count")
-            .and_then(|()| aggregates::noisy_count(&self.noise, self.records.len(), eps));
+            .and_then(|()| aggregates::noisy_count(&self.noise, records.len(), eps));
         self.emit_aggregate(
             "noisy_count",
             "laplace",
@@ -678,16 +882,21 @@ impl<T> Queryable<T> {
             r.as_ref().ok().copied(),
             outcome_of(&r),
             t,
+            records.len(),
         );
         r
     }
 
     /// Noisy integral count via the geometric mechanism, clamped at zero.
-    pub fn noisy_count_int(&self, eps: f64) -> Result<i64> {
+    pub fn noisy_count_int(&self, eps: f64) -> Result<i64>
+    where
+        T: Send + Sync,
+    {
         let t = SpanTimer::start();
+        let records = self.records();
         let r = self
             .pay(eps, "noisy_count_int")
-            .and_then(|()| aggregates::noisy_count_int(&self.noise, self.records.len(), eps));
+            .and_then(|()| aggregates::noisy_count_int(&self.noise, records.len(), eps));
         self.emit_aggregate(
             "noisy_count_int",
             "geometric",
@@ -695,83 +904,40 @@ impl<T> Queryable<T> {
             r.as_ref().ok().map(|&v| v as f64),
             outcome_of(&r),
             t,
+            records.len(),
         );
         r
     }
 
     /// Noisy sum of `f(record)` with values clamped to `[-1, 1]`.
-    pub fn noisy_sum(&self, eps: f64, f: impl Fn(&T) -> f64) -> Result<f64> {
+    pub fn noisy_sum(&self, eps: f64, f: impl Fn(&T) -> f64 + Send + Sync) -> Result<f64>
+    where
+        T: Send + Sync,
+    {
         self.noisy_sum_clamped(eps, 1.0, f)
     }
 
     /// Noisy sum with values clamped to `[-bound, bound]`; noise scale
     /// `bound/ε`.
-    pub fn noisy_sum_clamped(&self, eps: f64, bound: f64, f: impl Fn(&T) -> f64) -> Result<f64> {
-        let t = SpanTimer::start();
-        let r = (|| {
-            if !(bound.is_finite() && bound > 0.0) {
-                return Err(Error::InvalidRange {
-                    lo: -bound,
-                    hi: bound,
-                });
-            }
-            self.pay(eps, "noisy_sum")?;
-            aggregates::noisy_sum(&self.noise, self.records.iter().map(f), bound, eps)
-        })();
-        self.emit_aggregate(
-            "noisy_sum",
-            "laplace",
-            eps,
-            r.as_ref().ok().copied(),
-            outcome_of(&r),
-            t,
-        );
-        r
-    }
-
-    /// [`Queryable::noisy_count`] in pool-parameterized form. Counting is
-    /// O(1) on a materialized dataset, so this simply delegates — it exists
-    /// so that pool-threaded analyses can parameterize every aggregation
-    /// uniformly. Charges and releases exactly as the sequential path.
-    pub fn noisy_count_with(&self, eps: f64, pool: &ExecPool) -> Result<f64> {
-        let _ = pool;
-        self.noisy_count(eps)
-    }
-
-    /// [`Queryable::noisy_sum`] on a worker pool: chunked clamped partial
-    /// sums. See [`Queryable::noisy_sum_clamped_with`].
-    pub fn noisy_sum_with(
-        &self,
-        eps: f64,
-        f: impl Fn(&T) -> f64 + Send + Sync,
-        pool: &ExecPool,
-    ) -> Result<f64>
-    where
-        T: Send + Sync,
-    {
-        self.noisy_sum_clamped_with(eps, 1.0, f, pool)
-    }
-
-    /// [`Queryable::noisy_sum_clamped`] on a worker pool.
     ///
-    /// Clamped partial sums are computed per fixed-size chunk concurrently,
-    /// then combined in chunk order, and a single Laplace draw is taken on
-    /// the calling thread — identical budget charge and noise stream as the
-    /// sequential path. The released value is bit-identical for any worker
-    /// count; it may differ from the *sequential* method in the last ulp,
-    /// because the chunked sum associates floating-point additions at chunk
-    /// boundaries.
-    pub fn noisy_sum_clamped_with(
+    /// Under [`ExecCtx::Sequential`] the clamped values sum flat, in record
+    /// order. Under [`ExecCtx::Pool`] partial sums are computed per
+    /// fixed-size chunk concurrently, combined in chunk order, and a single
+    /// Laplace draw is taken on the calling thread — identical budget
+    /// charge and noise stream, bit-identical for any worker count, but
+    /// possibly an ulp away from the flat sequential sum because the
+    /// chunked sum associates additions at chunk boundaries.
+    pub fn noisy_sum_clamped(
         &self,
         eps: f64,
         bound: f64,
         f: impl Fn(&T) -> f64 + Send + Sync,
-        pool: &ExecPool,
     ) -> Result<f64>
     where
         T: Send + Sync,
     {
         let t = SpanTimer::start();
+        let records = self.records();
         let r = (|| {
             if !(bound.is_finite() && bound > 0.0) {
                 return Err(Error::InvalidRange {
@@ -780,16 +946,23 @@ impl<T> Queryable<T> {
                 });
             }
             self.pay(eps, "noisy_sum")?;
-            let ranges = pool.chunks(self.records.len());
-            let partials: Vec<f64> = pool.run(&ranges, |_, rg| {
-                self.records[rg.clone()]
-                    .iter()
-                    .map(|rec| aggregates::clamp(f(rec), -bound, bound))
-                    .sum::<f64>()
-            });
-            self.emit_exec("noisy_sum", pool.workers(), ranges.len(), t.elapsed_ns());
-            let total: f64 = partials.iter().sum();
-            Ok(total + crate::mechanisms::laplace_noise(&self.noise, bound / eps))
+            match &self.ctx {
+                ExecCtx::Sequential => {
+                    aggregates::noisy_sum(&self.noise, records.iter().map(&f), bound, eps)
+                }
+                ExecCtx::Pool(pool) => {
+                    let ranges = pool.chunks(records.len());
+                    let partials: Vec<f64> = pool.run(&ranges, |_, rg| {
+                        records[rg.clone()]
+                            .iter()
+                            .map(|rec| aggregates::clamp(f(rec), -bound, bound))
+                            .sum::<f64>()
+                    });
+                    self.emit_exec("noisy_sum", pool.workers(), ranges.len(), t.elapsed_ns());
+                    let total: f64 = partials.iter().sum();
+                    Ok(total + crate::mechanisms::laplace_noise(&self.noise, bound / eps))
+                }
+            }
         })();
         self.emit_aggregate(
             "noisy_sum",
@@ -798,6 +971,7 @@ impl<T> Queryable<T> {
             r.as_ref().ok().copied(),
             outcome_of(&r),
             t,
+            records.len(),
         );
         r
     }
@@ -812,8 +986,12 @@ impl<T> Queryable<T> {
         dims: usize,
         l1_bound: f64,
         f: impl Fn(&T) -> Vec<f64>,
-    ) -> Result<Vec<f64>> {
+    ) -> Result<Vec<f64>>
+    where
+        T: Send + Sync,
+    {
         let t = SpanTimer::start();
+        let records = self.records();
         let r = (|| {
             if !(l1_bound.is_finite() && l1_bound > 0.0) {
                 return Err(Error::InvalidRange {
@@ -822,27 +1000,33 @@ impl<T> Queryable<T> {
                 });
             }
             self.pay(eps, "noisy_sum_vector")?;
-            aggregates::noisy_vector_sum(
-                &self.noise,
-                self.records.iter().map(f),
-                dims,
-                l1_bound,
-                eps,
-            )
+            aggregates::noisy_vector_sum(&self.noise, records.iter().map(f), dims, l1_bound, eps)
         })();
         // Vector releases do not fit the scalar `released` slot; the event
         // still records ε, stability, outcome and timing.
-        self.emit_aggregate("noisy_sum_vector", "laplace", eps, None, outcome_of(&r), t);
+        self.emit_aggregate(
+            "noisy_sum_vector",
+            "laplace",
+            eps,
+            None,
+            outcome_of(&r),
+            t,
+            records.len(),
+        );
         r
     }
 
     /// Noisy average of `f(record)` with values clamped to `[-1, 1]`;
     /// noise std `√8/(εn)`.
-    pub fn noisy_average(&self, eps: f64, f: impl Fn(&T) -> f64) -> Result<f64> {
+    pub fn noisy_average(&self, eps: f64, f: impl Fn(&T) -> f64) -> Result<f64>
+    where
+        T: Send + Sync,
+    {
         let t = SpanTimer::start();
+        let records = self.records();
         let r = self
             .pay(eps, "noisy_average")
-            .and_then(|()| aggregates::noisy_average(&self.noise, self.records.iter().map(f), eps));
+            .and_then(|()| aggregates::noisy_average(&self.noise, records.iter().map(f), eps));
         self.emit_aggregate(
             "noisy_average",
             "laplace",
@@ -850,19 +1034,17 @@ impl<T> Queryable<T> {
             r.as_ref().ok().copied(),
             outcome_of(&r),
             t,
+            records.len(),
         );
         r
     }
 
     /// Noisy average of values known to lie in `[lo, hi]`: affinely rescaled
     /// to `[-1, 1]`, averaged, and mapped back.
-    pub fn noisy_average_in(
-        &self,
-        eps: f64,
-        lo: f64,
-        hi: f64,
-        f: impl Fn(&T) -> f64,
-    ) -> Result<f64> {
+    pub fn noisy_average_in(&self, eps: f64, lo: f64, hi: f64, f: impl Fn(&T) -> f64) -> Result<f64>
+    where
+        T: Send + Sync,
+    {
         if lo >= hi || !lo.is_finite() || !hi.is_finite() {
             return Err(Error::InvalidRange { lo, hi });
         }
@@ -887,8 +1069,10 @@ impl<T> Queryable<T> {
     ) -> Result<usize>
     where
         K: Eq + Hash,
+        T: Send + Sync,
     {
         let t = SpanTimer::start();
+        let records = self.records();
         let r = (|| {
             if candidates.is_empty() {
                 return Err(Error::EmptyCandidates);
@@ -897,7 +1081,7 @@ impl<T> Queryable<T> {
             let index_of: HashMap<&K, usize> =
                 candidates.iter().enumerate().map(|(i, k)| (k, i)).collect();
             let mut counts = vec![0f64; candidates.len()];
-            for r in self.records.iter() {
+            for r in records.iter() {
                 if let Some(&i) = index_of.get(&key(r)) {
                     counts[i] += 1.0;
                 }
@@ -911,21 +1095,32 @@ impl<T> Queryable<T> {
             r.as_ref().ok().map(|&i| i as f64),
             outcome_of(&r),
             t,
+            records.len(),
         );
         r
     }
 
     /// Noisy median of `f(record)` over `[lo, hi]` discretized into
     /// `buckets` candidate cut points, via the exponential mechanism.
+    ///
+    /// Under [`ExecCtx::Pool`] the value projection `f` runs concurrently
+    /// over fixed-size chunks, concatenated in chunk order, and the
+    /// mechanism then runs on the calling thread — the candidate scores
+    /// (and thus the released value at a fixed seed) are identical to the
+    /// sequential path for any worker count.
     pub fn noisy_median(
         &self,
         eps: f64,
         lo: f64,
         hi: f64,
         buckets: usize,
-        f: impl Fn(&T) -> f64,
-    ) -> Result<f64> {
+        f: impl Fn(&T) -> f64 + Send + Sync,
+    ) -> Result<f64>
+    where
+        T: Send + Sync,
+    {
         let t = SpanTimer::start();
+        let records = self.records();
         let r = (|| {
             if lo >= hi || !lo.is_finite() || !hi.is_finite() {
                 return Err(Error::InvalidRange { lo, hi });
@@ -934,7 +1129,21 @@ impl<T> Queryable<T> {
                 return Err(Error::EmptyCandidates);
             }
             self.pay(eps, "noisy_median")?;
-            let values: Vec<f64> = self.records.iter().map(f).collect();
+            let values: Vec<f64> = match &self.ctx {
+                ExecCtx::Sequential => records.iter().map(&f).collect(),
+                ExecCtx::Pool(pool) => {
+                    let ranges = pool.chunks(records.len());
+                    let chunks: Vec<Vec<f64>> = pool.run(&ranges, |_, rg| {
+                        records[rg.clone()].iter().map(&f).collect()
+                    });
+                    self.emit_exec("noisy_median", pool.workers(), ranges.len(), t.elapsed_ns());
+                    let mut values = Vec::with_capacity(records.len());
+                    for mut c in chunks {
+                        values.append(&mut c);
+                    }
+                    values
+                }
+            };
             aggregates::noisy_median(&self.noise, &values, lo, hi, buckets, eps)
         })();
         self.emit_aggregate(
@@ -944,15 +1153,120 @@ impl<T> Queryable<T> {
             r.as_ref().ok().copied(),
             outcome_of(&r),
             t,
+            records.len(),
         );
         r
     }
 
-    /// [`Queryable::noisy_median`] on a worker pool: the value projection
-    /// `f` runs concurrently over fixed-size chunks, concatenated in chunk
-    /// order, and the exponential mechanism then runs on the calling thread.
-    /// The candidate scores (and thus the released value at a fixed seed)
-    /// are identical to the sequential path for any worker count.
+    // ------------------------------------------------------------------
+    // Deprecated pool-twin wrappers
+    //
+    // PR 3 introduced `_with` twins of every operator; the execution
+    // context now lives on the queryable itself, so each twin is a thin
+    // delegating wrapper: bind the pool once with
+    // `.with_ctx(ExecCtx::pool(pool))` and call the unified operator.
+    // ------------------------------------------------------------------
+
+    /// Deprecated twin of [`Queryable::filter`] on an explicit pool.
+    #[deprecated(
+        note = "bind the pool once with `.with_ctx(ExecCtx::pool(pool))` and use `filter`"
+    )]
+    pub fn filter_with(
+        &self,
+        pred: impl Fn(&T) -> bool + Send + Sync + 'static,
+        pool: &ExecPool,
+    ) -> Queryable<T>
+    where
+        T: Clone + Send + Sync + 'static,
+    {
+        self.clone().with_ctx(ExecCtx::pool(pool)).filter(pred)
+    }
+
+    /// Deprecated twin of [`Queryable::map`] on an explicit pool.
+    #[deprecated(note = "bind the pool once with `.with_ctx(ExecCtx::pool(pool))` and use `map`")]
+    pub fn map_with<U>(
+        &self,
+        f: impl Fn(&T) -> U + Send + Sync + 'static,
+        pool: &ExecPool,
+    ) -> Queryable<U>
+    where
+        T: Send + Sync + 'static,
+        U: 'static,
+    {
+        self.clone().with_ctx(ExecCtx::pool(pool)).map(f)
+    }
+
+    /// Deprecated twin of [`Queryable::partition`] on an explicit pool.
+    #[deprecated(
+        note = "bind the pool once with `.with_ctx(ExecCtx::pool(pool))` and use `partition`"
+    )]
+    pub fn partition_with<K>(
+        &self,
+        keys: &[K],
+        key_fn: impl Fn(&T) -> K + Send + Sync,
+        pool: &ExecPool,
+    ) -> Result<Vec<Queryable<T>>>
+    where
+        K: Eq + Hash + Clone + Sync,
+        T: Clone + Send + Sync,
+    {
+        self.clone()
+            .with_ctx(ExecCtx::pool(pool))
+            .partition(keys, key_fn)
+    }
+
+    /// Deprecated twin of [`Queryable::noisy_count`] on an explicit pool.
+    #[deprecated(
+        note = "bind the pool once with `.with_ctx(ExecCtx::pool(pool))` and use `noisy_count`"
+    )]
+    pub fn noisy_count_with(&self, eps: f64, pool: &ExecPool) -> Result<f64>
+    where
+        T: Send + Sync,
+    {
+        self.clone().with_ctx(ExecCtx::pool(pool)).noisy_count(eps)
+    }
+
+    /// Deprecated twin of [`Queryable::noisy_sum`] on an explicit pool.
+    #[deprecated(
+        note = "bind the pool once with `.with_ctx(ExecCtx::pool(pool))` and use `noisy_sum`"
+    )]
+    pub fn noisy_sum_with(
+        &self,
+        eps: f64,
+        f: impl Fn(&T) -> f64 + Send + Sync,
+        pool: &ExecPool,
+    ) -> Result<f64>
+    where
+        T: Send + Sync,
+    {
+        self.clone().with_ctx(ExecCtx::pool(pool)).noisy_sum(eps, f)
+    }
+
+    /// Deprecated twin of [`Queryable::noisy_sum_clamped`] on an explicit
+    /// pool.
+    #[deprecated(
+        note = "bind the pool once with `.with_ctx(ExecCtx::pool(pool))` and use `noisy_sum_clamped`"
+    )]
+    pub fn noisy_sum_clamped_with(
+        &self,
+        eps: f64,
+        bound: f64,
+        f: impl Fn(&T) -> f64 + Send + Sync,
+        pool: &ExecPool,
+    ) -> Result<f64>
+    where
+        T: Send + Sync,
+    {
+        self.clone()
+            .with_ctx(ExecCtx::pool(pool))
+            .noisy_sum_clamped(eps, bound, f)
+    }
+
+    /// Deprecated twin of [`Queryable::noisy_median`] on an explicit pool.
+    #[deprecated(
+        note = "bind the pool once with `.with_ctx(ExecCtx::pool(pool))` and use `noisy_median`"
+    )]
+    #[allow(clippy::too_many_arguments)]
     pub fn noisy_median_with(
         &self,
         eps: f64,
@@ -965,35 +1279,9 @@ impl<T> Queryable<T> {
     where
         T: Send + Sync,
     {
-        let t = SpanTimer::start();
-        let r = (|| {
-            if lo >= hi || !lo.is_finite() || !hi.is_finite() {
-                return Err(Error::InvalidRange { lo, hi });
-            }
-            if buckets == 0 {
-                return Err(Error::EmptyCandidates);
-            }
-            self.pay(eps, "noisy_median")?;
-            let ranges = pool.chunks(self.records.len());
-            let chunks: Vec<Vec<f64>> = pool.run(&ranges, |_, rg| {
-                self.records[rg.clone()].iter().map(&f).collect()
-            });
-            self.emit_exec("noisy_median", pool.workers(), ranges.len(), t.elapsed_ns());
-            let mut values = Vec::with_capacity(self.records.len());
-            for mut c in chunks {
-                values.append(&mut c);
-            }
-            aggregates::noisy_median(&self.noise, &values, lo, hi, buckets, eps)
-        })();
-        self.emit_aggregate(
-            "noisy_median",
-            "exponential",
-            eps,
-            r.as_ref().ok().copied(),
-            outcome_of(&r),
-            t,
-        );
-        r
+        self.clone()
+            .with_ctx(ExecCtx::pool(pool))
+            .noisy_median(eps, lo, hi, buckets, f)
     }
 }
 
@@ -1142,7 +1430,7 @@ mod tests {
     fn partition_charges_max_not_sum() {
         let (acct, q) = setup(1.0);
         let ports: Vec<u16> = vec![80, 443, 22];
-        let parts = q.partition(&ports, |p| p.port);
+        let parts = q.partition(&ports, |p| p.port).unwrap();
         assert_eq!(parts.len(), 3);
         for part in &parts {
             part.noisy_count(0.3).unwrap();
@@ -1157,7 +1445,7 @@ mod tests {
         // the source.
         let grouped = q.group_by(|p| p.src);
         let sizes: Vec<usize> = vec![1, 2, 3];
-        let parts = grouped.partition(&sizes, |g| g.items.len());
+        let parts = grouped.partition(&sizes, |g| g.items.len()).unwrap();
         parts[0].noisy_count(0.25).unwrap();
         assert!((acct.spent() - 0.5).abs() < 1e-12);
     }
@@ -1168,7 +1456,7 @@ mod tests {
         let noise = NoiseSource::seeded(7);
         let q = Queryable::new(trace(), &acct, &noise);
         let ports: Vec<u16> = vec![80];
-        let parts = q.partition(&ports, |p| p.port);
+        let parts = q.partition(&ports, |p| p.port).unwrap();
         let c = parts[0].noisy_count(50.0).unwrap();
         // Port-80 records: 120 + 50 = 170. Port-443 records are dropped.
         assert!((c - 170.0).abs() < 1.0, "count {c}");
@@ -1353,5 +1641,110 @@ mod tests {
         let s = format!("{q:?}");
         assert!(!s.contains("2000"), "debug leaked record data: {s}");
         assert!(s.contains("stability"));
+    }
+
+    #[test]
+    fn partition_rejects_duplicate_keys() {
+        let (acct, q) = setup(1.0);
+        let ports: Vec<u16> = vec![80, 443, 80];
+        assert!(matches!(
+            q.partition(&ports, |p| p.port),
+            Err(Error::DuplicatePartitionKeys)
+        ));
+        assert_eq!(acct.spent(), 0.0);
+    }
+
+    #[test]
+    fn concat_with_an_empty_side_reuses_the_existing_buffer() {
+        let a_budget = Accountant::new(1.0);
+        let b_budget = Accountant::new(1.0);
+        let noise = NoiseSource::seeded(51);
+        let a = Queryable::new(vec![7u8; 64], &a_budget, &noise);
+        let empty = Queryable::new(Vec::<u8>::new(), &b_budget, &noise);
+        let src = a.records();
+        let both = a.concat(&empty);
+        match &both.data {
+            Data::Ready(buf) => {
+                assert!(Arc::ptr_eq(buf, &src), "non-empty side must be reused");
+            }
+            Data::Lazy(_) => panic!("concat output should be materialized"),
+        }
+        // The empty side's budget is still charged: a neighboring dataset
+        // of the empty input could hold a record.
+        both.noisy_count(0.5).unwrap();
+        assert!((a_budget.spent() - 0.5).abs() < 1e-12);
+        assert!((b_budget.spent() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lazy_chain_materializes_once_across_aggregations() {
+        let acct = Accountant::new(10.0);
+        let sink = Arc::new(dpnet_obs::MemorySink::new());
+        acct.set_sink(Some(sink.clone()));
+        let noise = NoiseSource::seeded(53);
+        let q = Queryable::new((0..10_000u32).collect::<Vec<_>>(), &acct, &noise);
+        let chain = q
+            .filter(|v| v % 2 == 0)
+            .map(|&v| u64::from(v))
+            .filter(|&v| v > 10);
+        let plans = || {
+            sink.events()
+                .iter()
+                .filter(|e| matches!(e, dpnet_obs::Event::Plan(_)))
+                .count()
+        };
+        assert_eq!(plans(), 0, "declaring transforms must not materialize");
+        chain.noisy_count(0.1).unwrap();
+        assert_eq!(plans(), 1, "first aggregation forces the plan");
+        chain.noisy_sum_clamped(0.1, 100.0, |&v| v as f64).unwrap();
+        assert_eq!(plans(), 1, "second aggregation reads the memo");
+        let fused = sink
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                dpnet_obs::Event::Plan(p) => Some(p.fused_stages),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(fused, 3, "filter → map → filter fuse into one pass");
+    }
+
+    #[test]
+    fn collect_protected_matches_the_lazy_release_and_spends_nothing() {
+        let (acct_lazy, q_lazy) = setup(10.0);
+        let lazy = q_lazy.filter(|p| p.port == 80).map(|p| p.len);
+        let (acct_eager, q_eager) = setup(10.0);
+        let eager = q_eager
+            .filter(|p| p.port == 80)
+            .map(|p| p.len)
+            .collect_protected();
+        assert!(matches!(eager.data, Data::Ready(_)));
+        assert_eq!(acct_eager.spent(), 0.0, "materialization is not a release");
+        assert_eq!(eager.stability(), lazy.stability());
+        let a = lazy.noisy_count(0.5).unwrap();
+        let b = eager.noisy_count(0.5).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(acct_lazy.spent(), acct_eager.spent());
+    }
+
+    #[test]
+    fn pool_ctx_releases_match_sequential_bitwise() {
+        let run = |ctx: ExecCtx| {
+            let acct = Accountant::new(10.0);
+            let noise = NoiseSource::seeded(59);
+            let q = Queryable::new((0..5000u32).collect::<Vec<_>>(), &acct, &noise).with_ctx(ctx);
+            let c = q
+                .filter(|v| v % 3 == 0)
+                .map(|&v| u64::from(v) * 2)
+                .noisy_count(0.5)
+                .unwrap();
+            let m = q
+                .noisy_median(0.5, 0.0, 10_000.0, 32, |&v| f64::from(v))
+                .unwrap();
+            (c.to_bits(), m.to_bits(), acct.spent())
+        };
+        let seq = run(ExecCtx::Sequential);
+        let pool = ExecPool::new(4).unwrap().with_chunk_size(256);
+        assert_eq!(run(ExecCtx::pool(&pool)), seq);
     }
 }

@@ -27,7 +27,7 @@ fn mixed_workload(q: &Queryable<u64>) {
     grouped.noisy_count(0.02).unwrap();
     // Partition: max-of-parts accounting.
     let keys = [0u64, 1, 2];
-    for part in &q.partition(&keys, |v| v % 3) {
+    for part in &q.partition(&keys, |v| v % 3).unwrap() {
         part.noisy_count_int(0.03).unwrap();
     }
     q.noisy_median(0.04, 0.0, 1000.0, 50, |&v| v as f64)

@@ -2,6 +2,10 @@
 //! the last ε of a shared budget must never oversubscribe it, and the
 //! composition rules (sequential sum, parallel max-of-parts) must hold
 //! regardless of scheduling.
+//!
+//! The kernel-determinism test deliberately exercises the deprecated
+//! `_with` operator twins to pin their delegation to the `ExecCtx` path.
+#![allow(deprecated)]
 
 use pinq::parallel::parallel_map_parts_with;
 use pinq::{Accountant, ExecPool, NoiseSource, Queryable};
@@ -45,7 +49,7 @@ fn budget_exhaustion_race_admits_exactly_the_affordable_charges() {
 fn concurrent_partition_counts_charge_only_the_max() {
     let (acct, q) = protect(160, 1.0, 0xBEE);
     let keys: Vec<u32> = (0..16).collect();
-    let parts = q.partition(&keys, |&v| v % 16);
+    let parts = q.partition(&keys, |&v| v % 16).unwrap();
     let pool = ExecPool::new(8).unwrap();
     let results = parallel_map_parts_with(&parts, &pool, |part| part.noisy_count(1.0));
     for r in &results {

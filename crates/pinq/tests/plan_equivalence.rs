@@ -1,0 +1,93 @@
+//! Property tests pinning the lazy/fused execution refactor to the eager
+//! semantics it replaced.
+//!
+//! For any pipeline chaining the stability-interesting operators —
+//! `select_many(bound)` × `filter` × `concat` — the lazy plan must release
+//! **bit-identical** values, charge an **identical** ε, and report an
+//! **identical** stability, whether the pipeline stays lazy or is forced
+//! after every operator with `collect_protected`, and whether it is forced
+//! sequentially or on a worker pool of 1, 2 or 8 workers. Stability and
+//! charge bookkeeping happen at operator *declaration*, so laziness may
+//! never shift what is charged — only when record buffers exist.
+
+use pinq::{Accountant, ExecCtx, ExecPool, NoiseSource, Queryable};
+use proptest::prelude::*;
+
+fn dataset(n: usize, offset: u32) -> Vec<u32> {
+    (0..n as u32).map(|v| v + offset).collect()
+}
+
+/// Run the pipeline and release one count and one median. Returns the two
+/// released values (as raw bits), the total ε charged, and the pipeline's
+/// final stability.
+fn run_pipeline(
+    n: usize,
+    bound: usize,
+    modulus: u32,
+    seed: u64,
+    ctx: ExecCtx,
+    eager: bool,
+) -> (u64, u64, f64, f64) {
+    let acct = Accountant::new(1_000.0);
+    let noise = NoiseSource::seeded(seed);
+    // In eager mode, force materialization after every operator — the
+    // pre-refactor engine's behavior.
+    let force = |q: Queryable<u32>| if eager { q.collect_protected() } else { q };
+    let left = Queryable::new(dataset(n, 0), &acct, &noise).with_ctx(ctx.clone());
+    let right = Queryable::new(dataset(n / 2, 1), &acct, &noise).with_ctx(ctx);
+    let expanded = force(left.select_many(bound, move |&v| vec![v; bound]).unwrap());
+    let filtered = force(expanded.filter(move |&v| v % modulus == 0));
+    let combined = force(filtered.concat(&right));
+    let count = combined.noisy_count(1.0).unwrap();
+    let median = combined
+        .noisy_median(1.0, 0.0, n as f64 + 2.0, 16, |&v| f64::from(v))
+        .unwrap();
+    (
+        count.to_bits(),
+        median.to_bits(),
+        acct.spent(),
+        combined.stability(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Lazy ≡ eager, for any worker count: releases bit-identical, spent ε
+    /// equal, stability equal.
+    #[test]
+    fn lazy_pipelines_match_eager_semantics_for_any_worker_count(
+        n in 1usize..400,
+        bound in 1usize..4,
+        modulus in 1u32..7,
+        seed in 0u64..1_000,
+    ) {
+        let baseline = run_pipeline(n, bound, modulus, seed, ExecCtx::Sequential, true);
+        let lazy_seq = run_pipeline(n, bound, modulus, seed, ExecCtx::Sequential, false);
+        prop_assert_eq!(lazy_seq, baseline, "lazy sequential diverged from eager");
+        for workers in [1usize, 2, 8] {
+            let pool = ExecPool::new(workers).unwrap().with_chunk_size(64);
+            let lazy_pool = run_pipeline(n, bound, modulus, seed, ExecCtx::pool(&pool), false);
+            prop_assert_eq!(lazy_pool, baseline, "workers={} diverged", workers);
+        }
+    }
+}
+
+/// The empty-side `concat` short-circuit (an allocation optimization) must
+/// not change accounting: both budgets are charged even when one input is
+/// empty, because a *neighboring* dataset of the empty side could hold a
+/// record.
+#[test]
+fn concat_with_empty_side_still_charges_both_budgets() {
+    let a_budget = Accountant::new(1.0);
+    let b_budget = Accountant::new(1.0);
+    let noise = NoiseSource::seeded(7);
+    let a = Queryable::new(dataset(100, 0), &a_budget, &noise);
+    let empty = Queryable::new(Vec::<u32>::new(), &b_budget, &noise);
+    a.concat(&empty).noisy_count(0.25).unwrap();
+    assert!((a_budget.spent() - 0.25).abs() < 1e-12);
+    assert!((b_budget.spent() - 0.25).abs() < 1e-12);
+    empty.concat(&a).noisy_count(0.25).unwrap();
+    assert!((a_budget.spent() - 0.5).abs() < 1e-12);
+    assert!((b_budget.spent() - 0.5).abs() < 1e-12);
+}

@@ -56,10 +56,12 @@ fn main() {
     // the whole matrix costs one 0.5).
     let ports = vec![80u16, 443, 22];
     let minutes: Vec<u64> = (0..10).collect();
-    let by_port = q.partition(&ports, |p| p.dst_port);
+    let by_port = q.partition(&ports, |p| p.dst_port).expect("distinct ports");
     let mut matrix = Vec::new();
     for part in &by_port {
-        let by_minute = part.partition(&minutes, |p| p.ts_us / 60_000_000);
+        let by_minute = part
+            .partition(&minutes, |p| p.ts_us / 60_000_000)
+            .expect("distinct minutes");
         let row: Vec<f64> = by_minute
             .iter()
             .map(|cell| cell.noisy_count(0.5).expect("parallel composition"))

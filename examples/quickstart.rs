@@ -38,7 +38,9 @@ fn main() {
     // A second query: how many TCP handshakes completed? Partition keeps
     // per-port analyses cheap — all ports together cost one ε.
     let ports = vec![80u16, 443, 22, 25];
-    let parts = packets.partition(&ports, |p| p.dst_port);
+    let parts = packets
+        .partition(&ports, |p| p.dst_port)
+        .expect("partition keys are distinct");
     for (port, part) in ports.iter().zip(&parts) {
         let syns = part
             .filter(|p| p.flags.is_syn() && !p.flags.is_ack())

@@ -61,7 +61,7 @@ proptest! {
                 }
                 Op::PartitionCounts { eps, parts } => {
                     let keys: Vec<u32> = (0..parts as u32).collect();
-                    let pieces = q.partition(&keys, move |&x| x % parts as u32);
+                    let pieces = q.partition(&keys, move |&x| x % parts as u32).unwrap();
                     let mut res = Ok(());
                     for p in &pieces {
                         if let Err(e) = p.noisy_count(eps) {
@@ -102,7 +102,7 @@ proptest! {
         let q = Queryable::new(data, &acct, &noise);
         let keys: Vec<u32> = (0..eps_per_part.len() as u32).collect();
         let n = eps_per_part.len() as u32;
-        let parts = q.partition(&keys, move |&x| x % n);
+        let parts = q.partition(&keys, move |&x| x % n).unwrap();
         for (part, &eps) in parts.iter().zip(&eps_per_part) {
             part.noisy_count(eps).unwrap();
         }
@@ -161,7 +161,7 @@ proptest! {
         let noise = NoiseSource::seeded(seed);
         let n = 50usize;
         let q = Queryable::new(vec![7u8; n], &acct, &noise);
-        let expanded = q.select_many(fanout, |_| vec![1u8; produced]).unwrap();
+        let expanded = q.select_many(fanout, move |_| vec![1u8; produced]).unwrap();
         let eps = 0.3;
         let c = expanded.noisy_count(eps).unwrap();
         let true_out = n * produced.min(fanout);
