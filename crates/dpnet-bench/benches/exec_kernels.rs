@@ -13,8 +13,10 @@
 //! measured evidence behind the lazy execution model.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpnet_obs::{install_recorder, uninstall_recorder, TraceRecorder};
 use dpnet_trace::gen::scatter::{generate_with, ScatterConfig};
 use pinq::{Accountant, ExecCtx, ExecPool, NoiseSource, Queryable};
+use std::sync::Arc;
 
 const KEYS: usize = 256;
 
@@ -99,9 +101,35 @@ fn bench_pipeline_depth(c: &mut Criterion) {
     g.finish();
 }
 
+/// Span-profiler cost on the canonical pipeline, both ways: `off` is the
+/// disabled path (instrumentation compiled in, no recorder installed —
+/// each span site is one relaxed atomic load; budget ≤1% over the
+/// pre-instrumentation pipeline), `on` records every span into an
+/// installed [`TraceRecorder`] (budget ≤5% over `off`).
+fn bench_profiler_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("profiler_overhead");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(PIPELINE_N as u64));
+    let q = dataset(PIPELINE_N);
+    let keys: Vec<u32> = (0..KEYS as u32).collect();
+    g.bench_function("plan_pipeline_1m_profiler_off", |b| {
+        b.iter(|| pipeline(&q, &keys, false))
+    });
+    g.bench_function("plan_pipeline_1m_profiler_on", |b| {
+        let rec = Arc::new(TraceRecorder::new());
+        install_recorder(rec.clone());
+        b.iter(|| {
+            rec.clear();
+            pipeline(&q, &keys, false)
+        });
+        uninstall_recorder();
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_partition, bench_trace_gen, bench_pipeline_depth
+    targets = bench_partition, bench_trace_gen, bench_pipeline_depth, bench_profiler_overhead
 }
 criterion_main!(benches);

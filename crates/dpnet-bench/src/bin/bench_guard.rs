@@ -37,6 +37,14 @@
 //! ignores wall times entirely. CI runs a fast fixed-seed experiment and
 //! diffs it against a committed `GOLDEN_*.json` fixture: any drift in
 //! released values' privacy charges fails the build even on noisy runners.
+//!
+//! `profile` diffs the per-operator time attribution of two profiled
+//! reports (produced by `dpnet profile` or `repro --profile`). Self times
+//! are normalized by each report's own `calibration_ns`, operators are
+//! aligned by name, and the table is sorted by the change in self time —
+//! the operator whose cost moved most is printed first, and each report's
+//! top-3 self-time operators are named. Informational: always exits 0
+//! unless a report cannot be read.
 
 use dpnet_bench::experiments as exp;
 use dpnet_bench::report::RunReport;
@@ -129,6 +137,45 @@ fn experiment_walls(json: &str) -> Vec<(String, u64)> {
             out.push((id, wall));
         }
         rest = &rest[end..];
+    }
+    out
+}
+
+/// One operator's folded attribution totals, as read from a report.
+#[derive(Debug, Default, Clone, PartialEq)]
+struct AttrTotals {
+    count: u64,
+    total_ns: u64,
+    self_ns: u64,
+}
+
+/// Fold every `"attribution":[...]` array in a report into per-operator
+/// totals. Objects inside the arrays are flat, so a brace scan suffices.
+fn attribution_totals(json: &str) -> std::collections::BTreeMap<String, AttrTotals> {
+    let mut out: std::collections::BTreeMap<String, AttrTotals> = std::collections::BTreeMap::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find("\"attribution\":[") {
+        rest = &rest[pos + 15..];
+        let body_end = rest.find(']').unwrap_or(rest.len());
+        let mut body = &rest[..body_end];
+        while let Some(open) = body.find('{') {
+            let Some(close) = body[open..].find('}') else {
+                break;
+            };
+            let obj = &body[open..=open + close];
+            if let Some(map) = dpnet_obs::json::parse_flat_object(obj) {
+                let name = map.get("name").and_then(|v| v.as_str()).map(str::to_string);
+                let num = |key: &str| map.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0) as u64;
+                if let Some(name) = name {
+                    let row = out.entry(name).or_default();
+                    row.count += num("count");
+                    row.total_ns += num("total_ns");
+                    row.self_ns += num("self_ns");
+                }
+            }
+            body = &body[open + close + 1..];
+        }
+        rest = &rest[body_end..];
     }
     out
 }
@@ -306,6 +353,83 @@ fn cmd_kernel_speedup(workers: usize, min: f64) -> i32 {
     } else {
         0
     }
+}
+
+/// Top-N operators named explicitly by `profile`.
+const PROFILE_TOP: usize = 3;
+
+fn cmd_profile(a_path: &str, b_path: &str) -> i32 {
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let (a_text, b_text) = match (read(a_path), read(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let a_cal = field_u64(&a_text, "calibration_ns").unwrap_or(1).max(1) as f64;
+    let b_cal = field_u64(&b_text, "calibration_ns").unwrap_or(1).max(1) as f64;
+    let a_rows = attribution_totals(&a_text);
+    let b_rows = attribution_totals(&b_text);
+    if a_rows.is_empty() && b_rows.is_empty() {
+        eprintln!("bench_guard: neither report carries attribution (profiled runs only)");
+        return 2;
+    }
+
+    // Align by operator name; normalize to calibration units so reports
+    // from different machines stay comparable.
+    let names: std::collections::BTreeSet<&String> = a_rows.keys().chain(b_rows.keys()).collect();
+    let mut diff: Vec<(&str, f64, f64, u64, u64)> = names
+        .into_iter()
+        .map(|name| {
+            let a = a_rows.get(name).cloned().unwrap_or_default();
+            let b = b_rows.get(name).cloned().unwrap_or_default();
+            (
+                name.as_str(),
+                a.self_ns as f64 / a_cal,
+                b.self_ns as f64 / b_cal,
+                a.count,
+                b.count,
+            )
+        })
+        .collect();
+    diff.sort_by(|x, y| {
+        let (dx, dy) = ((x.2 - x.1).abs(), (y.2 - y.1).abs());
+        dy.partial_cmp(&dx).unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    println!("attribution diff: {a_path} -> {b_path} (self time, calibration units)");
+    println!(
+        "{:<24} {:>10} {:>10} {:>10} {:>8}  {:>7} {:>7}",
+        "operator", "a.self", "b.self", "delta", "ratio", "a.count", "b.count"
+    );
+    for (name, a_self, b_self, a_count, b_count) in &diff {
+        let ratio = if *a_self > 0.0 {
+            format!("{:.2}x", b_self / a_self)
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{name:<24} {a_self:>10.2} {b_self:>10.2} {:>+10.2} {ratio:>8}  {a_count:>7} {b_count:>7}",
+            b_self - a_self
+        );
+    }
+
+    let top = |rows: &std::collections::BTreeMap<String, AttrTotals>, label: &str| {
+        let mut by_self: Vec<(&String, u64)> = rows.iter().map(|(n, r)| (n, r.self_ns)).collect();
+        by_self.sort_by_key(|row| std::cmp::Reverse(row.1));
+        let names: Vec<String> = by_self
+            .iter()
+            .take(PROFILE_TOP)
+            .enumerate()
+            .map(|(i, (n, _))| format!("{}. {n}", i + 1))
+            .collect();
+        println!("top self-time ({label}): {}", names.join("  "));
+    };
+    top(&a_rows, a_path);
+    top(&b_rows, b_path);
+    0
 }
 
 /// The experiment set the committed baseline covers.
@@ -488,13 +612,15 @@ fn main() {
             cmd_record(&out, &ids)
         }
         Some("golden") if args.len() >= 3 => cmd_golden(&args[1], &args[2]),
+        Some("profile") if args.len() >= 3 => cmd_profile(&args[1], &args[2]),
         _ => {
             eprintln!(
                 "usage: bench_guard compare <current.json> <baseline.json> [--threshold 0.25]\n\
                  \x20      bench_guard speedup <seq.json> <par.json> [--min 1.5]\n\
                  \x20      bench_guard kernel-speedup [--workers 4] [--min 1.5]\n\
                  \x20      bench_guard record [--out bench-reports] [<id> ...]\n\
-                 \x20      bench_guard golden <current.json> <golden.json>"
+                 \x20      bench_guard golden <current.json> <golden.json>\n\
+                 \x20      bench_guard profile <a.json> <b.json>"
             );
             2
         }
@@ -542,6 +668,27 @@ mod tests {
                 },
             ]
         );
+    }
+
+    #[test]
+    fn attribution_arrays_fold_across_experiments() {
+        let json = r#"{"calibration_ns":100,"experiments":[
+            {"id":"a","attribution":[{"name":"noisy_count","count":2,"total_ns":900,"self_ns":300},
+                                     {"name":"plan/materialize","count":1,"total_ns":600,"self_ns":600}]},
+            {"id":"b","attribution":[{"name":"noisy_count","count":1,"total_ns":100,"self_ns":100}]}
+        ]}"#;
+        let rows = attribution_totals(json);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows["noisy_count"],
+            AttrTotals {
+                count: 3,
+                total_ns: 1000,
+                self_ns: 400
+            }
+        );
+        assert_eq!(rows["plan/materialize"].self_ns, 600);
+        assert!(attribution_totals(r#"{"experiments":[{"id":"a","attribution":[]}]}"#).is_empty());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //!       table1 example23 fig1 table4 itemsets fig2 worm fig3
 //!       table5 fig4 fig5 table2
 //! repro --workers N <id>…   # run pool-aware experiments on N workers
+//! repro --profile <id>…     # record spans; adds per-operator attribution
 //! ```
 //!
 //! With `--workers N` (N ≥ 1), the experiments that have worker-pool
@@ -22,66 +23,27 @@
 //! the experiment output, `repro` prints a per-phase ε/latency budget
 //! report and writes `bench-reports/BENCH_<target>.json` with the same
 //! data in machine-readable form.
+//!
+//! With `--profile`, a [`dpnet_obs::TraceRecorder`] is installed too: every
+//! operator span is captured, the report gains per-operator time
+//! attribution, and an attribution table is printed after the budget
+//! report. (For single-experiment profiled runs with a Chrome trace, use
+//! `dpnet profile` instead.)
 
-use dpnet_bench::experiments as exp;
+use dpnet_bench::profile::{run_experiment, IDS};
 use dpnet_bench::report::RunReport;
-use dpnet_obs::{set_global_sink, MemorySink};
+use dpnet_obs::{install_recorder, set_global_sink, uninstall_recorder, MemorySink, TraceRecorder};
 use pinq::ExecPool;
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
-const IDS: [&str; 18] = [
-    "table1",
-    "example23",
-    "fig1",
-    "table4",
-    "itemsets",
-    "fig2",
-    "worm",
-    "fig3",
-    "table5",
-    "fig4",
-    "fig5",
-    "table2",
-    "rules",
-    "connections",
-    "principals",
-    "ablation",
-    "graphdist",
-    "classify",
-];
-
-fn run_one(id: &str, pool: &ExecPool) -> Result<String, String> {
-    match id {
-        "table1" => Ok(exp::table1::run(3000).1),
-        "example23" => Ok(exp::example23::run(400).1),
-        "fig1" => exp::fig1::run_with(1.0, pool)
-            .map(|(_, s)| s)
-            .map_err(|e| e.to_string()),
-        "table4" => Ok(exp::table4::run(10, 1.0).1),
-        "itemsets" => Ok(exp::itemsets_exp::run_with(1.0, pool).1),
-        "fig2" => Ok(exp::fig2::run().1),
-        "worm" => Ok(exp::worm_exp::run_with(pool).1),
-        "fig3" => Ok(exp::fig3::run().1),
-        "table5" => Ok(exp::table5::run().1),
-        "fig4" => Ok(exp::fig4::run().1),
-        "fig5" => Ok(exp::fig5::run(10).1),
-        "table2" => Ok(exp::table2::run().1),
-        "rules" => Ok(exp::rules_exp::run().1),
-        "connections" => Ok(exp::connections_exp::run().1),
-        "principals" => Ok(exp::principals::run(400).1),
-        "ablation" => Ok(exp::ablation::run().1),
-        "graphdist" => Ok(exp::graphdist_exp::run().1),
-        "classify" => Ok(exp::classify_exp::run().1),
-        other => Err(format!("unknown experiment id '{other}'")),
-    }
-}
-
-/// Split `--workers N` / `--workers=N` out of the raw argument list,
-/// returning the worker count and the remaining (non-flag) arguments.
-fn parse_workers(raw: Vec<String>) -> Result<(usize, Vec<String>), String> {
+/// Split `--workers N` / `--workers=N` / `--profile` out of the raw
+/// argument list, returning the worker count, the profile flag, and the
+/// remaining (non-flag) arguments.
+fn parse_flags(raw: Vec<String>) -> Result<(usize, bool, Vec<String>), String> {
     let mut workers = 1usize;
+    let mut profile = false;
     let mut rest = Vec::new();
     let mut it = raw.into_iter();
     while let Some(arg) = it.next() {
@@ -94,16 +56,18 @@ fn parse_workers(raw: Vec<String>) -> Result<(usize, Vec<String>), String> {
             workers = val
                 .parse()
                 .map_err(|_| format!("invalid --workers value '{val}'"))?;
+        } else if arg == "--profile" {
+            profile = true;
         } else {
             rest.push(arg);
         }
     }
-    Ok((workers, rest))
+    Ok((workers, profile, rest))
 }
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let (workers, args) = match parse_workers(raw) {
+    let (workers, profile, args) = match parse_flags(raw) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("{e}");
@@ -112,7 +76,7 @@ fn main() {
     };
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         eprintln!(
-            "usage: repro [--workers N] all | <id> [<id> ...]\nids: {}",
+            "usage: repro [--workers N] [--profile] all | <id> [<id> ...]\nids: {}",
             IDS.join(" ")
         );
         std::process::exit(2);
@@ -133,6 +97,11 @@ fn main() {
     // Observe the whole run: toolkit phases and engine charges land here.
     let sink = Arc::new(MemorySink::new());
     set_global_sink(Some(sink.clone()));
+    let recorder = profile.then(|| {
+        let rec = Arc::new(TraceRecorder::new());
+        install_recorder(rec.clone());
+        rec
+    });
     let mut target = if all {
         "all".to_string()
     } else {
@@ -147,13 +116,17 @@ fn main() {
     let mut failed = false;
     for id in ids {
         sink.clear();
+        if let Some(rec) = &recorder {
+            rec.clear();
+        }
         let start = Instant::now();
-        match run_one(id, &pool) {
+        match run_experiment(id, &pool) {
             Ok(text) => {
                 let wall = start.elapsed();
                 println!("{text}");
                 println!("[{id} completed in {wall:.1?}]");
-                report.record(id, wall.as_nanos() as u64, &sink.drain());
+                let spans = recorder.as_ref().map(|r| r.take()).unwrap_or_default();
+                report.record_with_spans(id, wall.as_nanos() as u64, &sink.drain(), &spans);
             }
             Err(e) => {
                 eprintln!("experiment {id} failed: {e}");
@@ -161,9 +134,16 @@ fn main() {
             }
         }
     }
+    if recorder.is_some() {
+        uninstall_recorder();
+    }
     set_global_sink(None);
 
     println!("{}", report.render_budget_report());
+    let attribution = report.render_attribution_report();
+    if !attribution.is_empty() {
+        println!("{attribution}");
+    }
     match report.write_json(Path::new("bench-reports")) {
         Ok(path) => println!("run report: {}", path.display()),
         Err(e) => eprintln!("could not write run report: {e}"),

@@ -20,4 +20,5 @@
 
 pub mod datasets;
 pub mod experiments;
+pub mod profile;
 pub mod report;

@@ -1,0 +1,240 @@
+//! Profiled experiment runs — the shared dispatcher behind the `repro`
+//! binary and the `dpnet profile` command.
+//!
+//! [`run_experiment`] maps an experiment id to its implementation in
+//! [`crate::experiments`]; [`run_profiled`] runs one experiment under an
+//! installed [`TraceRecorder`], folds the captured spans into a
+//! [`RunReport`] (per-operator time attribution in `BENCH_<id>-wN.json`),
+//! and optionally writes a Chrome-trace/Perfetto JSON of the run.
+//!
+//! When an overhead ceiling is requested, the experiment is first run
+//! *unprofiled* on the same pool and the profiled wall time is compared
+//! against that baseline — CI uses this to keep the profiler honest.
+
+use crate::experiments as exp;
+use crate::report::RunReport;
+use dpnet_obs::{
+    install_recorder, set_global_sink, uninstall_recorder, write_chrome_trace, MemorySink,
+    TraceRecorder,
+};
+use pinq::ExecPool;
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Every experiment id, in paper order.
+pub const IDS: [&str; 18] = [
+    "table1",
+    "example23",
+    "fig1",
+    "table4",
+    "itemsets",
+    "fig2",
+    "worm",
+    "fig3",
+    "table5",
+    "fig4",
+    "fig5",
+    "table2",
+    "rules",
+    "connections",
+    "principals",
+    "ablation",
+    "graphdist",
+    "classify",
+];
+
+/// Run one experiment by id on `pool`, returning its printable output.
+pub fn run_experiment(id: &str, pool: &ExecPool) -> Result<String, String> {
+    match id {
+        "table1" => Ok(exp::table1::run(3000).1),
+        "example23" => Ok(exp::example23::run(400).1),
+        "fig1" => exp::fig1::run_with(1.0, pool)
+            .map(|(_, s)| s)
+            .map_err(|e| e.to_string()),
+        "table4" => Ok(exp::table4::run(10, 1.0).1),
+        "itemsets" => Ok(exp::itemsets_exp::run_with(1.0, pool).1),
+        "fig2" => Ok(exp::fig2::run().1),
+        "worm" => Ok(exp::worm_exp::run_with(pool).1),
+        "fig3" => Ok(exp::fig3::run().1),
+        "table5" => Ok(exp::table5::run().1),
+        "fig4" => Ok(exp::fig4::run().1),
+        "fig5" => Ok(exp::fig5::run(10).1),
+        "table2" => Ok(exp::table2::run().1),
+        "rules" => Ok(exp::rules_exp::run().1),
+        "connections" => Ok(exp::connections_exp::run().1),
+        "principals" => Ok(exp::principals::run(400).1),
+        "ablation" => Ok(exp::ablation::run().1),
+        "graphdist" => Ok(exp::graphdist_exp::run().1),
+        "classify" => Ok(exp::classify_exp::run().1),
+        other => Err(format!("unknown experiment id '{other}'")),
+    }
+}
+
+/// What [`run_profiled`] should do.
+pub struct ProfileConfig {
+    /// Experiment id (one of [`IDS`]).
+    pub experiment: String,
+    /// Worker count for the shared [`ExecPool`].
+    pub workers: usize,
+    /// Where `BENCH_<experiment>-w<workers>.json` is written.
+    pub report_dir: PathBuf,
+    /// Optional path for the Chrome-trace JSON of the profiled run.
+    pub trace_out: Option<PathBuf>,
+    /// When set, also time an *unprofiled* run first and fail if the
+    /// profiled run is more than `(1 + ceiling)` times slower.
+    pub max_overhead: Option<f64>,
+}
+
+/// Everything one profiled run produced.
+pub struct ProfileOutcome {
+    /// The experiment's own printable output.
+    pub output: String,
+    /// Rendered per-operator attribution table (empty if no spans).
+    pub attribution: String,
+    /// Path of the written `BENCH_*.json` report.
+    pub report_path: PathBuf,
+    /// Path of the written trace, when requested.
+    pub trace_path: Option<PathBuf>,
+    /// Wall time of the profiled run.
+    pub profiled_wall_ns: u64,
+    /// Wall time of the unprofiled baseline run, when one was made.
+    pub baseline_wall_ns: Option<u64>,
+    /// Number of spans the run recorded.
+    pub spans: usize,
+}
+
+impl ProfileOutcome {
+    /// Profiler overhead as a fraction of the unprofiled baseline
+    /// (`0.03` = 3% slower), when a baseline run was made.
+    pub fn overhead(&self) -> Option<f64> {
+        self.baseline_wall_ns
+            .map(|base| self.profiled_wall_ns as f64 / base.max(1) as f64 - 1.0)
+    }
+}
+
+/// Run `cfg.experiment` with the span profiler installed, write the
+/// attribution-bearing report (and optionally a Chrome trace), and check
+/// the overhead ceiling if one was requested.
+pub fn run_profiled(cfg: &ProfileConfig) -> Result<ProfileOutcome, String> {
+    let pool = ExecPool::new(cfg.workers).map_err(|e| e.to_string())?;
+
+    // Unprofiled baseline first: same pool, recorder not installed, so
+    // the per-span cost reduces to one relaxed atomic load.
+    let baseline_wall_ns = match cfg.max_overhead {
+        Some(_) => {
+            let start = Instant::now();
+            run_experiment(&cfg.experiment, &pool)?;
+            Some((start.elapsed().as_nanos() as u64).max(1))
+        }
+        None => None,
+    };
+
+    let sink = Arc::new(MemorySink::new());
+    set_global_sink(Some(sink.clone()));
+    let rec = Arc::new(TraceRecorder::new());
+    install_recorder(rec.clone());
+    let start = Instant::now();
+    let result = run_experiment(&cfg.experiment, &pool);
+    let profiled_wall_ns = (start.elapsed().as_nanos() as u64).max(1);
+    uninstall_recorder();
+    set_global_sink(None);
+    let output = result?;
+    let spans = rec.take();
+
+    let mut report = RunReport::new(&format!("{}-w{}", cfg.experiment, cfg.workers));
+    report.set_workers(cfg.workers);
+    report.record_with_spans(&cfg.experiment, profiled_wall_ns, &sink.drain(), &spans);
+    let attribution = report.render_attribution_report();
+    let report_path = report
+        .write_json(&cfg.report_dir)
+        .map_err(|e| format!("could not write run report: {e}"))?;
+
+    let trace_path = match &cfg.trace_out {
+        Some(path) => {
+            write_trace(path, &spans, &rec)?;
+            Some(path.clone())
+        }
+        None => None,
+    };
+
+    let outcome = ProfileOutcome {
+        output,
+        attribution,
+        report_path,
+        trace_path,
+        profiled_wall_ns,
+        baseline_wall_ns,
+        spans: spans.len(),
+    };
+    if let (Some(ceiling), Some(overhead)) = (cfg.max_overhead, outcome.overhead()) {
+        if overhead > ceiling {
+            return Err(format!(
+                "profiler overhead {:.1}% exceeds the {:.1}% ceiling \
+                 (unprofiled {} ns, profiled {} ns)",
+                overhead * 100.0,
+                ceiling * 100.0,
+                outcome.baseline_wall_ns.unwrap_or(0),
+                outcome.profiled_wall_ns,
+            ));
+        }
+    }
+    Ok(outcome)
+}
+
+fn write_trace(
+    path: &Path,
+    spans: &[dpnet_obs::CompletedSpan],
+    rec: &TraceRecorder,
+) -> Result<(), String> {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+    let file = std::fs::File::create(path)
+        .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+    write_chrome_trace(BufWriter::new(file), spans, &rec.track_names())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// These tests install process-global sinks and recorders; serialize.
+    fn global_guard() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        let pool = ExecPool::sequential();
+        assert!(run_experiment("nope", &pool).is_err());
+    }
+
+    #[test]
+    fn profiled_run_writes_report_with_attribution_and_trace() {
+        let _g = global_guard();
+        let dir = std::env::temp_dir().join("dpnet-profile-test");
+        let cfg = ProfileConfig {
+            experiment: "example23".to_string(),
+            workers: 1,
+            report_dir: dir.clone(),
+            trace_out: Some(dir.join("trace.json")),
+            max_overhead: None,
+        };
+        let out = run_profiled(&cfg).expect("profiled run");
+        assert!(out.spans > 0, "experiment should record spans");
+        assert!(!out.attribution.is_empty());
+        let report = std::fs::read_to_string(&out.report_path).unwrap();
+        assert!(report.contains("\"target\":\"example23-w1\""));
+        assert!(report.contains("\"attribution\":[{\"name\":"));
+        let trace = std::fs::read_to_string(out.trace_path.as_ref().unwrap()).unwrap();
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("\"ph\":\"X\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -11,7 +11,7 @@
 //! for dashboards and regression tracking.
 
 use dpnet_obs::json::{escape, number};
-use dpnet_obs::{unix_time_s, Event, MetricsRegistry};
+use dpnet_obs::{attribution, unix_time_s, AttributionRow, CompletedSpan, Event, MetricsRegistry};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -121,7 +121,15 @@ pub struct ExperimentRun {
     pub eps_charged: f64,
     /// Named phases, in emission order.
     pub phases: Vec<PhaseLine>,
+    /// Per-operator time attribution from profiler spans (top rows by
+    /// self-time, descending). Empty when the run was not profiled.
+    pub attribution: Vec<AttributionRow>,
 }
+
+/// How many attribution rows a run report keeps per experiment: the top
+/// ones by self-time. Rows beyond this are folded into the profile's noise
+/// floor rather than serialized.
+pub const ATTRIBUTION_TOP: usize = 10;
 
 /// Wall time of a fixed CPU-bound spin, measured on this machine right
 /// now (best of three to dodge scheduler noise). Recorded in every run
@@ -182,6 +190,19 @@ impl RunReport {
 
     /// Record one finished experiment and the events captured while it ran.
     pub fn record(&mut self, id: &str, wall_ns: u64, events: &[Event]) {
+        self.record_with_spans(id, wall_ns, events, &[]);
+    }
+
+    /// [`RunReport::record`], additionally folding profiler spans captured
+    /// during the experiment into a per-operator time-attribution table
+    /// (top [`ATTRIBUTION_TOP`] rows by self-time).
+    pub fn record_with_spans(
+        &mut self,
+        id: &str,
+        wall_ns: u64,
+        events: &[Event],
+        spans: &[CompletedSpan],
+    ) {
         let mut phases = Vec::new();
         let mut eps_charged = 0.0;
         for ev in events {
@@ -223,12 +244,53 @@ impl RunReport {
         self.registry
             .histogram("experiment.wall_ns")
             .record_ns(wall_ns);
+        let mut rows = attribution(spans);
+        rows.truncate(ATTRIBUTION_TOP);
         self.runs.push(ExperimentRun {
             id: id.to_string(),
             wall_ns,
             eps_charged,
             phases,
+            attribution: rows,
         });
+    }
+
+    /// The human-readable per-operator time-attribution report: for each
+    /// profiled experiment, where the wall-clock actually went (self time,
+    /// i.e. excluding nested spans), descending. Empty string when no run
+    /// was profiled.
+    pub fn render_attribution_report(&self) -> String {
+        if self.runs.iter().all(|r| r.attribution.is_empty()) {
+            return String::new();
+        }
+        let mut t = Table::new(&["experiment", "operator", "count", "total", "self", "self%"]);
+        for run in &self.runs {
+            let profiled: u64 = run.attribution.iter().map(|r| r.self_ns).sum();
+            for (i, row) in run.attribution.iter().enumerate() {
+                let share = if profiled == 0 {
+                    0.0
+                } else {
+                    row.self_ns as f64 / profiled as f64
+                };
+                t.row(vec![
+                    if i == 0 {
+                        run.id.clone()
+                    } else {
+                        String::new()
+                    },
+                    row.name.clone(),
+                    row.count.to_string(),
+                    ms(row.total_ns),
+                    ms(row.self_ns),
+                    pct(share),
+                ]);
+            }
+        }
+        format!(
+            "{}{}",
+            header("profile", "per-operator self-time attribution"),
+            t.render()
+        )
     }
 
     /// The human-readable per-phase ε/latency budget report.
@@ -285,6 +347,20 @@ impl RunReport {
                     escape(&p.name),
                     number(p.eps_spent),
                     p.wall_ns
+                ));
+            }
+            out.push_str("],");
+            out.push_str("\"attribution\":[");
+            for (j, a) in run.attribution.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"name\":{},\"count\":{},\"total_ns\":{},\"self_ns\":{}}}",
+                    escape(&a.name),
+                    a.count,
+                    a.total_ns,
+                    a.self_ns
                 ));
             }
             out.push_str("]}");
@@ -428,6 +504,81 @@ mod tests {
         let end = json[start..].find('}').unwrap() + start + 1;
         let parsed = dpnet_obs::json::parse_flat_object(&json[start..end]).unwrap();
         assert_eq!(parsed["eps_spent"].as_f64(), Some(0.5));
+    }
+
+    fn sample_spans() -> Vec<CompletedSpan> {
+        let span = |id: u64, parent: Option<u64>, name: &'static str, dur: u64, child: u64| {
+            CompletedSpan {
+                id,
+                parent,
+                name,
+                detail: None,
+                track: 1,
+                start_ns: id,
+                dur_ns: dur,
+                child_ns: child,
+                #[cfg(feature = "trusted-owner")]
+                records: 0,
+            }
+        };
+        vec![
+            span(1, None, "noisy_count", 900, 700),
+            span(2, Some(1), "plan/materialize", 700, 0),
+            span(3, None, "noisy_median", 80, 0),
+        ]
+    }
+
+    #[test]
+    fn run_report_folds_spans_into_attribution() {
+        let mut r = RunReport::new("test");
+        r.record_with_spans("fig1", 1_000, &[], &sample_spans());
+        let run = &r.runs[0];
+        assert_eq!(run.attribution.len(), 3);
+        // Sorted by self time: the plan materialization dominates.
+        assert_eq!(run.attribution[0].name, "plan/materialize");
+        assert_eq!(run.attribution[0].self_ns, 700);
+        assert_eq!(run.attribution[1].name, "noisy_count");
+        assert_eq!(run.attribution[1].self_ns, 200);
+        let text = r.render_attribution_report();
+        assert!(text.contains("plan/materialize"));
+        assert!(text.contains("self%"));
+        let json = r.to_json();
+        assert!(json.contains("\"attribution\":[{\"name\":\"plan/materialize\""));
+        assert!(json.contains("\"self_ns\":700"));
+    }
+
+    #[test]
+    fn unprofiled_reports_have_empty_attribution() {
+        let mut r = RunReport::new("test");
+        r.record("fig1", 1_000, &[]);
+        assert!(r.runs[0].attribution.is_empty());
+        assert_eq!(r.render_attribution_report(), "");
+        assert!(r.to_json().contains("\"attribution\":[]"));
+    }
+
+    #[test]
+    fn attribution_is_capped_at_the_top_rows() {
+        let mut spans = Vec::new();
+        for i in 0..25u64 {
+            spans.push(CompletedSpan {
+                id: i + 1,
+                parent: None,
+                // Distinct static names: leak a tiny string per test run.
+                name: Box::leak(format!("op{i}").into_boxed_str()),
+                detail: None,
+                track: 1,
+                start_ns: i,
+                dur_ns: 1000 - i,
+                child_ns: 0,
+                #[cfg(feature = "trusted-owner")]
+                records: 0,
+            });
+        }
+        let mut r = RunReport::new("test");
+        r.record_with_spans("x", 1, &[], &spans);
+        assert_eq!(r.runs[0].attribution.len(), ATTRIBUTION_TOP);
+        // The kept rows are the largest self-times.
+        assert_eq!(r.runs[0].attribution[0].self_ns, 1000);
     }
 
     #[test]

@@ -315,6 +315,74 @@ pub fn classify_cmd(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// `dpnet profile <experiment> [--workers N] [--trace-out FILE]
+/// [--max-overhead R] [--report-dir DIR]` — run one paper experiment with
+/// the span profiler installed, write the attribution-bearing
+/// `BENCH_<experiment>-wN.json` report, and optionally a Chrome-trace
+/// JSON loadable in Perfetto (`ui.perfetto.dev`) or `chrome://tracing`.
+pub fn profile_cmd(args: &Args) -> Result<String, String> {
+    use dpnet_bench::profile::{run_profiled, ProfileConfig, IDS};
+    use std::path::PathBuf;
+
+    let experiment = args.positional(0, "experiment")?;
+    if !IDS.contains(&experiment) {
+        return Err(format!(
+            "unknown experiment '{experiment}' (one of: {})",
+            IDS.join(" ")
+        ));
+    }
+    let workers: usize = args.flag_or("workers", 1usize)?;
+    let max_overhead = match args.flags.get("max-overhead") {
+        Some(raw) => Some(
+            raw.parse::<f64>()
+                .map_err(|_| format!("invalid value '{raw}' for --max-overhead"))?,
+        ),
+        None => None,
+    };
+    let cfg = ProfileConfig {
+        experiment: experiment.to_string(),
+        workers,
+        report_dir: PathBuf::from(
+            args.flags
+                .get("report-dir")
+                .map(String::as_str)
+                .unwrap_or("bench-reports"),
+        ),
+        trace_out: args.flags.get("trace-out").map(PathBuf::from),
+        max_overhead,
+    };
+    let outcome = run_profiled(&cfg)?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", outcome.output.trim_end());
+    if !outcome.attribution.is_empty() {
+        let _ = writeln!(out, "\n{}", outcome.attribution.trim_end());
+    }
+    let _ = writeln!(
+        out,
+        "\nprofiled {experiment} at {workers} worker(s): {} spans in {:.1} ms",
+        outcome.spans,
+        outcome.profiled_wall_ns as f64 / 1e6
+    );
+    if let (Some(base), Some(overhead)) = (outcome.baseline_wall_ns, outcome.overhead()) {
+        let _ = writeln!(
+            out,
+            "profiler overhead: {:+.1}% (unprofiled baseline {:.1} ms)",
+            overhead * 100.0,
+            base as f64 / 1e6
+        );
+    }
+    let _ = writeln!(out, "run report: {}", outcome.report_path.display());
+    if let Some(trace) = &outcome.trace_path {
+        let _ = writeln!(
+            out,
+            "trace: {} (load in ui.perfetto.dev or chrome://tracing)",
+            trace.display()
+        );
+    }
+    Ok(out)
+}
+
 /// Usage text.
 pub fn usage() -> String {
     "dpnet — differentially-private network trace analysis\n\
@@ -330,7 +398,10 @@ pub fn usage() -> String {
        classify <file> [--rules FILE] [--budget E] [--eps E] [--seed N] [--audit-out FILE]\n\
                 private per-rule traffic shares\n\
        audit    <file> <query> [--budget E] [--eps E] [--seed N] [--label L] [--out FILE]\n\
-                run a query, then print the owner-side per-operator \u{3b5} ledger\n"
+                run a query, then print the owner-side per-operator \u{3b5} ledger\n\
+       profile  <experiment> [--workers N] [--trace-out FILE] [--max-overhead R]\n\
+                run a paper experiment under the span profiler; writes\n\
+                bench-reports/BENCH_<experiment>-wN.json and a Perfetto trace\n"
         .to_string()
 }
 
@@ -347,6 +418,16 @@ mod tests {
         let dir = std::env::temp_dir().join("dpnet-cli-tests");
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn profile_rejects_unknown_experiments_and_bad_flags() {
+        let err = profile_cmd(&args(&["profile", "nope"])).unwrap_err();
+        assert!(err.contains("unknown experiment"), "{err}");
+        assert!(err.contains("fig1"), "error should list valid ids: {err}");
+        let err = profile_cmd(&args(&["profile", "fig1", "--max-overhead", "lots"])).unwrap_err();
+        assert!(err.contains("--max-overhead"), "{err}");
+        assert!(profile_cmd(&args(&["profile"])).is_err());
     }
 
     #[test]

@@ -23,6 +23,7 @@ fn main() {
         "analyze" => commands::analyze_cmd(&parsed),
         "classify" => commands::classify_cmd(&parsed),
         "audit" => commands::audit_cmd(&parsed),
+        "profile" => commands::profile_cmd(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::usage());
             return;

@@ -47,6 +47,8 @@ pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod sink;
+pub mod span;
+pub mod trace_export;
 
 pub use clock::{now_ns, unix_time_s, SpanTimer};
 pub use event::{
@@ -57,3 +59,8 @@ pub use sink::{
     emit_exec_global, emit_phase_global, global_sink, set_global_sink, EventSink, JsonlSink,
     MemorySink, NullSink, SinkHandle,
 };
+pub use span::{
+    attribution, install_recorder, profiling_enabled, uninstall_recorder, AttributionRow,
+    CompletedSpan, SpanGuard, TraceRecorder,
+};
+pub use trace_export::{chrome_trace_json, write_chrome_trace};

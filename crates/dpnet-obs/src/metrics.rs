@@ -39,8 +39,9 @@ impl Counter {
 }
 
 /// Number of power-of-two latency buckets: bucket `i` holds samples in
-/// `[2^(i-1), 2^i)` ns (bucket 0 holds `0..1` ns), topping out above 2⁴⁰ ns
-/// ≈ 18 minutes, far beyond any span the engine times.
+/// `[2^(i-1), 2^i)` ns (bucket 0 holds `0..1` ns). The last bucket is an
+/// unbounded overflow bucket: every sample at or above 2⁴⁰ ns ≈ 18 minutes
+/// lands there, so nothing is ever dropped however extreme the duration.
 pub const HISTOGRAM_BUCKETS: usize = 42;
 
 /// A fixed-bucket (power-of-two) histogram of nanosecond durations.
@@ -67,9 +68,12 @@ fn bucket_index(ns: u64) -> usize {
     ((64 - ns.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
 }
 
-/// Upper bound (exclusive) of bucket `i` in nanoseconds.
+/// Upper bound (exclusive) of bucket `i` in nanoseconds. The last bucket is
+/// the unbounded overflow bucket, so its bound reports as `u64::MAX` —
+/// quantiles landing there clamp instead of claiming a 2⁴¹ ns ceiling the
+/// samples may well exceed.
 fn bucket_upper_ns(i: usize) -> u64 {
-    if i >= 63 {
+    if i >= HISTOGRAM_BUCKETS - 1 {
         u64::MAX
     } else {
         1u64 << i
@@ -82,9 +86,15 @@ impl Histogram {
         Histogram::default()
     }
 
-    /// Record one duration in nanoseconds.
+    /// Record one duration in nanoseconds. Durations above the top bucket
+    /// boundary count into the overflow bucket — never dropped.
     pub fn record_ns(&self, ns: u64) {
-        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        let idx = bucket_index(ns);
+        debug_assert!(
+            idx < HISTOGRAM_BUCKETS,
+            "bucket index {idx} out of range for {ns}ns"
+        );
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
     }
@@ -288,6 +298,27 @@ mod tests {
         // p100 lands in the bucket containing 1ms.
         assert!(h.quantile_ns(1.0) >= 1_000_000);
         assert!((h.mean_ns() - 200_020.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn values_above_the_top_bucket_clamp_into_the_overflow_bucket() {
+        let h = Histogram::new();
+        h.record_ns(1u64 << 45); // above the 2^41 top-bucket boundary
+        h.record_ns(u64::MAX); // extreme value: must neither panic nor drop
+        h.record_ns(10);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(
+            snap.buckets.iter().sum::<u64>(),
+            snap.count,
+            "overflow samples must be counted in a bucket"
+        );
+        assert_eq!(snap.buckets[HISTOGRAM_BUCKETS - 1], 2);
+        // Percentiles that land in the overflow bucket clamp to u64::MAX
+        // (the bucket is unbounded) instead of reporting a 2^41 ceiling.
+        assert_eq!(snap.quantile_ns(1.0), u64::MAX);
+        assert_eq!(snap.quantile_ns(0.67), u64::MAX);
+        assert!(snap.quantile_ns(0.01) <= 16, "small sample mis-bucketed");
     }
 
     #[test]

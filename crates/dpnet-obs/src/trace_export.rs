@@ -1,0 +1,163 @@
+//! Chrome trace-event export for completed spans.
+//!
+//! Writes the JSON object format understood by `chrome://tracing` and
+//! Perfetto (<https://ui.perfetto.dev>): a `traceEvents` array of complete
+//! (`"ph":"X"`) events, one per [`CompletedSpan`], with timestamps and
+//! durations in *microseconds* (fractional — the format takes floats, so
+//! nanosecond precision survives). Each span track becomes one `tid` lane
+//! under a single `pid`, named through `"ph":"M"` `thread_name` metadata
+//! events where [`crate::span::set_track_name`] registered a name.
+//!
+//! The exporter serializes exactly what the spans carry, so the crate's
+//! privacy-safety rule flows through unchanged: in default builds a trace
+//! file contains names, details, links and timings — never record counts.
+
+use crate::json::{escape, number};
+use crate::span::CompletedSpan;
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::sync::Arc;
+
+fn us(ns: u64) -> String {
+    number(ns as f64 / 1000.0)
+}
+
+/// Write `spans` as one Chrome trace-event JSON document. `track_names`
+/// maps track ids to display names (see
+/// [`TraceRecorder::track_names`](crate::span::TraceRecorder::track_names));
+/// unnamed tracks display as `track-<id>`.
+pub fn write_chrome_trace<W: Write>(
+    mut w: W,
+    spans: &[CompletedSpan],
+    track_names: &BTreeMap<u64, Arc<str>>,
+) -> io::Result<()> {
+    write!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+    let mut first = true;
+    let sep = |w: &mut W, first: &mut bool| -> io::Result<()> {
+        if *first {
+            *first = false;
+            Ok(())
+        } else {
+            write!(w, ",")
+        }
+    };
+
+    // One thread_name metadata event per track that appears in the data.
+    let mut tracks: Vec<u64> = spans.iter().map(|s| s.track).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+    for track in &tracks {
+        let name: String = match track_names.get(track) {
+            Some(n) => n.to_string(),
+            None => format!("track-{track}"),
+        };
+        sep(&mut w, &mut first)?;
+        write!(
+            w,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{track},\"args\":{{\"name\":{}}}}}",
+            escape(&name)
+        )?;
+    }
+
+    for s in spans {
+        sep(&mut w, &mut first)?;
+        write!(
+            w,
+            "{{\"name\":{},\"cat\":\"dpnet\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"id\":{}",
+            escape(s.name),
+            us(s.start_ns),
+            us(s.dur_ns),
+            s.track,
+            s.id,
+        )?;
+        if let Some(parent) = s.parent {
+            write!(w, ",\"parent\":{parent}")?;
+        }
+        write!(w, ",\"self_us\":{}", us(s.self_ns()))?;
+        if let Some(detail) = &s.detail {
+            write!(w, ",\"detail\":{}", escape(detail))?;
+        }
+        #[cfg(feature = "trusted-owner")]
+        write!(w, ",\"records\":{}", s.records)?;
+        write!(w, "}}}}")?;
+    }
+    write!(w, "]}}")?;
+    w.flush()
+}
+
+/// [`write_chrome_trace`] into a `String`.
+pub fn chrome_trace_json(spans: &[CompletedSpan], track_names: &BTreeMap<u64, Arc<str>>) -> String {
+    let mut buf = Vec::new();
+    write_chrome_trace(&mut buf, spans, track_names).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("exporter emits UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: Option<u64>, name: &'static str, track: u64) -> CompletedSpan {
+        CompletedSpan {
+            id,
+            parent,
+            name,
+            detail: if id == 1 {
+                Some(Arc::from("scale(x2)/root"))
+            } else {
+                None
+            },
+            track,
+            start_ns: 1_500 * id,
+            dur_ns: 2_250,
+            child_ns: 0,
+            #[cfg(feature = "trusted-owner")]
+            records: 7,
+        }
+    }
+
+    #[test]
+    fn trace_has_complete_events_and_thread_names() {
+        let spans = vec![span(1, None, "outer", 3), span(2, Some(1), "inner", 4)];
+        let mut names = BTreeMap::new();
+        names.insert(3u64, Arc::from("main"));
+        let json = chrome_trace_json(&spans, &names);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        // Metadata events for both tracks; the unnamed one gets a fallback.
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("{\"name\":\"main\"}"));
+        assert!(json.contains("{\"name\":\"track-4\"}"));
+        // Complete events in microseconds: 1500 ns → 1.5 µs, 2250 → 2.25.
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1.5,"));
+        assert!(json.contains("\"dur\":2.25,"));
+        assert!(json.contains("\"parent\":1"));
+        assert!(json.contains("\"detail\":\"scale(x2)/root\""));
+    }
+
+    #[test]
+    fn event_count_matches_spans_plus_tracks() {
+        let spans = vec![span(1, None, "a", 1), span(2, None, "b", 1)];
+        let json = chrome_trace_json(&spans, &BTreeMap::new());
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 1);
+        // Events are comma-separated (valid array syntax).
+        assert!(!json.contains("}{"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let json = chrome_trace_json(&[], &BTreeMap::new());
+        assert_eq!(json, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn default_trace_omits_record_counts() {
+        let json = chrome_trace_json(&[span(2, None, "k", 1)], &BTreeMap::new());
+        if cfg!(feature = "trusted-owner") {
+            assert!(json.contains("\"records\":7"));
+        } else {
+            assert!(!json.contains("records"), "data-dependent field in {json}");
+        }
+    }
+}

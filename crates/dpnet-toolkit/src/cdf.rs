@@ -28,6 +28,7 @@
 //! legacy `_with` variants remain as deprecated wrappers that bind the
 //! pool and delegate.
 
+use dpnet_obs::span;
 use dpnet_obs::{emit_phase_global, SpanTimer};
 use pinq::{ExecCtx, ExecPool, Queryable, Result};
 
@@ -56,6 +57,7 @@ pub fn noise_free_cdf(values: &[usize], n_buckets: usize) -> Vec<f64> {
 /// budget, each count gets only `budget/|buckets|`, and the paper's Figure 1
 /// shows the resulting error is "incredibly high".
 pub fn cdf_naive(data: &Queryable<usize>, n_buckets: usize, eps: f64) -> Result<Vec<f64>> {
+    let _prof = span::enter("cdf_naive");
     let timer = SpanTimer::start();
     let mut out = Vec::with_capacity(n_buckets);
     for b in 0..n_buckets {
@@ -88,6 +90,7 @@ pub fn cdf_naive_with(
 /// `O(√|buckets|)·√2/ε`, and the estimate tends to drift coherently (the
 /// paper notes a run may consistently under- or over-estimate).
 pub fn cdf_partition(data: &Queryable<usize>, n_buckets: usize, eps: f64) -> Result<Vec<f64>> {
+    let _prof = span::enter("cdf_partition");
     let timer = SpanTimer::start();
     let keys: Vec<usize> = (0..n_buckets).collect();
     let parts = data.partition(&keys, |&v| v)?;
@@ -128,6 +131,7 @@ pub fn cdf_hierarchical(data: &Queryable<usize>, n_buckets: usize, eps: f64) -> 
     if n_buckets == 0 {
         return Ok(Vec::new());
     }
+    let _prof = span::enter("cdf_hierarchical");
     let timer = SpanTimer::start();
     let max = n_buckets.next_power_of_two();
     // Drop out-of-range values so padding buckets stay empty.
@@ -317,27 +321,21 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn pool_variants_release_identical_values_and_charges() {
-        // The determinism contract, end to end: every estimator's deprecated
-        // `_with` wrapper (which binds an ExecCtx and delegates) matches the
-        // sequential path bit-for-bit at a fixed seed, for any worker count,
-        // with identical budget spends.
+        // The determinism contract, end to end: binding a pool `ExecCtx`
+        // matches the sequential path bit-for-bit at a fixed seed, for any
+        // worker count, with identical budget spends.
         let run = |workers: Option<usize>| -> (Vec<f64>, Vec<f64>, Vec<f64>, f64) {
             let (acct, q, _) = dataset(0xCDF, 1000.0);
-            let pool = workers.map(|w| ExecPool::new(w).unwrap());
-            let (c1, c2, c3) = match &pool {
-                None => (
-                    cdf_naive(&q, 32, 0.1).unwrap(),
-                    cdf_partition(&q, 32, 1.0).unwrap(),
-                    cdf_hierarchical(&q, 32, 0.5).unwrap(),
-                ),
-                Some(p) => (
-                    cdf_naive_with(&q, 32, 0.1, p).unwrap(),
-                    cdf_partition_with(&q, 32, 1.0, p).unwrap(),
-                    cdf_hierarchical_with(&q, 32, 0.5, p).unwrap(),
-                ),
+            let q = match workers {
+                None => q,
+                Some(w) => q.with_ctx(ExecCtx::pool(&ExecPool::new(w).unwrap())),
             };
+            let (c1, c2, c3) = (
+                cdf_naive(&q, 32, 0.1).unwrap(),
+                cdf_partition(&q, 32, 1.0).unwrap(),
+                cdf_hierarchical(&q, 32, 0.5).unwrap(),
+            );
             (c1, c2, c3, acct.spent())
         };
         let sequential = run(None);

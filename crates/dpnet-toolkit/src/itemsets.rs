@@ -348,7 +348,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // exercises the deprecated `_with` wrapper on purpose
     fn pool_mining_is_identical_for_any_worker_count() {
         let cfg = ItemsetConfig {
             universe: universe(),
@@ -358,10 +357,11 @@ mod tests {
         };
         let run = |workers: Option<usize>| {
             let (acct, q) = protect(dataset(), 100.0, 33);
-            let found = match workers {
-                None => frequent_itemsets(&q, &cfg).unwrap(),
-                Some(w) => frequent_itemsets_with(&q, &cfg, &ExecPool::new(w).unwrap()).unwrap(),
+            let q = match workers {
+                None => q,
+                Some(w) => q.with_ctx(ExecCtx::pool(&ExecPool::new(w).unwrap())),
             };
+            let found = frequent_itemsets(&q, &cfg).unwrap();
             (found, acct.spent())
         };
         let sequential = run(None);

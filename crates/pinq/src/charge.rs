@@ -90,6 +90,31 @@ impl ChargeNode {
         }
     }
 
+    /// Render the static charge path from this node to its root(s) without
+    /// charging anything — the same segments `charge_with` would narrate,
+    /// composed leaf-to-root (e.g. `"scale(x2)/part[3]/root"`). Used to tag
+    /// profiler spans with the provenance an aggregation *would* charge
+    /// through; pure metadata, safe on the analyst side.
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            ChargeNode::Root(_) => "root".to_string(),
+            ChargeNode::Scaled { parent, factor } => {
+                format!("scale(x{factor})/{}", parent.describe())
+            }
+            ChargeNode::Combined(parents) => {
+                let inner: Vec<String> = parents
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| format!("in[{i}]:{}", p.describe()))
+                    .collect();
+                format!("({})", inner.join("+"))
+            }
+            ChargeNode::PartitionPart { ledger, index } => {
+                format!("part[{index}]/{}", ledger.parent().describe())
+            }
+        }
+    }
+
     /// Undo a previous successful `charge(eps)`.
     #[cfg(test)]
     pub(crate) fn refund(&self, eps: f64) {
@@ -207,6 +232,25 @@ mod tests {
         assert_eq!(&*log[0].operator, "noisy_count");
         assert_eq!(&*log[0].path, "scale(x2)/root");
         assert_eq!(log[0].label.as_deref(), Some("ports"));
+    }
+
+    #[test]
+    fn describe_renders_static_paths_without_charging() {
+        let acct = Accountant::new(10.0);
+        let root = Arc::new(ChargeNode::Root(acct.clone()));
+        assert_eq!(root.describe(), "root");
+        let scaled = Arc::new(ChargeNode::Scaled {
+            parent: root.clone(),
+            factor: 2.0,
+        });
+        assert_eq!(scaled.describe(), "scale(x2)/root");
+        let combined = ChargeNode::Combined(vec![root.clone(), scaled.clone()]);
+        assert_eq!(combined.describe(), "(in[0]:root+in[1]:scale(x2)/root)");
+        let ledger = Arc::new(crate::partition::PartitionLedger::new(scaled, 4));
+        let part = ChargeNode::PartitionPart { ledger, index: 3 };
+        assert_eq!(part.describe(), "part[3]/scale(x2)/root");
+        // Describing is free: nothing was spent anywhere.
+        assert_eq!(acct.spent(), 0.0);
     }
 
     #[test]

@@ -39,9 +39,50 @@
 //! budget/ledger types are already thread-safe for the concurrent spends.
 
 use crate::error::{Error, Result};
+use dpnet_obs::span;
+use dpnet_obs::{Histogram, MetricsRegistry};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Metric handles a profiled pool run resolves once (registry lookups are a
+/// mutex + map walk — fine per run, not per task). Only materialized when
+/// [`dpnet_obs::profiling_enabled`]; unprofiled runs skip every lookup.
+struct RunTelemetry {
+    /// Per worker per run: ns spent inside task closures.
+    busy: Arc<Histogram>,
+    /// Per worker per run: worker wall-clock minus busy time (claim
+    /// contention plus scheduling tail).
+    idle: Arc<Histogram>,
+    /// Per run: ns spent draining the result channel into ordered slots
+    /// after the workers joined.
+    reassembly: Arc<Histogram>,
+    /// Tasks claimed beyond a worker's fair share ⌊n/threads⌋ — the
+    /// work-stealing analog. Task counts are data-dependent (input sizes
+    /// leak through them), so owner-side builds only.
+    #[cfg(feature = "trusted-owner")]
+    steals: Arc<dpnet_obs::Counter>,
+    /// Unclaimed tasks remaining at each claim. Data-dependent, as above.
+    #[cfg(feature = "trusted-owner")]
+    queue_depth: Arc<Histogram>,
+}
+
+impl RunTelemetry {
+    fn resolve() -> Self {
+        let reg = MetricsRegistry::global();
+        RunTelemetry {
+            busy: reg.histogram("exec.worker.busy_ns"),
+            idle: reg.histogram("exec.worker.idle_ns"),
+            reassembly: reg.histogram("exec.reassembly_wait_ns"),
+            #[cfg(feature = "trusted-owner")]
+            steals: reg.counter("exec.steals"),
+            #[cfg(feature = "trusted-owner")]
+            queue_depth: reg.histogram("exec.queue_depth"),
+        }
+    }
+}
 
 /// Default number of records per chunk for chunked kernels. Chosen large
 /// enough that per-task overhead (claim, channel send) is negligible and
@@ -147,38 +188,91 @@ impl ExecPool {
             return Vec::new();
         }
         let threads = self.workers.min(n);
+        // One relaxed atomic load; everything telemetry-related hides
+        // behind it so the unprofiled path stays byte-for-byte the old one.
+        let profiled = span::profiling_enabled();
         if threads == 1 {
-            return (0..n).map(f).collect();
+            if !profiled {
+                return (0..n).map(f).collect();
+            }
+            let _run = span::enter("exec/run");
+            return (0..n)
+                .map(|i| {
+                    let _task = span::enter("exec/task");
+                    f(i)
+                })
+                .collect();
         }
 
+        let _run = profiled.then(|| span::enter("exec/run"));
+        let telemetry = profiled.then(RunTelemetry::resolve);
+        let fair_share = n / threads;
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, R)>();
         std::thread::scope(|scope| {
-            for _ in 0..threads {
+            for w in 0..threads {
                 let tx = tx.clone();
                 let next = &next;
                 let f = &f;
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                let telemetry = telemetry.as_ref();
+                scope.spawn(move || {
+                    let started = Instant::now();
+                    let mut busy_ns = 0u64;
+                    let mut claims = 0usize;
+                    if telemetry.is_some() {
+                        span::set_track_name(&format!("worker-{w}"));
                     }
-                    // The receiver outlives the scope, so a send can only
-                    // fail if it was dropped early — which it never is.
-                    let _ = tx.send((i, f(i)));
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        claims += 1;
+                        // The receiver outlives the scope, so a send can
+                        // only fail if it was dropped early — never is.
+                        if let Some(t) = telemetry {
+                            #[cfg(feature = "trusted-owner")]
+                            t.queue_depth.record_ns((n - i) as u64);
+                            let _ = t;
+                            let task_start = Instant::now();
+                            let r = {
+                                let _task = span::enter("exec/task");
+                                f(i)
+                            };
+                            busy_ns += task_start.elapsed().as_nanos() as u64;
+                            let _ = tx.send((i, r));
+                        } else {
+                            let _ = tx.send((i, f(i)));
+                        }
+                    }
+                    if let Some(t) = telemetry {
+                        t.busy.record_ns(busy_ns);
+                        let wall_ns = started.elapsed().as_nanos() as u64;
+                        t.idle.record_ns(wall_ns.saturating_sub(busy_ns));
+                        #[cfg(feature = "trusted-owner")]
+                        if claims > fair_share {
+                            t.steals.add((claims - fair_share) as u64);
+                        }
+                    }
+                    let _ = (claims, fair_share);
                 });
             }
         });
         drop(tx);
 
+        let drain_start = telemetry.as_ref().map(|_| Instant::now());
         let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
         for (i, r) in rx {
             slots[i] = Some(r);
         }
-        slots
+        let out: Vec<R> = slots
             .into_iter()
             .map(|s| s.expect("every task index is claimed exactly once"))
-            .collect()
+            .collect();
+        if let (Some(t), Some(at)) = (&telemetry, drain_start) {
+            t.reassembly.record_ns(at.elapsed().as_nanos() as u64);
+        }
+        out
     }
 }
 

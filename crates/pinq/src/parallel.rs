@@ -67,6 +67,8 @@ where
     R: Send,
     F: Fn(&Queryable<T>) -> R + Send + Sync,
 {
+    let prof = dpnet_obs::span::enter("map_parts");
+    prof.set_records(parts.len() as u64);
     let timer = dpnet_obs::SpanTimer::start();
     let staged: Vec<Queryable<T>> = parts.iter().map(|p| p.with_substream()).collect();
     let out = pool.run(&staged, |_, part| f(part));

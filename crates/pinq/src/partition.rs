@@ -35,6 +35,12 @@ impl PartitionLedger {
         }
     }
 
+    /// The node this ledger forwards max-increases to (for static charge
+    /// path rendering — see [`ChargeNode::describe`]).
+    pub(crate) fn parent(&self) -> &Arc<ChargeNode> {
+        &self.parent
+    }
+
     fn current_max(spends: &[f64]) -> f64 {
         spends.iter().cloned().fold(0.0, f64::max)
     }

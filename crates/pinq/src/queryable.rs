@@ -43,6 +43,7 @@ use crate::plan::{LazyPlan, View};
 use crate::rng::NoiseSource;
 use crate::types::{Group, JoinGroup};
 use dpnet_obs::sink::SinkHandle;
+use dpnet_obs::span;
 use dpnet_obs::{
     now_ns, AggregateEvent, Event, ExecEvent, Outcome, PlanEvent, SpanTimer, TransformEvent,
 };
@@ -227,6 +228,7 @@ impl<T> Queryable<T> {
         match &self.data {
             Data::Ready(a) => a.clone(),
             Data::Lazy(plan) => {
+                let prof = span::enter_with("plan/materialize", || self.ctx.mode().to_string());
                 let t = SpanTimer::start();
                 let mut fresh = false;
                 let out = match &self.ctx {
@@ -234,6 +236,7 @@ impl<T> Queryable<T> {
                     ExecCtx::Pool(pool) => plan.force_pool(pool, &mut fresh),
                 };
                 if fresh {
+                    prof.set_records(out.len() as u64);
                     self.emit_plan(plan.fused(), t.elapsed_ns(), plan.source_len(), out.len());
                 }
                 out
@@ -427,6 +430,14 @@ impl<T> Queryable<T> {
                 tasks: tasks as u64,
             })
         });
+    }
+
+    /// Open a profiler span for an aggregation barrier, tagged with the
+    /// static charge path the spend would narrate (e.g.
+    /// `"part[3]/scale(x2)/root"`). Pure privacy metadata; when profiling
+    /// is disabled this is one relaxed atomic load and nothing formats.
+    fn agg_span(&self, name: &'static str) -> span::SpanGuard {
+        span::enter_with(name, || self.charge.describe())
     }
 
     // ------------------------------------------------------------------
@@ -787,12 +798,14 @@ impl<T> Queryable<T> {
         K: Eq + Hash + Clone + Sync,
         T: Clone + Send + Sync,
     {
+        let prof = self.agg_span("partition");
         let t = SpanTimer::start();
         let index_of: HashMap<&K, usize> = keys.iter().enumerate().map(|(i, k)| (k, i)).collect();
         if index_of.len() != keys.len() {
             return Err(Error::DuplicatePartitionKeys);
         }
         let records = self.records();
+        prof.set_records(records.len() as u64);
         let parts: Vec<Vec<T>> = match &self.ctx {
             ExecCtx::Sequential => {
                 let mut parts: Vec<Vec<T>> = (0..keys.len()).map(|_| Vec::new()).collect();
@@ -801,6 +814,9 @@ impl<T> Queryable<T> {
                         parts[i].push(r.clone());
                     }
                 }
+                // Sequential runs are still runs: one kernel event with
+                // `workers: 1`, so event streams cover both modes.
+                self.emit_exec("partition", 1, 1, t.elapsed_ns());
                 parts
             }
             ExecCtx::Pool(pool) => {
@@ -870,8 +886,10 @@ impl<T> Queryable<T> {
     where
         T: Send + Sync,
     {
+        let prof = self.agg_span("noisy_count");
         let t = SpanTimer::start();
         let records = self.records();
+        prof.set_records(records.len() as u64);
         let r = self
             .pay(eps, "noisy_count")
             .and_then(|()| aggregates::noisy_count(&self.noise, records.len(), eps));
@@ -892,8 +910,10 @@ impl<T> Queryable<T> {
     where
         T: Send + Sync,
     {
+        let prof = self.agg_span("noisy_count_int");
         let t = SpanTimer::start();
         let records = self.records();
+        prof.set_records(records.len() as u64);
         let r = self
             .pay(eps, "noisy_count_int")
             .and_then(|()| aggregates::noisy_count_int(&self.noise, records.len(), eps));
@@ -936,8 +956,10 @@ impl<T> Queryable<T> {
     where
         T: Send + Sync,
     {
+        let prof = self.agg_span("noisy_sum");
         let t = SpanTimer::start();
         let records = self.records();
+        prof.set_records(records.len() as u64);
         let r = (|| {
             if !(bound.is_finite() && bound > 0.0) {
                 return Err(Error::InvalidRange {
@@ -948,7 +970,10 @@ impl<T> Queryable<T> {
             self.pay(eps, "noisy_sum")?;
             match &self.ctx {
                 ExecCtx::Sequential => {
-                    aggregates::noisy_sum(&self.noise, records.iter().map(&f), bound, eps)
+                    let r = aggregates::noisy_sum(&self.noise, records.iter().map(&f), bound, eps);
+                    // Sequential runs still emit a kernel event: workers 1.
+                    self.emit_exec("noisy_sum", 1, 1, t.elapsed_ns());
+                    r
                 }
                 ExecCtx::Pool(pool) => {
                     let ranges = pool.chunks(records.len());
@@ -990,8 +1015,10 @@ impl<T> Queryable<T> {
     where
         T: Send + Sync,
     {
+        let prof = self.agg_span("noisy_sum_vector");
         let t = SpanTimer::start();
         let records = self.records();
+        prof.set_records(records.len() as u64);
         let r = (|| {
             if !(l1_bound.is_finite() && l1_bound > 0.0) {
                 return Err(Error::InvalidRange {
@@ -1022,8 +1049,10 @@ impl<T> Queryable<T> {
     where
         T: Send + Sync,
     {
+        let prof = self.agg_span("noisy_average");
         let t = SpanTimer::start();
         let records = self.records();
+        prof.set_records(records.len() as u64);
         let r = self
             .pay(eps, "noisy_average")
             .and_then(|()| aggregates::noisy_average(&self.noise, records.iter().map(f), eps));
@@ -1071,8 +1100,10 @@ impl<T> Queryable<T> {
         K: Eq + Hash,
         T: Send + Sync,
     {
+        let prof = self.agg_span("most_common_key");
         let t = SpanTimer::start();
         let records = self.records();
+        prof.set_records(records.len() as u64);
         let r = (|| {
             if candidates.is_empty() {
                 return Err(Error::EmptyCandidates);
@@ -1119,8 +1150,10 @@ impl<T> Queryable<T> {
     where
         T: Send + Sync,
     {
+        let prof = self.agg_span("noisy_median");
         let t = SpanTimer::start();
         let records = self.records();
+        prof.set_records(records.len() as u64);
         let r = (|| {
             if lo >= hi || !lo.is_finite() || !hi.is_finite() {
                 return Err(Error::InvalidRange { lo, hi });
@@ -1130,7 +1163,12 @@ impl<T> Queryable<T> {
             }
             self.pay(eps, "noisy_median")?;
             let values: Vec<f64> = match &self.ctx {
-                ExecCtx::Sequential => records.iter().map(&f).collect(),
+                ExecCtx::Sequential => {
+                    let values: Vec<f64> = records.iter().map(&f).collect();
+                    // Sequential runs still emit a kernel event: workers 1.
+                    self.emit_exec("noisy_median", 1, 1, t.elapsed_ns());
+                    values
+                }
                 ExecCtx::Pool(pool) => {
                     let ranges = pool.chunks(records.len());
                     let chunks: Vec<Vec<f64>> = pool.run(&ranges, |_, rg| {

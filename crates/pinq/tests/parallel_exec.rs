@@ -2,13 +2,9 @@
 //! the last ε of a shared budget must never oversubscribe it, and the
 //! composition rules (sequential sum, parallel max-of-parts) must hold
 //! regardless of scheduling.
-//!
-//! The kernel-determinism test deliberately exercises the deprecated
-//! `_with` operator twins to pin their delegation to the `ExecCtx` path.
-#![allow(deprecated)]
 
 use pinq::parallel::parallel_map_parts_with;
-use pinq::{Accountant, ExecPool, NoiseSource, Queryable};
+use pinq::{Accountant, ExecCtx, ExecPool, NoiseSource, Queryable};
 use proptest::prelude::*;
 
 fn protect(n: usize, budget: f64, seed: u64) -> (Accountant, Queryable<u32>) {
@@ -69,16 +65,15 @@ fn kernel_released_values_are_identical_for_workers_1_2_8() {
     let run = |workers: usize| {
         let (acct, q) = protect(10_000, 100.0, 0xD1CE);
         let pool = ExecPool::new(workers).unwrap().with_chunk_size(512);
+        let q = q.with_ctx(ExecCtx::pool(&pool));
         let count = q
-            .filter_with(|&v| v % 3 == 0, &pool)
-            .map_with(|&v| u64::from(v) * 2, &pool)
+            .filter(|&v| v % 3 == 0)
+            .map(|&v| u64::from(v) * 2)
             .noisy_count(0.5)
             .unwrap();
-        let sum = q
-            .noisy_sum_clamped_with(0.5, 100.0, |&v| f64::from(v), &pool)
-            .unwrap();
+        let sum = q.noisy_sum_clamped(0.5, 100.0, |&v| f64::from(v)).unwrap();
         let median = q
-            .noisy_median_with(0.5, 0.0, 10_000.0, 64, |&v| f64::from(v), &pool)
+            .noisy_median(0.5, 0.0, 10_000.0, 64, |&v| f64::from(v))
             .unwrap();
         (count, sum, median, acct.spent())
     };
