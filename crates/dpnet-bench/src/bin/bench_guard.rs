@@ -45,6 +45,14 @@
 //! the operator whose cost moved most is printed first, and each report's
 //! top-3 self-time operators are named. Informational: always exits 0
 //! unless a report cannot be read.
+//!
+//! `explain` diffs two `dpnet explain --format json` reports on their
+//! noise-independent content: the plan/charge structure (operators,
+//! normalized charge paths, call counts) and the *predicted* ε per
+//! aggregation site and per path. CI runs `dpnet explain fig1` and diffs
+//! it against the committed `GOLDEN_explain_fig1.json`: any drift in query
+//! structure or privacy-cost arithmetic fails the build, while noise draws
+//! and wall times cannot.
 
 use dpnet_bench::experiments as exp;
 use dpnet_bench::report::RunReport;
@@ -370,6 +378,18 @@ fn cmd_profile(a_path: &str, b_path: &str) -> i32 {
     };
     let a_cal = field_u64(&a_text, "calibration_ns").unwrap_or(1).max(1) as f64;
     let b_cal = field_u64(&b_text, "calibration_ns").unwrap_or(1).max(1) as f64;
+    // Reports written before the profiler existed have no attribution
+    // array at all; name the offending file instead of diffing nothing.
+    for (path, text) in [(a_path, &a_text), (b_path, &b_text)] {
+        if !text.contains("\"attribution\":[") {
+            eprintln!(
+                "bench_guard: {path} carries no attribution array — it was \
+                 not produced by a profiled run; regenerate it with \
+                 `dpnet profile <id>` or `repro --profile <id>`"
+            );
+            return 2;
+        }
+    }
     let a_rows = attribution_totals(&a_text);
     let b_rows = attribution_totals(&b_text);
     if a_rows.is_empty() && b_rows.is_empty() {
@@ -573,6 +593,158 @@ fn cmd_golden(current: &str, golden: &str) -> i32 {
     }
 }
 
+/// The noise-independent content of a `dpnet explain --format json`
+/// report: the experiment, the predicted ε totals, and the plan/charge
+/// structure (operators, normalized paths, call counts). Wall times,
+/// measured overlays, and anything analyze-only are deliberately not read.
+#[derive(Debug, Clone, PartialEq)]
+struct ExplainSemantics {
+    title: String,
+    predicted_total: f64,
+    /// `(operator, path, calls, requested_eps, predicted_eps)` per site.
+    aggregations: Vec<(String, String, u64, f64, f64)>,
+    /// `(path, calls, predicted_eps)` per normalized charge path.
+    paths: Vec<(String, u64, f64)>,
+}
+
+/// Parse one explain-JSON document into its semantic fields.
+fn explain_semantics(text: &str, origin: &str) -> Result<ExplainSemantics, String> {
+    use dpnet_obs::json::{parse_value, JsonValue};
+    let bad = |what: &str| format!("{origin}: not an explain report ({what})");
+    let doc = parse_value(text).ok_or_else(|| bad("unparseable JSON"))?;
+    let title = doc
+        .get("explain")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| bad("no explain title"))?
+        .to_string();
+    let predicted_total = doc
+        .get("predicted_total")
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| bad("no predicted_total"))?;
+    let str_of = |v: &JsonValue, key: &str| {
+        v.get(key)
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| bad(&format!("missing {key}")))
+    };
+    let num_of = |v: &JsonValue, key: &str| {
+        v.get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| bad(&format!("missing {key}")))
+    };
+    let mut aggregations = Vec::new();
+    for a in doc
+        .get("aggregations")
+        .and_then(JsonValue::items)
+        .ok_or_else(|| bad("no aggregations array"))?
+    {
+        aggregations.push((
+            str_of(a, "operator")?,
+            str_of(a, "path")?,
+            num_of(a, "calls")? as u64,
+            num_of(a, "requested_eps")?,
+            num_of(a, "predicted_eps")?,
+        ));
+    }
+    let mut paths = Vec::new();
+    for p in doc
+        .get("paths")
+        .and_then(JsonValue::items)
+        .ok_or_else(|| bad("no paths array"))?
+    {
+        paths.push((
+            str_of(p, "path")?,
+            num_of(p, "calls")? as u64,
+            num_of(p, "predicted_eps")?,
+        ));
+    }
+    Ok(ExplainSemantics {
+        title,
+        predicted_total,
+        aggregations,
+        paths,
+    })
+}
+
+/// Structural and predicted-ε drift between two explain reports, as
+/// printable messages (empty = match). Noise never enters the predicted
+/// fields, so exact structure plus 1e-9-relative ε equality is fair.
+fn explain_drift(cur: &ExplainSemantics, gold: &ExplainSemantics) -> Vec<String> {
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0);
+    let mut drift = Vec::new();
+    if cur.title != gold.title {
+        drift.push(format!(
+            "experiment '{}' vs golden '{}'",
+            cur.title, gold.title
+        ));
+    }
+    if !close(cur.predicted_total, gold.predicted_total) {
+        drift.push(format!(
+            "predicted_total {} vs golden {}",
+            cur.predicted_total, gold.predicted_total
+        ));
+    }
+    if cur.aggregations.len() != gold.aggregations.len() {
+        drift.push(format!(
+            "{} aggregation sites vs golden {}",
+            cur.aggregations.len(),
+            gold.aggregations.len()
+        ));
+    } else {
+        for (c, g) in cur.aggregations.iter().zip(&gold.aggregations) {
+            if c.0 != g.0 || c.1 != g.1 || c.2 != g.2 || !close(c.3, g.3) || !close(c.4, g.4) {
+                drift.push(format!("aggregation {c:?} vs golden {g:?}"));
+            }
+        }
+    }
+    if cur.paths.len() != gold.paths.len() {
+        drift.push(format!(
+            "{} charge paths vs golden {}",
+            cur.paths.len(),
+            gold.paths.len()
+        ));
+    } else {
+        for (c, g) in cur.paths.iter().zip(&gold.paths) {
+            if c.0 != g.0 || c.1 != g.1 || !close(c.2, g.2) {
+                drift.push(format!("path {c:?} vs golden {g:?}"));
+            }
+        }
+    }
+    drift
+}
+
+fn cmd_explain(current: &str, golden: &str) -> i32 {
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let parsed = read(current)
+        .and_then(|c| explain_semantics(&c, current))
+        .and_then(|c| Ok((c, read(golden).and_then(|g| explain_semantics(&g, golden))?)));
+    let (cur, gold) = match parsed {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let drift = explain_drift(&cur, &gold);
+    if drift.is_empty() {
+        println!(
+            "[ok] {}: {} aggregation sites, {} charge paths, predicted ε {} match the golden fixture",
+            gold.title,
+            gold.aggregations.len(),
+            gold.paths.len(),
+            gold.predicted_total
+        );
+        0
+    } else {
+        for d in &drift {
+            eprintln!("[DRIFT] {d}");
+        }
+        eprintln!("bench_guard: explain drift against the golden fixture");
+        1
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
@@ -613,6 +785,7 @@ fn main() {
         }
         Some("golden") if args.len() >= 3 => cmd_golden(&args[1], &args[2]),
         Some("profile") if args.len() >= 3 => cmd_profile(&args[1], &args[2]),
+        Some("explain") if args.len() >= 3 => cmd_explain(&args[1], &args[2]),
         _ => {
             eprintln!(
                 "usage: bench_guard compare <current.json> <baseline.json> [--threshold 0.25]\n\
@@ -620,7 +793,8 @@ fn main() {
                  \x20      bench_guard kernel-speedup [--workers 4] [--min 1.5]\n\
                  \x20      bench_guard record [--out bench-reports] [<id> ...]\n\
                  \x20      bench_guard golden <current.json> <golden.json>\n\
-                 \x20      bench_guard profile <a.json> <b.json>"
+                 \x20      bench_guard profile <a.json> <b.json>\n\
+                 \x20      bench_guard explain <current.json> <golden.json>"
             );
             2
         }
@@ -689,6 +863,49 @@ mod tests {
         );
         assert_eq!(rows["plan/materialize"].self_ns, 600);
         assert!(attribution_totals(r#"{"experiments":[{"id":"a","attribution":[]}]}"#).is_empty());
+    }
+
+    const EXPLAIN_SAMPLE: &str = r#"{"explain":"fig1","predicted_total":3.0,"aggregations":[{"operator":"noisy_count","path":"part[*]/scale(x1)/root","calls":250,"requested_eps":2.0,"predicted_eps":1.0},{"operator":"noisy_count","path":"root","calls":250,"requested_eps":2.0,"predicted_eps":2.0}],"paths":[{"path":"part[*]/scale(x1)/root","calls":500,"predicted_eps":1.0},{"path":"root","calls":250,"predicted_eps":2.0}]}"#;
+
+    #[test]
+    fn explain_semantics_parse_structure_and_predictions() {
+        let s = explain_semantics(EXPLAIN_SAMPLE, "sample").unwrap();
+        assert_eq!(s.title, "fig1");
+        assert_eq!(s.predicted_total, 3.0);
+        assert_eq!(s.aggregations.len(), 2);
+        assert_eq!(s.aggregations[0].1, "part[*]/scale(x1)/root");
+        assert_eq!(s.aggregations[0].2, 250);
+        assert_eq!(s.paths[1], ("root".to_string(), 250, 2.0));
+        // Reports from other subcommands are named, not mis-parsed.
+        let err = explain_semantics(SAMPLE, "bench.json").unwrap_err();
+        assert!(err.contains("bench.json"), "{err}");
+        assert!(explain_semantics("not json", "x").is_err());
+    }
+
+    #[test]
+    fn explain_drift_catches_structure_and_eps_changes_only() {
+        let base = explain_semantics(EXPLAIN_SAMPLE, "a").unwrap();
+        assert!(explain_drift(&base, &base).is_empty());
+        // ε within 1e-9 relative tolerance is not drift.
+        let mut wiggled = base.clone();
+        wiggled.predicted_total += 1e-12;
+        wiggled.aggregations[0].4 += 1e-12;
+        assert!(explain_drift(&wiggled, &base).is_empty());
+        // A changed predicted ε is.
+        let mut eps = base.clone();
+        eps.paths[0].2 = 1.5;
+        let drift = explain_drift(&eps, &base);
+        assert_eq!(drift.len(), 1, "{drift:?}");
+        assert!(drift[0].contains("part[*]"), "{drift:?}");
+        // So are a lost aggregation site and a renamed path.
+        let mut fewer = base.clone();
+        fewer.aggregations.pop();
+        assert!(explain_drift(&fewer, &base)
+            .iter()
+            .any(|d| d.contains("aggregation sites")));
+        let mut renamed = base.clone();
+        renamed.paths[1].0 = "scale(x2)/root".to_string();
+        assert!(!explain_drift(&renamed, &base).is_empty());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //!       table5 fig4 fig5 table2
 //! repro --workers N <id>…   # run pool-aware experiments on N workers
 //! repro --profile <id>…     # record spans; adds per-operator attribution
+//! repro --explain <id>…     # also write bench-reports/EXPLAIN_<id>.txt
 //! ```
 //!
 //! With `--workers N` (N ≥ 1), the experiments that have worker-pool
@@ -29,21 +30,29 @@
 //! attribution, and an attribution table is printed after the budget
 //! report. (For single-experiment profiled runs with a Chrome trace, use
 //! `dpnet profile` instead.)
+//!
+//! With `--explain`, a [`pinq::ExplainRecorder`] is installed as well:
+//! every aggregation's charge-path predictions are folded per experiment
+//! and written to `bench-reports/EXPLAIN_<id>.txt` — the committed
+//! `EXPLAIN_fig1.txt` / `EXPLAIN_worm.txt` artifacts come from this flag.
+//! (For a single experiment with the measured overlay or the DOT/JSON
+//! forms, use `dpnet explain` instead.)
 
 use dpnet_bench::profile::{run_experiment, IDS};
 use dpnet_bench::report::RunReport;
 use dpnet_obs::{install_recorder, set_global_sink, uninstall_recorder, MemorySink, TraceRecorder};
-use pinq::ExecPool;
+use pinq::{install_explain_recorder, uninstall_explain_recorder, ExecPool, ExplainRecorder};
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Split `--workers N` / `--workers=N` / `--profile` out of the raw
-/// argument list, returning the worker count, the profile flag, and the
-/// remaining (non-flag) arguments.
-fn parse_flags(raw: Vec<String>) -> Result<(usize, bool, Vec<String>), String> {
+/// Split `--workers N` / `--workers=N` / `--profile` / `--explain` out of
+/// the raw argument list, returning the worker count, the two flags, and
+/// the remaining (non-flag) arguments.
+fn parse_flags(raw: Vec<String>) -> Result<(usize, bool, bool, Vec<String>), String> {
     let mut workers = 1usize;
     let mut profile = false;
+    let mut explain = false;
     let mut rest = Vec::new();
     let mut it = raw.into_iter();
     while let Some(arg) = it.next() {
@@ -58,16 +67,30 @@ fn parse_flags(raw: Vec<String>) -> Result<(usize, bool, Vec<String>), String> {
                 .map_err(|_| format!("invalid --workers value '{val}'"))?;
         } else if arg == "--profile" {
             profile = true;
+        } else if arg == "--explain" {
+            explain = true;
         } else {
             rest.push(arg);
         }
     }
-    Ok((workers, profile, rest))
+    Ok((workers, profile, explain, rest))
+}
+
+/// Write one experiment's explain tree to `bench-reports/EXPLAIN_<id>.txt`.
+fn write_explain(id: &str, recorder: &ExplainRecorder) -> Result<std::path::PathBuf, String> {
+    let mut report = recorder.report();
+    report.title = id.to_string();
+    let dir = Path::new("bench-reports");
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let path = dir.join(format!("EXPLAIN_{id}.txt"));
+    std::fs::write(&path, report.render_text(None))
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(path)
 }
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let (workers, profile, args) = match parse_flags(raw) {
+    let (workers, profile, explain, args) = match parse_flags(raw) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("{e}");
@@ -76,7 +99,7 @@ fn main() {
     };
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         eprintln!(
-            "usage: repro [--workers N] [--profile] all | <id> [<id> ...]\nids: {}",
+            "usage: repro [--workers N] [--profile] [--explain] all | <id> [<id> ...]\nids: {}",
             IDS.join(" ")
         );
         std::process::exit(2);
@@ -102,6 +125,11 @@ fn main() {
         install_recorder(rec.clone());
         rec
     });
+    let explainer = explain.then(|| {
+        let rec = Arc::new(ExplainRecorder::new());
+        install_explain_recorder(rec.clone());
+        rec
+    });
     let mut target = if all {
         "all".to_string()
     } else {
@@ -119,6 +147,9 @@ fn main() {
         if let Some(rec) = &recorder {
             rec.clear();
         }
+        if let Some(rec) = &explainer {
+            rec.clear();
+        }
         let start = Instant::now();
         match run_experiment(id, &pool) {
             Ok(text) => {
@@ -127,6 +158,15 @@ fn main() {
                 println!("[{id} completed in {wall:.1?}]");
                 let spans = recorder.as_ref().map(|r| r.take()).unwrap_or_default();
                 report.record_with_spans(id, wall.as_nanos() as u64, &sink.drain(), &spans);
+                if let Some(rec) = &explainer {
+                    match write_explain(id, rec) {
+                        Ok(path) => println!("explain report: {}", path.display()),
+                        Err(e) => {
+                            eprintln!("could not write explain report for {id}: {e}");
+                            failed = true;
+                        }
+                    }
+                }
             }
             Err(e) => {
                 eprintln!("experiment {id} failed: {e}");
@@ -136,6 +176,9 @@ fn main() {
     }
     if recorder.is_some() {
         uninstall_recorder();
+    }
+    if explainer.is_some() {
+        uninstall_explain_recorder();
     }
     set_global_sink(None);
 

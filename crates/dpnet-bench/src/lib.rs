@@ -20,5 +20,15 @@
 
 pub mod datasets;
 pub mod experiments;
+pub mod explain;
 pub mod profile;
 pub mod report;
+
+/// Tests that install process-global observers (the explain recorder, the
+/// span profiler, the event sink) must not overlap; they serialize on this
+/// crate-wide lock.
+#[cfg(test)]
+pub(crate) fn test_global_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}

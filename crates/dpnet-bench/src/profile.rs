@@ -201,13 +201,7 @@ fn write_trace(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::{Mutex, MutexGuard};
-
-    /// These tests install process-global sinks and recorders; serialize.
-    fn global_guard() -> MutexGuard<'static, ()> {
-        static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(|p| p.into_inner())
-    }
+    use crate::test_global_guard as global_guard;
 
     #[test]
     fn unknown_ids_are_rejected() {

@@ -1,0 +1,193 @@
+//! EXPLAIN's core contract, end to end: the ε the recorder *predicts* per
+//! exact charge path equals the net ε each accountant actually booked per
+//! path (`Accountant::path_totals`) after a real run. The two sides come
+//! from independent bookkeeping — predictions are the traced per-root
+//! deltas folded in `pinq::explain`, path totals the accountant's own
+//! eviction-proof per-path ledger — so agreement is a real check of the
+//! privacy-cost arithmetic, not a tautology.
+//!
+//! The pipelines mirror the two experiments the CI golden gate covers:
+//! fig1's three CDF estimators (naive, partition, hierarchical) and worm's
+//! group-by → dispersion-filter → noisy-count sweep, on reduced data so
+//! debug-mode runs stay fast.
+
+use dpnet_bench::explain::{run_explained, ExplainConfig};
+use dpnet_toolkit::cdf::{cdf_hierarchical, cdf_naive, cdf_partition};
+use pinq::{
+    install_explain_recorder, uninstall_explain_recorder, Accountant, ExplainRecorder,
+    ExplainReport, NoiseSource, Queryable,
+};
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// The explain recorder (and, for analyze, the sink and span profiler)
+/// are process-global; tests in this binary must not overlap.
+fn global_guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Every path the accountant booked must carry a matching prediction, and
+/// the predictions must account for the entire spend.
+fn assert_predictions_match(report: &ExplainReport, acct: &Accountant) {
+    let totals = acct.path_totals();
+    assert!(!totals.is_empty(), "the run must have charged something");
+    for (path, total) in &totals {
+        let predicted = report
+            .full_paths
+            .iter()
+            .find(|p| p.path == **path)
+            .unwrap_or_else(|| panic!("no prediction for accountant path {path}"))
+            .predicted_eps;
+        assert!(
+            close(predicted, total.epsilon),
+            "path {path}: predicted ε {predicted} vs accountant {}",
+            total.epsilon
+        );
+    }
+    let predicted_sum: f64 = report.full_paths.iter().map(|p| p.predicted_eps).sum();
+    assert!(
+        close(predicted_sum, acct.spent()),
+        "predicted total {predicted_sum} vs spent {}",
+        acct.spent()
+    );
+    assert!(
+        close(report.predicted_total(), acct.spent()),
+        "normalized-path total {} vs spent {}",
+        report.predicted_total(),
+        acct.spent()
+    );
+}
+
+#[test]
+fn fig1_shaped_predictions_equal_accountant_path_totals() {
+    let _g = global_guard();
+    const BUCKETS: usize = 16;
+    let data: Vec<usize> = (0..400).map(|i| (i * 7) % BUCKETS).collect();
+    let acct = Accountant::new(1e6);
+    let noise = NoiseSource::seeded(0xf1);
+    let q = Queryable::new(data, &acct, &noise);
+
+    let rec = Arc::new(ExplainRecorder::new());
+    install_explain_recorder(rec.clone());
+    // The same estimator triple as E-F1, at fig1's per-estimator budgets.
+    let naive = cdf_naive(&q, BUCKETS, 1.0 / BUCKETS as f64);
+    let partition = cdf_partition(&q, BUCKETS, 1.0);
+    let levels = (BUCKETS.next_power_of_two().trailing_zeros() + 1) as f64;
+    let hierarchical = cdf_hierarchical(&q, BUCKETS, 1.0 / levels);
+    uninstall_explain_recorder();
+    naive.expect("cdf1");
+    partition.expect("cdf2");
+    hierarchical.expect("cdf3");
+
+    let report = rec.report();
+    // Partitioned estimators must show up as part paths, absorbed or not.
+    assert!(
+        report
+            .full_paths
+            .iter()
+            .any(|p| p.path.starts_with("part[")),
+        "no partition charge paths in {:?}",
+        report.full_paths
+    );
+    assert_predictions_match(&report, &acct);
+}
+
+#[derive(Clone)]
+struct Pkt {
+    payload: u16,
+    src: u8,
+    dst: u8,
+}
+
+#[test]
+fn worm_shaped_predictions_equal_accountant_path_totals() {
+    let _g = global_guard();
+    // 24 payload groups with dispersion proportional to the payload id:
+    // the high-payload groups pass the dispersion filter, the rest don't.
+    let data: Vec<Pkt> = (0..24u16)
+        .flat_map(|payload| {
+            (0..=payload / 2).map(move |i| Pkt {
+                payload,
+                src: (i % 13) as u8,
+                dst: ((i * 5) % 11) as u8,
+            })
+        })
+        .collect();
+    let acct = Accountant::new(1e6);
+    let noise = NoiseSource::seeded(0x3042);
+    let q = Queryable::new(data, &acct, &noise);
+
+    let rec = Arc::new(ExplainRecorder::new());
+    install_explain_recorder(rec.clone());
+    // E-WORM's sweep: one group → filter → count per privacy level.
+    let mut counts = Vec::new();
+    for eps in [0.1, 1.0, 10.0] {
+        let count = q
+            .group_by(|p| p.payload)
+            .filter(|g| {
+                let srcs: HashSet<u8> = g.items.iter().map(|p| p.src).collect();
+                let dsts: HashSet<u8> = g.items.iter().map(|p| p.dst).collect();
+                srcs.len() >= 3 && dsts.len() >= 3
+            })
+            .noisy_count(eps);
+        counts.push(count);
+    }
+    uninstall_explain_recorder();
+    for count in counts {
+        count.expect("worm-shaped count");
+    }
+
+    let report = rec.report();
+    // GroupBy doubles stability, so each count charges 2ε at the root.
+    let agg = report
+        .aggregations
+        .iter()
+        .find(|a| a.operator == "noisy_count" && a.path == "root")
+        .expect("the counts charge through the plain root");
+    assert_eq!(agg.calls, 3);
+    assert!(close(agg.requested_eps, 2.0 * (0.1 + 1.0 + 10.0)));
+    assert_predictions_match(&report, &acct);
+}
+
+#[test]
+fn analyze_overlays_measured_eps_and_self_time_on_every_aggregation() {
+    let _g = global_guard();
+    let cfg = ExplainConfig {
+        experiment: "example23".to_string(),
+        workers: 1,
+        analyze: true,
+        trace_out: None,
+    };
+    let out = run_explained(&cfg).expect("analyzed run");
+    let overlay = out.overlay.expect("analyze builds an overlay");
+    assert!(
+        !out.report.aggregations.is_empty(),
+        "example23 must aggregate"
+    );
+    for agg in &out.report.aggregations {
+        let key = (agg.operator.clone(), agg.path.clone());
+        let measured = overlay
+            .measured_aggs
+            .get(&key)
+            .unwrap_or_else(|| panic!("no measured ε for {} @ {}", agg.operator, agg.path));
+        // Prediction and measurement derive from independent event streams
+        // (traced deltas vs accountant charge events) — they must agree.
+        assert!(
+            close(*measured, agg.predicted_eps),
+            "{} @ {}: measured ε {measured} vs predicted {}",
+            agg.operator,
+            agg.path,
+            agg.predicted_eps
+        );
+        assert!(
+            overlay.self_ns.contains_key(&agg.operator),
+            "no span self-time for operator {}",
+            agg.operator
+        );
+    }
+}

@@ -1,6 +1,9 @@
 //! Minimal flag parsing for the CLI (no external dependencies).
 //!
-//! Grammar: `dpnet <command> [positional ...] [--flag value ...]`.
+//! Grammar: `dpnet <command> [positional ...] [--flag value ...]`. A flag
+//! followed by another flag (or by nothing) is a bare boolean and parses
+//! as the value `"true"` — so `dpnet explain fig1 --analyze` works without
+//! an explicit `--analyze true`.
 
 use std::collections::HashMap;
 
@@ -21,15 +24,12 @@ pub struct Args {
 pub enum ArgError {
     /// No subcommand given.
     MissingCommand,
-    /// A `--flag` with no following value.
-    MissingValue(String),
 }
 
 impl std::fmt::Display for ArgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ArgError::MissingCommand => write!(f, "no command given"),
-            ArgError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
         }
     }
 }
@@ -43,9 +43,12 @@ impl Args {
         let mut flags = HashMap::new();
         while let Some(tok) = it.next() {
             if let Some(name) = tok.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
+                // A flag trailed by another flag or by nothing is a bare
+                // boolean: `--analyze` parses as `--analyze true`.
+                let value = match it.peek() {
+                    Some(next) if !next.starts_with("--") => it.next().expect("peeked"),
+                    _ => "true".to_string(),
+                };
                 flags.insert(name.to_string(), value);
             } else {
                 positional.push(tok);
@@ -97,12 +100,25 @@ mod tests {
     }
 
     #[test]
-    fn missing_command_and_values_are_errors() {
+    fn missing_command_is_an_error() {
         assert_eq!(parse(&[]), Err(ArgError::MissingCommand));
-        assert_eq!(
-            parse(&["generate", "--seed"]),
-            Err(ArgError::MissingValue("seed".into()))
-        );
+    }
+
+    #[test]
+    fn bare_flags_parse_as_booleans() {
+        // Trailing flag, flag before another flag, and the explicit form.
+        let a = parse(&["explain", "fig1", "--analyze"]).unwrap();
+        assert_eq!(a.flags["analyze"], "true");
+        assert!(a.flag_or("analyze", false).unwrap());
+        let a = parse(&["explain", "fig1", "--analyze", "--format", "json"]).unwrap();
+        assert_eq!(a.flags["analyze"], "true");
+        assert_eq!(a.flags["format"], "json");
+        let a = parse(&["explain", "fig1", "--analyze", "false"]).unwrap();
+        assert!(!a.flag_or("analyze", true).unwrap());
+        // A value-taking flag left bare now fails at typed access, not
+        // at the parser: the token "true" is not a number.
+        let a = parse(&["generate", "--seed"]).unwrap();
+        assert!(a.flag_or("seed", 0u64).is_err());
     }
 
     #[test]

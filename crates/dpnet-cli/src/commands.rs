@@ -383,6 +383,76 @@ pub fn profile_cmd(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// `dpnet explain <experiment> [--analyze] [--format tree|dot|json]
+/// [--workers N] [--out FILE] [--trace-out FILE]` — EXPLAIN / EXPLAIN
+/// ANALYZE: run one paper experiment with the charge-path recorder
+/// installed and report every aggregation site's predicted ε per budget
+/// root. With `--analyze`, the run is also profiled and the report gains
+/// measured ε, span self-time, and plan-materialization stats; with
+/// `--trace-out`, the Chrome trace includes ε burn-down counter tracks.
+pub fn explain_cmd(args: &Args) -> Result<String, String> {
+    use dpnet_bench::explain::{run_explained, ExplainConfig, ExplainFormat};
+    use dpnet_bench::profile::IDS;
+    use std::path::PathBuf;
+
+    let experiment = args.positional(0, "experiment")?;
+    if !IDS.contains(&experiment) {
+        return Err(format!(
+            "unknown experiment '{experiment}' (one of: {})",
+            IDS.join(" ")
+        ));
+    }
+    let workers: usize = args.flag_or("workers", 1usize)?;
+    let analyze: bool = args.flag_or("analyze", false)?;
+    let format = ExplainFormat::parse(
+        args.flags
+            .get("format")
+            .map(String::as_str)
+            .unwrap_or("tree"),
+    )?;
+    let trace_out = args.flags.get("trace-out").map(PathBuf::from);
+    if trace_out.is_some() && !analyze {
+        return Err("--trace-out needs --analyze (the trace comes from the profiled run)".into());
+    }
+    let cfg = ExplainConfig {
+        experiment: experiment.to_string(),
+        workers,
+        analyze,
+        trace_out,
+    };
+    let outcome = run_explained(&cfg)?;
+    let rendered = outcome.render(format);
+
+    let mut out = String::new();
+    match args.flags.get("out") {
+        Some(path) => {
+            if let Some(dir) = Path::new(path)
+                .parent()
+                .filter(|d| !d.as_os_str().is_empty())
+            {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            }
+            std::fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+            let _ = writeln!(out, "explain report written to {path}");
+        }
+        None => {
+            out.push_str(&rendered);
+            if !rendered.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+    }
+    if let Some(trace) = &outcome.trace_path {
+        let _ = writeln!(
+            out,
+            "trace: {} (load in ui.perfetto.dev or chrome://tracing)",
+            trace.display()
+        );
+    }
+    Ok(out)
+}
+
 /// Usage text.
 pub fn usage() -> String {
     "dpnet — differentially-private network trace analysis\n\
@@ -401,7 +471,12 @@ pub fn usage() -> String {
                 run a query, then print the owner-side per-operator \u{3b5} ledger\n\
        profile  <experiment> [--workers N] [--trace-out FILE] [--max-overhead R]\n\
                 run a paper experiment under the span profiler; writes\n\
-                bench-reports/BENCH_<experiment>-wN.json and a Perfetto trace\n"
+                bench-reports/BENCH_<experiment>-wN.json and a Perfetto trace\n\
+       explain  <experiment> [--analyze] [--format tree|dot|json] [--workers N]\n\
+                [--out FILE] [--trace-out FILE]\n\
+                EXPLAIN / EXPLAIN ANALYZE: predicted \u{3b5} per charge path and\n\
+                aggregation site; --analyze overlays measured \u{3b5}, self time,\n\
+                and plan stats, and puts \u{3b5} burn-down counters in the trace\n"
         .to_string()
 }
 
@@ -428,6 +503,45 @@ mod tests {
         let err = profile_cmd(&args(&["profile", "fig1", "--max-overhead", "lots"])).unwrap_err();
         assert!(err.contains("--max-overhead"), "{err}");
         assert!(profile_cmd(&args(&["profile"])).is_err());
+    }
+
+    #[test]
+    fn explain_rejects_unknown_experiments_formats_and_flag_combos() {
+        let err = explain_cmd(&args(&["explain", "nope"])).unwrap_err();
+        assert!(err.contains("unknown experiment"), "{err}");
+        let err = explain_cmd(&args(&["explain", "fig1", "--format", "yaml"])).unwrap_err();
+        assert!(err.contains("unknown explain format"), "{err}");
+        let err = explain_cmd(&args(&["explain", "fig1", "--trace-out", "t.json"])).unwrap_err();
+        assert!(err.contains("--analyze"), "{err}");
+        assert!(explain_cmd(&args(&["explain"])).is_err());
+    }
+
+    #[test]
+    fn explain_writes_a_parseable_json_report() {
+        let path = tmp("t11.explain.json");
+        let report = explain_cmd(&args(&[
+            "explain",
+            "example23",
+            "--format",
+            "json",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        assert!(report.contains("explain report written"), "{report}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = dpnet_obs::json::parse_value(&text).expect("valid JSON");
+        assert_eq!(
+            doc.get("explain").and_then(|v| v.as_str()),
+            Some("example23")
+        );
+        assert!(doc
+            .get("predicted_total")
+            .and_then(|v| v.as_f64())
+            .is_some());
+        assert!(doc.get("aggregations").is_some());
+        // Static explain carries no measured overlay.
+        assert!(doc.get("analyze").is_none());
     }
 
     #[test]

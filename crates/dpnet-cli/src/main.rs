@@ -24,6 +24,7 @@ fn main() {
         "classify" => commands::classify_cmd(&parsed),
         "audit" => commands::audit_cmd(&parsed),
         "profile" => commands::profile_cmd(&parsed),
+        "explain" => commands::explain_cmd(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::usage());
             return;

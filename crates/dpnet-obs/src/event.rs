@@ -137,6 +137,11 @@ pub struct ExecEvent {
 /// under `trusted-owner`.
 #[derive(Debug, Clone)]
 pub struct PlanEvent {
+    /// Process-wide materialization ordinal (1-based): which actual
+    /// materialization this was. Counts engine activity, not data — it
+    /// lets an explain-analyze overlay report how many buffers a run
+    /// allocated and how effectively operators fused into each.
+    pub materialization: u64,
     /// Number of adjacent operators fused into the materialized pass.
     pub fused_stages: u64,
     /// Execution mode that forced the plan: `"sequential"` or `"pool"`.
@@ -256,7 +261,8 @@ impl Event {
                 o.field_u64("tasks", e.tasks);
             }
             Event::Plan(e) => {
-                o.field_u64("fused_stages", e.fused_stages)
+                o.field_u64("materialization", e.materialization)
+                    .field_u64("fused_stages", e.fused_stages)
                     .field_str("mode", e.mode)
                     .field_u64("workers", e.workers)
                     .field_u64("wall_ns", e.wall_ns)
@@ -356,6 +362,7 @@ mod tests {
             assert!(!j.contains("tasks"), "data-dependent field in {j}");
         }
         let p = Event::Plan(PlanEvent {
+            materialization: 1,
             fused_stages: 3,
             mode: "pool",
             workers: 4,
@@ -375,6 +382,7 @@ mod tests {
     #[test]
     fn plan_serializes_flat() {
         let e = Event::Plan(PlanEvent {
+            materialization: 4,
             fused_stages: 2,
             mode: "sequential",
             workers: 1,
@@ -387,6 +395,7 @@ mod tests {
         });
         let m = parse_flat_object(&e.to_json()).expect("valid flat JSON");
         assert_eq!(m["type"].as_str(), Some("plan"));
+        assert_eq!(m["materialization"].as_f64(), Some(4.0));
         assert_eq!(m["fused_stages"].as_f64(), Some(2.0));
         assert_eq!(m["mode"].as_str(), Some("sequential"));
         assert_eq!(m["workers"].as_f64(), Some(1.0));

@@ -138,47 +138,49 @@ impl JsonScalar {
     }
 }
 
+type CharStream<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+fn skip_ws(chars: &mut CharStream<'_>) {
+    while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut CharStream<'_>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut s = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(s),
+            '\\' => match chars.next()? {
+                '"' => s.push('"'),
+                '\\' => s.push('\\'),
+                '/' => s.push('/'),
+                'n' => s.push('\n'),
+                'r' => s.push('\r'),
+                't' => s.push('\t'),
+                'u' => {
+                    let hex: String = (0..4).map_while(|_| chars.next()).collect();
+                    if hex.len() != 4 {
+                        return None;
+                    }
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    s.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => s.push(c),
+        }
+    }
+}
+
 /// Parse one flat JSON object (`{"k": scalar, ...}` — no nesting, no
 /// arrays). Returns `None` on any malformed input rather than guessing.
 pub fn parse_flat_object(line: &str) -> Option<BTreeMap<String, JsonScalar>> {
     let mut chars = line.trim().chars().peekable();
     let mut out = BTreeMap::new();
-
-    fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
-        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
-            chars.next();
-        }
-    }
-
-    fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
-        if chars.next()? != '"' {
-            return None;
-        }
-        let mut s = String::new();
-        loop {
-            match chars.next()? {
-                '"' => return Some(s),
-                '\\' => match chars.next()? {
-                    '"' => s.push('"'),
-                    '\\' => s.push('\\'),
-                    '/' => s.push('/'),
-                    'n' => s.push('\n'),
-                    'r' => s.push('\r'),
-                    't' => s.push('\t'),
-                    'u' => {
-                        let hex: String = (0..4).map_while(|_| chars.next()).collect();
-                        if hex.len() != 4 {
-                            return None;
-                        }
-                        let code = u32::from_str_radix(&hex, 16).ok()?;
-                        s.push(char::from_u32(code)?);
-                    }
-                    _ => return None,
-                },
-                c => s.push(c),
-            }
-        }
-    }
 
     skip_ws(&mut chars);
     if chars.next()? != '{' {
@@ -230,6 +232,146 @@ pub fn parse_flat_object(line: &str) -> Option<BTreeMap<String, JsonScalar>> {
         return None;
     }
     Some(out)
+}
+
+/// Any JSON value, nesting included. Returned by [`parse_value`]; used to
+/// verify that documents the crate *emits* (Chrome traces, explain
+/// reports) parse back without an external JSON library.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A string (unescaped).
+    Str(String),
+    /// A number.
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// JSON `null`.
+    Null,
+    /// An array of values.
+    Arr(Vec<JsonValue>),
+    /// An object, keys sorted.
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Member `key`, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn items(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Nesting cap for [`parse_value`]: plenty for anything this workspace
+/// emits, small enough that hostile input cannot blow the stack.
+const MAX_DEPTH: usize = 64;
+
+/// Parse one complete JSON document of arbitrary (bounded) nesting.
+/// Returns `None` on malformed input, trailing garbage, or nesting deeper
+/// than `MAX_DEPTH` (64).
+pub fn parse_value(text: &str) -> Option<JsonValue> {
+    let mut chars = text.trim().chars().peekable();
+    let v = parse_value_inner(&mut chars, 0)?;
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return None;
+    }
+    Some(v)
+}
+
+fn parse_value_inner(chars: &mut CharStream<'_>, depth: usize) -> Option<JsonValue> {
+    if depth > MAX_DEPTH {
+        return None;
+    }
+    skip_ws(chars);
+    match chars.peek()? {
+        '"' => Some(JsonValue::Str(parse_string(chars)?)),
+        '{' => {
+            chars.next();
+            let mut out = BTreeMap::new();
+            skip_ws(chars);
+            if chars.peek() == Some(&'}') {
+                chars.next();
+                return Some(JsonValue::Obj(out));
+            }
+            loop {
+                skip_ws(chars);
+                let key = parse_string(chars)?;
+                skip_ws(chars);
+                if chars.next()? != ':' {
+                    return None;
+                }
+                let value = parse_value_inner(chars, depth + 1)?;
+                out.insert(key, value);
+                skip_ws(chars);
+                match chars.next()? {
+                    ',' => continue,
+                    '}' => return Some(JsonValue::Obj(out)),
+                    _ => return None,
+                }
+            }
+        }
+        '[' => {
+            chars.next();
+            let mut out = Vec::new();
+            skip_ws(chars);
+            if chars.peek() == Some(&']') {
+                chars.next();
+                return Some(JsonValue::Arr(out));
+            }
+            loop {
+                out.push(parse_value_inner(chars, depth + 1)?);
+                skip_ws(chars);
+                match chars.next()? {
+                    ',' => continue,
+                    ']' => return Some(JsonValue::Arr(out)),
+                    _ => return None,
+                }
+            }
+        }
+        't' | 'f' | 'n' => {
+            let word: String =
+                std::iter::from_fn(|| chars.next_if(|c| c.is_ascii_alphabetic())).collect();
+            match word.as_str() {
+                "true" => Some(JsonValue::Bool(true)),
+                "false" => Some(JsonValue::Bool(false)),
+                "null" => Some(JsonValue::Null),
+                _ => None,
+            }
+        }
+        _ => {
+            let tok: String = std::iter::from_fn(|| {
+                chars.next_if(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+            })
+            .collect();
+            Some(JsonValue::Num(tok.parse().ok()?))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -293,5 +435,42 @@ mod tests {
     #[test]
     fn empty_object_is_fine() {
         assert!(parse_flat_object("{}").expect("parses").is_empty());
+    }
+
+    #[test]
+    fn parse_value_handles_nesting() {
+        let v = parse_value(r#"{"a":[1,{"b":"x\n"},[]],"c":{"d":null,"e":true}}"#).expect("parses");
+        let a = v.get("a").and_then(JsonValue::items).expect("array");
+        assert_eq!(a[0].as_f64(), Some(1.0));
+        assert_eq!(a[1].get("b").and_then(JsonValue::as_str), Some("x\n"));
+        assert_eq!(a[2].items(), Some(&[][..]));
+        assert_eq!(v.get("c").and_then(|c| c.get("d")), Some(&JsonValue::Null));
+        assert_eq!(
+            v.get("c").and_then(|c| c.get("e")),
+            Some(&JsonValue::Bool(true))
+        );
+    }
+
+    #[test]
+    fn parse_value_rejects_malformed_and_deep_input() {
+        for bad in ["", "{", "[1,", "{\"a\":1} x", "[1 2]", "{\"a\" 1}"] {
+            assert!(parse_value(bad).is_none(), "accepted {bad:?}");
+        }
+        let deep = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse_value(&deep).is_none(), "accepted 100-deep nesting");
+        let fine = format!("{}1{}", "[".repeat(10), "]".repeat(10));
+        assert!(parse_value(&fine).is_some());
+    }
+
+    #[test]
+    fn parse_value_agrees_with_flat_parser_on_flat_objects() {
+        let line = r#"{"op":"noisy_count","eps":0.25,"ok":true,"label":null}"#;
+        let flat = parse_flat_object(line).expect("flat parses");
+        let v = parse_value(line).expect("value parses");
+        assert_eq!(flat["op"].as_str(), v.get("op").and_then(JsonValue::as_str));
+        assert_eq!(
+            flat["eps"].as_f64(),
+            v.get("eps").and_then(JsonValue::as_f64)
+        );
     }
 }

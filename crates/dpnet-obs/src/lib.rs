@@ -63,4 +63,7 @@ pub use span::{
     attribution, install_recorder, profiling_enabled, uninstall_recorder, AttributionRow,
     CompletedSpan, SpanGuard, TraceRecorder,
 };
-pub use trace_export::{chrome_trace_json, write_chrome_trace};
+pub use trace_export::{
+    chrome_trace_json, chrome_trace_json_with_counters, write_chrome_trace,
+    write_chrome_trace_with_counters, CounterSample,
+};

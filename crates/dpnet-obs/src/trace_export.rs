@@ -22,14 +22,42 @@ fn us(ns: u64) -> String {
     number(ns as f64 / 1000.0)
 }
 
+/// One sample of a Chrome trace *counter* track (`"ph":"C"`). Perfetto
+/// renders a counter's samples as a stepped area chart alongside the span
+/// lanes — this is how EXPLAIN ANALYZE shows the privacy budget draining
+/// (ε spent after each charge) in the same timeline as the worker tracks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSample {
+    /// Counter track name, e.g. `"eps spent (root)"`.
+    pub name: String,
+    /// Series name inside the counter track, e.g. `"eps"`.
+    pub series: &'static str,
+    /// Sample timestamp (ns since the process clock epoch).
+    pub at_ns: u64,
+    /// The counter's value at `at_ns`.
+    pub value: f64,
+}
+
 /// Write `spans` as one Chrome trace-event JSON document. `track_names`
 /// maps track ids to display names (see
 /// [`TraceRecorder::track_names`](crate::span::TraceRecorder::track_names));
 /// unnamed tracks display as `track-<id>`.
 pub fn write_chrome_trace<W: Write>(
+    w: W,
+    spans: &[CompletedSpan],
+    track_names: &BTreeMap<u64, Arc<str>>,
+) -> io::Result<()> {
+    write_chrome_trace_with_counters(w, spans, track_names, &[])
+}
+
+/// [`write_chrome_trace`] with counter tracks appended: one `"ph":"C"`
+/// event per [`CounterSample`], sharing the spans' `pid` so Perfetto
+/// shows the counters in the same timeline.
+pub fn write_chrome_trace_with_counters<W: Write>(
     mut w: W,
     spans: &[CompletedSpan],
     track_names: &BTreeMap<u64, Arc<str>>,
+    counters: &[CounterSample],
 ) -> io::Result<()> {
     write!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
     let mut first = true;
@@ -81,14 +109,35 @@ pub fn write_chrome_trace<W: Write>(
         write!(w, ",\"records\":{}", s.records)?;
         write!(w, "}}}}")?;
     }
+    for c in counters {
+        sep(&mut w, &mut first)?;
+        write!(
+            w,
+            "{{\"name\":{},\"ph\":\"C\",\"ts\":{},\"pid\":1,\"args\":{{{}:{}}}}}",
+            escape(&c.name),
+            us(c.at_ns),
+            escape(c.series),
+            number(c.value)
+        )?;
+    }
     write!(w, "]}}")?;
     w.flush()
 }
 
 /// [`write_chrome_trace`] into a `String`.
 pub fn chrome_trace_json(spans: &[CompletedSpan], track_names: &BTreeMap<u64, Arc<str>>) -> String {
+    chrome_trace_json_with_counters(spans, track_names, &[])
+}
+
+/// [`write_chrome_trace_with_counters`] into a `String`.
+pub fn chrome_trace_json_with_counters(
+    spans: &[CompletedSpan],
+    track_names: &BTreeMap<u64, Arc<str>>,
+    counters: &[CounterSample],
+) -> String {
     let mut buf = Vec::new();
-    write_chrome_trace(&mut buf, spans, track_names).expect("writing to a Vec cannot fail");
+    write_chrome_trace_with_counters(&mut buf, spans, track_names, counters)
+        .expect("writing to a Vec cannot fail");
     String::from_utf8(buf).expect("exporter emits UTF-8")
 }
 
@@ -159,5 +208,77 @@ mod tests {
         } else {
             assert!(!json.contains("records"), "data-dependent field in {json}");
         }
+    }
+
+    fn eps_counters() -> Vec<CounterSample> {
+        vec![
+            CounterSample {
+                name: "eps spent (root)".to_string(),
+                series: "eps",
+                at_ns: 1_000,
+                value: 0.1,
+            },
+            CounterSample {
+                name: "eps spent (root)".to_string(),
+                series: "eps",
+                at_ns: 2_500,
+                value: 0.35,
+            },
+        ]
+    }
+
+    #[test]
+    fn counter_samples_become_ph_c_events() {
+        let spans = vec![span(1, None, "outer", 3)];
+        let json = chrome_trace_json_with_counters(&spans, &BTreeMap::new(), &eps_counters());
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 2);
+        assert!(json.contains("{\"name\":\"eps spent (root)\",\"ph\":\"C\",\"ts\":1,\"pid\":1,\"args\":{\"eps\":0.1}}"));
+        assert!(json.contains("\"ts\":2.5,"));
+        assert!(json.contains("{\"eps\":0.35}"));
+        // Counters without spans still produce a valid document.
+        let only = chrome_trace_json_with_counters(&[], &BTreeMap::new(), &eps_counters());
+        assert!(only.starts_with("{\"displayTimeUnit\""));
+        assert!(only.ends_with("]}"));
+        assert!(!only.contains("}{"));
+    }
+
+    #[test]
+    fn emitted_trace_round_trips_through_the_vendored_parser() {
+        use crate::json::{parse_value, JsonValue};
+        let spans = vec![
+            span(1, None, "outer", 3),
+            span(2, Some(1), "agg \"quoted\"\nname", 4),
+        ];
+        let mut names = BTreeMap::new();
+        names.insert(3u64, Arc::from("main"));
+        let json = chrome_trace_json_with_counters(&spans, &names, &eps_counters());
+        let doc = parse_value(&json).expect("emitted trace is parseable JSON");
+        assert_eq!(
+            doc.get("displayTimeUnit").and_then(JsonValue::as_str),
+            Some("ms")
+        );
+        let events = doc
+            .get("traceEvents")
+            .and_then(JsonValue::items)
+            .expect("traceEvents array");
+        // 2 thread_name metas + 2 spans + 2 counter samples.
+        assert_eq!(events.len(), 6);
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").and_then(JsonValue::as_str).unwrap())
+            .collect();
+        assert_eq!(phases, ["M", "M", "X", "X", "C", "C"]);
+        // The nasty span name survived escaping and unescaping.
+        assert!(events.iter().any(|e| {
+            e.get("name").and_then(JsonValue::as_str) == Some("agg \"quoted\"\nname")
+        }));
+        // Counter values are reachable as nested numbers.
+        let last = events.last().unwrap();
+        assert_eq!(
+            last.get("args")
+                .and_then(|a| a.get("eps"))
+                .and_then(JsonValue::as_f64),
+            Some(0.35)
+        );
     }
 }

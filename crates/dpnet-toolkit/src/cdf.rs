@@ -24,13 +24,11 @@
 //! and partition inside runs chunked on that pool. Every noise draw still
 //! happens on the calling thread in the same order as the sequential path,
 //! so at a fixed seed the released values are **bit-identical** for any
-//! worker count, and budget charges are identical by construction. The
-//! legacy `_with` variants remain as deprecated wrappers that bind the
-//! pool and delegate.
+//! worker count, and budget charges are identical by construction.
 
 use dpnet_obs::span;
 use dpnet_obs::{emit_phase_global, SpanTimer};
-use pinq::{ExecCtx, ExecPool, Queryable, Result};
+use pinq::{Queryable, Result};
 
 /// Noise-free reference CDF over bucket indices. Records with out-of-range
 /// buckets are ignored, mirroring the private estimators.
@@ -71,17 +69,6 @@ pub fn cdf_naive(data: &Queryable<usize>, n_buckets: usize, eps: f64) -> Result<
     Ok(out)
 }
 
-/// Deprecated twin of [`cdf_naive`] on an explicit pool.
-#[deprecated(note = "bind the pool once with `.with_ctx(ExecCtx::pool(pool))` and use `cdf_naive`")]
-pub fn cdf_naive_with(
-    data: &Queryable<usize>,
-    n_buckets: usize,
-    eps: f64,
-    pool: &ExecPool,
-) -> Result<Vec<f64>> {
-    cdf_naive(&data.clone().with_ctx(ExecCtx::pool(pool)), n_buckets, eps)
-}
-
 /// cdf2: `Partition` into buckets, count each part once, prefix-sum.
 ///
 /// Parallel composition makes the total cost `ε` regardless of resolution.
@@ -103,19 +90,6 @@ pub fn cdf_partition(data: &Queryable<usize>, n_buckets: usize, eps: f64) -> Res
     // Parallel composition: ε total regardless of resolution.
     emit_phase_global("cdf_partition", eps, timer.elapsed_ns());
     Ok(out)
-}
-
-/// Deprecated twin of [`cdf_partition`] on an explicit pool.
-#[deprecated(
-    note = "bind the pool once with `.with_ctx(ExecCtx::pool(pool))` and use `cdf_partition`"
-)]
-pub fn cdf_partition_with(
-    data: &Queryable<usize>,
-    n_buckets: usize,
-    eps: f64,
-    pool: &ExecPool,
-) -> Result<Vec<f64>> {
-    cdf_partition(&data.clone().with_ctx(ExecCtx::pool(pool)), n_buckets, eps)
 }
 
 /// cdf3: hierarchical measurement at log-many resolutions.
@@ -166,19 +140,6 @@ pub fn cdf_hierarchical(data: &Queryable<usize>, n_buckets: usize, eps: f64) -> 
     }
 }
 
-/// Deprecated twin of [`cdf_hierarchical`] on an explicit pool.
-#[deprecated(
-    note = "bind the pool once with `.with_ctx(ExecCtx::pool(pool))` and use `cdf_hierarchical`"
-)]
-pub fn cdf_hierarchical_with(
-    data: &Queryable<usize>,
-    n_buckets: usize,
-    eps: f64,
-    pool: &ExecPool,
-) -> Result<Vec<f64>> {
-    cdf_hierarchical(&data.clone().with_ctx(ExecCtx::pool(pool)), n_buckets, eps)
-}
-
 /// Theoretical error standard deviation of `cdf2` at bucket `b` (0-based):
 /// the prefix sum of `b+1` independent `Lap(1/ε)` draws.
 pub fn cdf_partition_error_std(b: usize, eps: f64) -> f64 {
@@ -195,7 +156,7 @@ pub fn cdf_hierarchical_error_std(n_buckets: usize, eps: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pinq::{Accountant, NoiseSource};
+    use pinq::{Accountant, ExecCtx, ExecPool, NoiseSource};
 
     fn dataset(seed: u64, budget: f64) -> (Accountant, Queryable<usize>, Vec<usize>) {
         // Triangular-ish distribution over 64 buckets.

@@ -17,7 +17,7 @@
 //! divided by the typical overlap, preserving support *order*.
 
 use dpnet_obs::{emit_phase_global, SpanTimer};
-use pinq::{ExecCtx, ExecPool, Queryable, Result};
+use pinq::{Queryable, Result};
 use std::collections::{BTreeSet, HashSet};
 use std::hash::{Hash, Hasher};
 
@@ -164,21 +164,6 @@ where
     Ok(results)
 }
 
-/// Deprecated twin of [`frequent_itemsets`] on an explicit pool.
-#[deprecated(
-    note = "bind the pool once with `.with_ctx(ExecCtx::pool(pool))` and use `frequent_itemsets`"
-)]
-pub fn frequent_itemsets_with<I>(
-    data: &Queryable<BTreeSet<I>>,
-    cfg: &ItemsetConfig<I>,
-    pool: &ExecPool,
-) -> Result<Vec<FrequentItemset<I>>>
-where
-    I: Ord + Hash + Clone + Send + Sync + 'static,
-{
-    frequent_itemsets(&data.clone().with_ctx(ExecCtx::pool(pool)), cfg)
-}
-
 /// Noise-free exact support counts for reference: the number of records
 /// containing each queried itemset (standard apriori support, *without* the
 /// partitioning dilution).
@@ -192,7 +177,7 @@ pub fn exact_support<I: Ord>(records: &[BTreeSet<I>], itemset: &[I]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pinq::{Accountant, NoiseSource};
+    use pinq::{Accountant, ExecCtx, ExecPool, NoiseSource};
 
     fn record(items: &[u16]) -> BTreeSet<u16> {
         items.iter().cloned().collect()

@@ -79,6 +79,7 @@ struct AccountantState {
     log_capacity: usize,
     evicted: u64,
     per_operator: BTreeMap<Arc<str>, OperatorTotal>,
+    per_path: BTreeMap<Arc<str>, OperatorTotal>,
 }
 
 impl Default for AccountantState {
@@ -91,6 +92,7 @@ impl Default for AccountantState {
             log_capacity: DEFAULT_LOG_CAPACITY,
             evicted: 0,
             per_operator: BTreeMap::new(),
+            per_path: BTreeMap::new(),
         }
     }
 }
@@ -101,6 +103,9 @@ impl AccountantState {
         let agg = self.per_operator.entry(ev.operator.clone()).or_default();
         agg.epsilon += ev.epsilon;
         agg.entries += 1;
+        let by_path = self.per_path.entry(ev.path.clone()).or_default();
+        by_path.epsilon += ev.epsilon;
+        by_path.entries += 1;
         if self.log_capacity == 0 {
             self.evicted += 1;
             return;
@@ -246,6 +251,22 @@ impl Accountant {
             .collect()
     }
 
+    /// Exact net ε per *charge path* — the composition-tree route each
+    /// spend took to reach this accountant (e.g.
+    /// `"part[3]/scale(x2)/root"`). Like [`Accountant::operator_totals`]
+    /// this is maintained independently of the bounded log, so the values
+    /// stay exact under eviction and sum to [`Accountant::spent`] (up to
+    /// float rounding). This is the measured side of `EXPLAIN ANALYZE`:
+    /// the number a static plan's predicted ε per path must reproduce.
+    pub fn path_totals(&self) -> Vec<(Arc<str>, OperatorTotal)> {
+        self.state
+            .lock()
+            .per_path
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
     /// Attempt to spend `eps`. Fails without side effects if the budget
     /// would be exceeded.
     pub fn charge(&self, eps: f64) -> Result<()> {
@@ -356,15 +377,20 @@ impl Accountant {
     }
 
     /// Write the owner-side audit export as JSONL: one `spend` line per
-    /// retained ledger entry, one `operator` line per operator with its
-    /// *exact* net ε (eviction-proof), and a final `summary` line.
+    /// retained ledger entry, one `operator` line per operator and one
+    /// `path` line per charge path with their *exact* net ε
+    /// (eviction-proof), and a final `summary` line.
     pub fn export_audit_jsonl<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
         use dpnet_obs::json::JsonObj;
-        let (log, totals, spent, total, evicted) = {
+        let (log, totals, paths, spent, total, evicted) = {
             let st = self.state.lock();
             (
                 st.log.iter().cloned().collect::<Vec<_>>(),
                 st.per_operator
+                    .iter()
+                    .map(|(k, v)| (k.clone(), *v))
+                    .collect::<Vec<_>>(),
+                st.per_path
                     .iter()
                     .map(|(k, v)| (k.clone(), *v))
                     .collect::<Vec<_>>(),
@@ -388,6 +414,14 @@ impl Accountant {
             let mut o = JsonObj::new();
             o.field_str("type", "operator")
                 .field_str("name", op)
+                .field_f64("eps", t.epsilon)
+                .field_u64("entries", t.entries);
+            writeln!(w, "{}", o.finish())?;
+        }
+        for (path, t) in &paths {
+            let mut o = JsonObj::new();
+            o.field_str("type", "path")
+                .field_str("name", path)
                 .field_f64("eps", t.epsilon)
                 .field_u64("entries", t.entries);
             writeln!(w, "{}", o.finish())?;
@@ -540,6 +574,49 @@ mod tests {
         a.charge(1.0).unwrap();
         assert!(a.audit_log().is_empty());
         assert!((a.spent() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_totals_are_exact_under_eviction_and_refunds() {
+        let a = Accountant::new(1000.0);
+        a.set_log_capacity(4);
+        let meta = ChargeMeta::new("noisy_count", None);
+        for _ in 0..50 {
+            a.charge_with(0.5, &meta, "part[0]/root").unwrap();
+        }
+        for _ in 0..50 {
+            a.charge_with(0.25, &meta, "scale(x2)/root").unwrap();
+        }
+        a.refund_with(0.25, &meta, "scale(x2)/root");
+        let paths: BTreeMap<_, _> = a.path_totals().into_iter().collect();
+        assert_eq!(paths.len(), 2);
+        let p0 = paths[&Arc::<str>::from("part[0]/root")];
+        assert!((p0.epsilon - 25.0).abs() < 1e-9);
+        assert_eq!(p0.entries, 50);
+        let p1 = paths[&Arc::<str>::from("scale(x2)/root")];
+        assert!((p1.epsilon - 12.25).abs() < 1e-9);
+        assert_eq!(p1.entries, 51);
+        // Eviction lost log lines, never per-path ε.
+        assert!(a.evicted_entries() > 0);
+        let sum: f64 = paths.values().map(|t| t.epsilon).sum();
+        assert!((sum - a.spent()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn audit_export_carries_path_lines() {
+        let a = Accountant::new(4.0);
+        let meta = ChargeMeta::new("noisy_sum", None);
+        a.charge_with(1.0, &meta, "scale(x4)/root").unwrap();
+        let mut buf = Vec::new();
+        a.export_audit_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let path_line = text
+            .lines()
+            .map(|l| dpnet_obs::json::parse_flat_object(l).expect("parseable"))
+            .find(|o| o["type"].as_str() == Some("path"))
+            .expect("a path line");
+        assert_eq!(path_line["name"].as_str(), Some("scale(x4)/root"));
+        assert_eq!(path_line["eps"].as_f64(), Some(1.0));
     }
 
     #[test]

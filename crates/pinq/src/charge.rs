@@ -60,17 +60,43 @@ impl ChargeNode {
     /// Spend `eps` through this node, threading provenance: `meta` names
     /// the initiating operator, `path` accumulates one segment per hop.
     pub(crate) fn charge_with(&self, eps: f64, meta: &ChargeMeta, path: &str) -> Result<()> {
+        self.charge_traced(eps, meta, path, &mut None)
+    }
+
+    /// [`ChargeNode::charge_with`] that additionally records, for every root
+    /// accountant the walk reaches, the full charge path and the ε that
+    /// actually landed there — captured *atomically with the charge*. Under
+    /// a partition ledger the recorded ε is the forwarded max-increase
+    /// (possibly zero), computed while the ledger lock is held, so charges
+    /// racing in from pool workers can never make the trace disagree with
+    /// the ledger. On `Err` the caller must discard the trace: a `Combined`
+    /// rollback may leave entries for parents charged and then refunded.
+    pub(crate) fn charge_traced(
+        &self,
+        eps: f64,
+        meta: &ChargeMeta,
+        path: &str,
+        trace: &mut Option<&mut Vec<(String, f64)>>,
+    ) -> Result<()> {
         match self {
-            ChargeNode::Root(acct) => acct.charge_with(eps, meta, &join_path(path, "root")),
-            ChargeNode::Scaled { parent, factor } => parent.charge_with(
+            ChargeNode::Root(acct) => {
+                let full = join_path(path, "root");
+                acct.charge_with(eps, meta, &full)?;
+                if let Some(t) = trace.as_mut() {
+                    t.push((full, eps));
+                }
+                Ok(())
+            }
+            ChargeNode::Scaled { parent, factor } => parent.charge_traced(
                 eps * factor,
                 meta,
                 &join_path(path, &format!("scale(x{factor})")),
+                trace,
             ),
             ChargeNode::Combined(parents) => {
                 for (i, p) in parents.iter().enumerate() {
                     let seg = join_path(path, &format!("in[{i}]"));
-                    if let Err(e) = p.charge_with(eps, meta, &seg) {
+                    if let Err(e) = p.charge_traced(eps, meta, &seg, trace) {
                         // Roll back the parents already charged so that a
                         // failed multi-input aggregation is free.
                         for (j, q) in parents[..i].iter().enumerate() {
@@ -81,12 +107,71 @@ impl ChargeNode {
                 }
                 Ok(())
             }
-            ChargeNode::PartitionPart { ledger, index } => ledger.charge_child_with(
+            ChargeNode::PartitionPart { ledger, index } => ledger.charge_child_traced(
                 *index,
                 eps,
                 meta,
                 &join_path(path, &format!("part[{index}]")),
+                trace,
             ),
+        }
+    }
+
+    /// Side-effect-free prediction: the per-root `(full_path, ε)` deltas
+    /// that a `charge_with(eps, …)` issued *now* would apply, given current
+    /// ledger state. Zero-delta entries are kept so callers see every root
+    /// the walk can reach. Nothing is spent anywhere.
+    pub(crate) fn predict_into(&self, eps: f64, path: &str, out: &mut Vec<(String, f64)>) {
+        match self {
+            ChargeNode::Root(_) => out.push((join_path(path, "root"), eps)),
+            ChargeNode::Scaled { parent, factor } => parent.predict_into(
+                eps * factor,
+                &join_path(path, &format!("scale(x{factor})")),
+                out,
+            ),
+            ChargeNode::Combined(parents) => {
+                for (i, p) in parents.iter().enumerate() {
+                    p.predict_into(eps, &join_path(path, &format!("in[{i}]")), out);
+                }
+            }
+            ChargeNode::PartitionPart { ledger, index } => {
+                let delta = ledger.predict_child(*index, eps);
+                ledger.parent().predict_into(
+                    delta,
+                    &join_path(path, &format!("part[{index}]")),
+                    out,
+                );
+            }
+        }
+    }
+
+    /// Snapshot the charge DAG into the public structured form used by
+    /// [`crate::explain`]: the same shape `describe()` narrates, plus the
+    /// live budget / ledger numbers at each node. Side-effect-free.
+    pub(crate) fn snapshot(&self) -> crate::explain::ChargeTree {
+        use crate::explain::ChargeTree;
+        match self {
+            ChargeNode::Root(acct) => ChargeTree::Root {
+                spent: acct.spent(),
+                total: acct.total(),
+            },
+            ChargeNode::Scaled { parent, factor } => ChargeTree::Scaled {
+                factor: *factor,
+                child: Box::new(parent.snapshot()),
+            },
+            ChargeNode::Combined(parents) => {
+                ChargeTree::Combined(parents.iter().map(|p| p.snapshot()).collect())
+            }
+            ChargeNode::PartitionPart { ledger, index } => {
+                let spends = ledger.spends();
+                ChargeTree::Part {
+                    index: *index,
+                    parts: spends.len(),
+                    part_spent: spends.get(*index).copied().unwrap_or(0.0),
+                    max_spent: spends.iter().cloned().fold(0.0, f64::max),
+                    child: Box::new(ledger.parent().snapshot()),
+                }
+            }
         }
     }
 
@@ -251,6 +336,113 @@ mod tests {
         assert_eq!(part.describe(), "part[3]/scale(x2)/root");
         // Describing is free: nothing was spent anywhere.
         assert_eq!(acct.spent(), 0.0);
+    }
+
+    #[test]
+    fn traced_charges_capture_per_root_deltas() {
+        let acct = Accountant::new(10.0);
+        let root = Arc::new(ChargeNode::Root(acct.clone()));
+        let scaled = Arc::new(ChargeNode::Scaled {
+            parent: root,
+            factor: 2.0,
+        });
+        let ledger = Arc::new(crate::partition::PartitionLedger::new(scaled, 2));
+        let part0 = ChargeNode::PartitionPart {
+            ledger: ledger.clone(),
+            index: 0,
+        };
+        let part1 = ChargeNode::PartitionPart { ledger, index: 1 };
+        let meta = ChargeMeta::new("noisy_count", None);
+
+        let mut t0 = Vec::new();
+        part0
+            .charge_traced(0.3, &meta, "", &mut Some(&mut t0))
+            .unwrap();
+        // First charge raises the max from 0 to 0.3 → ×2 lands on the root.
+        assert_eq!(t0, vec![("part[0]/scale(x2)/root".to_string(), 0.6)]);
+
+        let mut t1 = Vec::new();
+        part1
+            .charge_traced(0.2, &meta, "", &mut Some(&mut t1))
+            .unwrap();
+        // Under the 0.3 max: nothing forwarded, but the path is still
+        // narrated with a zero delta.
+        assert_eq!(t1, vec![("part[1]/scale(x2)/root".to_string(), 0.0)]);
+
+        // The traced deltas sum to exactly what the accountant saw.
+        let traced: f64 = t0.iter().chain(&t1).map(|(_, d)| d).sum();
+        assert!((acct.spent() - traced).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_matches_what_a_charge_would_apply() {
+        let acct = Accountant::new(10.0);
+        let root = Arc::new(ChargeNode::Root(acct.clone()));
+        let ledger = Arc::new(crate::partition::PartitionLedger::new(root, 2));
+        let part = ChargeNode::PartitionPart {
+            ledger: ledger.clone(),
+            index: 1,
+        };
+        let mut predicted = Vec::new();
+        part.predict_into(0.4, "", &mut predicted);
+        assert_eq!(predicted, vec![("part[1]/root".to_string(), 0.4)]);
+        // Prediction is free.
+        assert_eq!(acct.spent(), 0.0);
+        assert_eq!(ledger.spends(), vec![0.0, 0.0]);
+
+        // After really charging, a second identical charge predicts the
+        // same delta a real walk would forward (full eps again: max grows).
+        part.charge(0.4).unwrap();
+        let mut again = Vec::new();
+        part.predict_into(0.4, "", &mut again);
+        assert_eq!(again, vec![("part[1]/root".to_string(), 0.4)]);
+        // The *other* part predicts a zero delta up to the current max.
+        let sibling = ChargeNode::PartitionPart { ledger, index: 0 };
+        let mut free = Vec::new();
+        sibling.predict_into(0.4, "", &mut free);
+        assert_eq!(free, vec![("part[0]/root".to_string(), 0.0)]);
+    }
+
+    #[test]
+    fn snapshot_mirrors_describe_structure() {
+        let acct = Accountant::new(10.0);
+        let root = Arc::new(ChargeNode::Root(acct.clone()));
+        let scaled = Arc::new(ChargeNode::Scaled {
+            parent: root,
+            factor: 2.0,
+        });
+        let ledger = Arc::new(crate::partition::PartitionLedger::new(scaled, 4));
+        let part = ChargeNode::PartitionPart { ledger, index: 3 };
+        part.charge(0.25).unwrap();
+        let tree = part.snapshot();
+        assert_eq!(tree.path(), "part[3]/scale(x2)/root");
+        match tree {
+            crate::explain::ChargeTree::Part {
+                index,
+                parts,
+                part_spent,
+                max_spent,
+                child,
+            } => {
+                assert_eq!((index, parts), (3, 4));
+                assert!((part_spent - 0.25).abs() < 1e-12);
+                assert!((max_spent - 0.25).abs() < 1e-12);
+                match *child {
+                    crate::explain::ChargeTree::Scaled { factor, child } => {
+                        assert_eq!(factor, 2.0);
+                        match *child {
+                            crate::explain::ChargeTree::Root { spent, total } => {
+                                assert!((spent - 0.5).abs() < 1e-12);
+                                assert_eq!(total, 10.0);
+                            }
+                            other => panic!("expected Root, got {other:?}"),
+                        }
+                    }
+                    other => panic!("expected Scaled, got {other:?}"),
+                }
+            }
+            other => panic!("expected Part, got {other:?}"),
+        }
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod budget;
 mod charge;
 pub mod error;
 pub mod exec;
+pub mod explain;
 pub mod mechanisms;
 pub mod parallel;
 mod partition;
@@ -69,6 +70,10 @@ pub mod types;
 pub use budget::{Accountant, OperatorTotal, SpendEvent, DEFAULT_LOG_CAPACITY};
 pub use error::{Error, Result};
 pub use exec::{ExecCtx, ExecPool};
+pub use explain::{
+    install_explain_recorder, uninstall_explain_recorder, ChargeTree, ExplainRecorder,
+    ExplainReport, ExplainTree, Overlay,
+};
 pub use policy::{SessionManager, TimedRelease};
 pub use queryable::Queryable;
 pub use rng::NoiseSource;

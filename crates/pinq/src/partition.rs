@@ -49,29 +49,49 @@ impl PartitionLedger {
     /// the maximum to the parent, rolling back on parent failure.
     #[cfg(test)]
     pub(crate) fn charge_child(&self, index: usize, eps: f64) -> Result<()> {
-        self.charge_child_with(index, eps, &ChargeMeta::new("direct", None), "")
+        self.charge_child_traced(index, eps, &ChargeMeta::new("direct", None), "", &mut None)
     }
 
-    /// [`PartitionLedger::charge_child`] with provenance threaded through:
-    /// the forwarded max-increase carries the same operator/label/path.
-    pub(crate) fn charge_child_with(
+    /// [`PartitionLedger::charge_child`] with provenance threaded through
+    /// (the forwarded max-increase carries the same operator/label/path)
+    /// that also records per-root
+    /// deltas into `trace` (see [`ChargeNode::charge_traced`]). The
+    /// forwarded delta is computed and traced while the ledger lock is
+    /// held, so the trace stays exact under concurrent part charges. A
+    /// charge absorbed below the current max traces a zero delta for every
+    /// root it would have reached, keeping per-path call counts honest.
+    pub(crate) fn charge_child_traced(
         &self,
         index: usize,
         eps: f64,
         meta: &ChargeMeta,
         path: &str,
+        trace: &mut Option<&mut Vec<(String, f64)>>,
     ) -> Result<()> {
         let mut spends = self.spends.lock();
         let old_max = Self::current_max(&spends);
         spends[index] += eps;
         let new_max = Self::current_max(&spends);
         if new_max > old_max {
-            if let Err(e) = self.parent.charge_with(new_max - old_max, meta, path) {
+            if let Err(e) = self
+                .parent
+                .charge_traced(new_max - old_max, meta, path, trace)
+            {
                 spends[index] -= eps;
                 return Err(e);
             }
+        } else if let Some(t) = trace.as_mut() {
+            self.parent.predict_into(0.0, path, t);
         }
         Ok(())
+    }
+
+    /// The delta a `charge_child(index, eps)` would forward to the parent
+    /// right now, given current part spends. Side-effect-free.
+    pub(crate) fn predict_child(&self, index: usize, eps: f64) -> f64 {
+        let spends = self.spends.lock();
+        let old_max = Self::current_max(&spends);
+        (spends[index] + eps).max(old_max) - old_max
     }
 
     /// Undo a previous `charge_child(index, eps)`, refunding the parent for
@@ -92,8 +112,7 @@ impl PartitionLedger {
         }
     }
 
-    /// Cumulative spend of each part (testing / introspection).
-    #[cfg(test)]
+    /// Cumulative spend of each part (explain snapshots / introspection).
     pub(crate) fn spends(&self) -> Vec<f64> {
         self.spends.lock().clone()
     }
@@ -175,6 +194,48 @@ mod tests {
         }
         // Inner parts are parallel (max 0.5), outer parts parallel again.
         assert!((acct.spent() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_child_never_mutates_and_matches_forwarding() {
+        let (acct, ledger) = ledger(1.0, 2);
+        ledger.charge_child(0, 0.4).unwrap();
+        // Under the max: forwarded delta would be zero.
+        assert_eq!(ledger.predict_child(1, 0.3), 0.0);
+        // Beyond the max: only the increase is forwarded.
+        assert!((ledger.predict_child(1, 0.5) - 0.1).abs() < 1e-12);
+        // Prediction left everything untouched.
+        assert_eq!(ledger.spends(), vec![0.4, 0.0]);
+        assert!((acct.spent() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_traced_charges_sum_to_the_accountant_spend() {
+        let (acct, ledger) = ledger(100.0, 8);
+        let ledger = Arc::new(ledger);
+        let meta = ChargeMeta::new("noisy_count", None);
+        let traced_total: f64 = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    let ledger = ledger.clone();
+                    let meta = meta.clone();
+                    s.spawn(move || {
+                        let mut local = Vec::new();
+                        for _ in 0..100 {
+                            ledger
+                                .charge_child_traced(i, 0.01, &meta, "part", &mut Some(&mut local))
+                                .unwrap();
+                        }
+                        local.iter().map(|(_, d)| d).sum::<f64>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        // Deltas were captured under the ledger lock, so they account for
+        // exactly what reached the source — no race can skew the split.
+        assert!((traced_total - acct.spent()).abs() < 1e-9);
+        assert!((acct.spent() - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -37,7 +37,8 @@ use crate::aggregates;
 use crate::budget::{Accountant, ChargeMeta};
 use crate::charge::ChargeNode;
 use crate::error::{check_epsilon, Error, Result};
-use crate::exec::{ExecCtx, ExecPool};
+use crate::exec::ExecCtx;
+use crate::explain::{ExplainTree, OpNode};
 use crate::partition::PartitionLedger;
 use crate::plan::{LazyPlan, View};
 use crate::rng::NoiseSource;
@@ -104,6 +105,9 @@ pub struct Queryable<T> {
     sink: SinkHandle,
     /// Execution context: where plans materialize and chunked kernels run.
     ctx: ExecCtx,
+    /// Operator lineage back to the source(s) — pure plan metadata for
+    /// [`Queryable::explain`]; never holds data.
+    lineage: Arc<OpNode>,
 }
 
 impl<T> Clone for Queryable<T> {
@@ -116,6 +120,7 @@ impl<T> Clone for Queryable<T> {
             label: self.label.clone(),
             sink: self.sink.clone(),
             ctx: self.ctx.clone(),
+            lineage: self.lineage.clone(),
         }
     }
 }
@@ -143,6 +148,7 @@ impl<T> Queryable<T> {
             label: None,
             sink: budget.sink_handle().clone(),
             ctx: ExecCtx::Sequential,
+            lineage: OpNode::source(None),
         }
     }
 
@@ -180,10 +186,11 @@ impl<T> Queryable<T> {
             // sink on the budget they hand out first.
             sink: budgets[0].sink_handle().clone(),
             ctx: ExecCtx::Sequential,
+            lineage: OpNode::source(Some(format!("{} budgets", budgets.len()))),
         }
     }
 
-    fn derive<U>(&self, records: Vec<U>, stability: f64) -> Queryable<U> {
+    fn derive<U>(&self, op: &'static str, records: Vec<U>, stability: f64) -> Queryable<U> {
         Queryable {
             data: Data::Ready(Arc::new(records)),
             charge: self.charge.clone(),
@@ -192,10 +199,17 @@ impl<T> Queryable<T> {
             label: self.label.clone(),
             sink: self.sink.clone(),
             ctx: self.ctx.clone(),
+            lineage: OpNode::derived(op, stability, false, None, self.lineage.clone()),
         }
     }
 
-    fn derive_lazy<U>(&self, plan: LazyPlan<U>, stability: f64) -> Queryable<U> {
+    fn derive_lazy<U>(
+        &self,
+        op: &'static str,
+        detail: Option<String>,
+        plan: LazyPlan<U>,
+        stability: f64,
+    ) -> Queryable<U> {
         Queryable {
             data: Data::Lazy(Arc::new(plan)),
             charge: self.charge.clone(),
@@ -204,6 +218,7 @@ impl<T> Queryable<T> {
             label: self.label.clone(),
             sink: self.sink.clone(),
             ctx: self.ctx.clone(),
+            lineage: OpNode::derived(op, stability, true, detail, self.lineage.clone()),
         }
     }
 
@@ -258,6 +273,7 @@ impl<T> Queryable<T> {
             label: self.label.clone(),
             sink: self.sink.clone(),
             ctx: self.ctx.clone(),
+            lineage: self.lineage.clone(),
         }
     }
 
@@ -301,6 +317,7 @@ impl<T> Queryable<T> {
             label: self.label.clone(),
             sink: self.sink.clone(),
             ctx: self.ctx.clone(),
+            lineage: self.lineage.clone(),
         }
     }
 
@@ -320,13 +337,56 @@ impl<T> Queryable<T> {
 
     /// Charge the budget for an aggregation at analyst accuracy `eps`,
     /// attributing the spend to `operator` in the ledger.
+    ///
+    /// When an [`ExplainRecorder`](crate::ExplainRecorder) is installed,
+    /// the charge walks the traced path: the per-root ε deltas are
+    /// captured under the partition-ledger lock (exactly what the
+    /// accountants applied) and folded into the recorder. A failed charge
+    /// records nothing — a combined node may roll back siblings, so a
+    /// partial trace would lie.
     fn pay(&self, eps: f64, operator: &'static str) -> Result<()> {
         check_epsilon(eps)?;
         if !(self.stability.is_finite() && self.stability > 0.0) {
             return Err(Error::InvalidStability(self.stability));
         }
         let meta = ChargeMeta::new(operator, self.label.clone());
-        self.charge.charge_with(self.stability * eps, &meta, "")
+        if let Some(rec) = crate::explain::recorder() {
+            let mut trace = Vec::new();
+            self.charge
+                .charge_traced(self.stability * eps, &meta, "", &mut Some(&mut trace))?;
+            rec.record(
+                operator,
+                &self.charge.describe(),
+                self.stability * eps,
+                &trace,
+            );
+            Ok(())
+        } else {
+            self.charge.charge_with(self.stability * eps, &meta, "")
+        }
+    }
+
+    /// Snapshot this pipeline into a side-effect-free
+    /// [`ExplainTree`]: operator lineage (with fusion boundaries and the
+    /// stability multiplier at each edge), the structured charge DAG, and
+    /// the arithmetic to predict what any pending aggregation would cost.
+    /// Nothing is charged and nothing materializes.
+    pub fn explain(&self) -> ExplainTree {
+        ExplainTree {
+            label: self.label.as_deref().map(str::to_string),
+            stability: self.stability,
+            pending_fused: match &self.data {
+                Data::Ready(_) => 0,
+                Data::Lazy(p) => match p.view() {
+                    // A memoized plan reads as a buffer: nothing pending.
+                    View::Source(_) => 0,
+                    View::Chain(_, _, fused) => fused,
+                },
+            },
+            materialized: matches!(self.view(), View::Source(_)),
+            lineage: self.lineage.clone(),
+            charge: self.charge.snapshot(),
+        }
     }
 
     /// Emit a [`TransformEvent`] for a just-derived queryable.
@@ -394,8 +454,14 @@ impl<T> Queryable<T> {
     /// The record counts only leave this function under `trusted-owner`.
     fn emit_plan(&self, fused: usize, wall_ns: u64, source_records: usize, output_records: usize) {
         let _ = (source_records, output_records);
+        // Process-wide ordinal: explain-analyze counts materializations per
+        // run by diffing, so monotonicity is all that matters here.
+        static MATERIALIZATIONS: std::sync::atomic::AtomicU64 =
+            std::sync::atomic::AtomicU64::new(1);
         self.sink.emit(|| {
             Event::Plan(PlanEvent {
+                materialization: MATERIALIZATIONS
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
                 fused_stages: fused as u64,
                 mode: self.ctx.mode(),
                 workers: self.ctx.workers() as u64,
@@ -476,7 +542,7 @@ impl<T> Queryable<T> {
                 },
             ),
         };
-        let q = self.derive_lazy(plan, self.stability);
+        let q = self.derive_lazy("filter", None, plan, self.stability);
         self.emit_transform("filter", q.stability, t.elapsed_ns(), 0);
         q
     }
@@ -508,7 +574,7 @@ impl<T> Queryable<T> {
                 },
             ),
         };
-        let q = self.derive_lazy(plan, self.stability);
+        let q = self.derive_lazy("map", None, plan, self.stability);
         self.emit_transform("map", q.stability, t.elapsed_ns(), 0);
         q
     }
@@ -560,7 +626,12 @@ impl<T> Queryable<T> {
                 },
             ),
         };
-        let q = self.derive_lazy(plan, self.stability * bound as f64);
+        let q = self.derive_lazy(
+            "select_many",
+            Some(format!("bound={bound}")),
+            plan,
+            self.stability * bound as f64,
+        );
         self.emit_transform("select_many", q.stability, t.elapsed_ns(), 0);
         Ok(q)
     }
@@ -595,7 +666,7 @@ impl<T> Queryable<T> {
             })
             .collect();
         let n_out = out.len();
-        let q = self.derive(out, self.stability * 2.0);
+        let q = self.derive("group_by", out, self.stability * 2.0);
         self.emit_transform("group_by", q.stability, t.elapsed_ns(), n_out);
         q
     }
@@ -616,7 +687,7 @@ impl<T> Queryable<T> {
             .cloned()
             .collect();
         let n_out = out.len();
-        let q = self.derive(out, self.stability);
+        let q = self.derive("distinct_by", out, self.stability);
         self.emit_transform("distinct_by", q.stability, t.elapsed_ns(), n_out);
         q
     }
@@ -683,6 +754,7 @@ impl<T> Queryable<T> {
             label: self.label.clone(),
             sink: self.sink.clone(),
             ctx: self.ctx.clone(),
+            lineage: OpNode::combined("join", self.lineage.clone(), other.lineage.clone()),
         };
         self.emit_transform("join", q.stability, t.elapsed_ns(), n_out);
         q
@@ -736,6 +808,7 @@ impl<T> Queryable<T> {
             label: self.label.clone(),
             sink: self.sink.clone(),
             ctx: self.ctx.clone(),
+            lineage: OpNode::combined("concat", self.lineage.clone(), other.lineage.clone()),
         };
         self.emit_transform("concat", q.stability, t.elapsed_ns(), n_out);
         q
@@ -766,6 +839,7 @@ impl<T> Queryable<T> {
             label: self.label.clone(),
             sink: self.sink.clone(),
             ctx: self.ctx.clone(),
+            lineage: OpNode::combined("intersect", self.lineage.clone(), other.lineage.clone()),
         };
         self.emit_transform("intersect", q.stability, t.elapsed_ns(), n_out);
         q
@@ -852,12 +926,13 @@ impl<T> Queryable<T> {
     /// [`PartitionLedger`], so that aggregations across parts charge the
     /// source budget their maximum (parallel composition).
     fn wrap_parts(&self, parts: Vec<Vec<T>>) -> Vec<Queryable<T>> {
+        let n_parts = parts.len();
         let ledger = Arc::new(PartitionLedger::new(
             Arc::new(ChargeNode::Scaled {
                 parent: self.charge.clone(),
                 factor: self.stability,
             }),
-            parts.len(),
+            n_parts,
         ));
         parts
             .into_iter()
@@ -873,6 +948,13 @@ impl<T> Queryable<T> {
                 label: self.label.clone(),
                 sink: self.sink.clone(),
                 ctx: self.ctx.clone(),
+                lineage: OpNode::derived(
+                    "partition",
+                    1.0,
+                    false,
+                    Some(format!("part[{index}] of {n_parts}")),
+                    self.lineage.clone(),
+                ),
             })
             .collect()
     }
@@ -1195,137 +1277,12 @@ impl<T> Queryable<T> {
         );
         r
     }
-
-    // ------------------------------------------------------------------
-    // Deprecated pool-twin wrappers
-    //
-    // PR 3 introduced `_with` twins of every operator; the execution
-    // context now lives on the queryable itself, so each twin is a thin
-    // delegating wrapper: bind the pool once with
-    // `.with_ctx(ExecCtx::pool(pool))` and call the unified operator.
-    // ------------------------------------------------------------------
-
-    /// Deprecated twin of [`Queryable::filter`] on an explicit pool.
-    #[deprecated(
-        note = "bind the pool once with `.with_ctx(ExecCtx::pool(pool))` and use `filter`"
-    )]
-    pub fn filter_with(
-        &self,
-        pred: impl Fn(&T) -> bool + Send + Sync + 'static,
-        pool: &ExecPool,
-    ) -> Queryable<T>
-    where
-        T: Clone + Send + Sync + 'static,
-    {
-        self.clone().with_ctx(ExecCtx::pool(pool)).filter(pred)
-    }
-
-    /// Deprecated twin of [`Queryable::map`] on an explicit pool.
-    #[deprecated(note = "bind the pool once with `.with_ctx(ExecCtx::pool(pool))` and use `map`")]
-    pub fn map_with<U>(
-        &self,
-        f: impl Fn(&T) -> U + Send + Sync + 'static,
-        pool: &ExecPool,
-    ) -> Queryable<U>
-    where
-        T: Send + Sync + 'static,
-        U: 'static,
-    {
-        self.clone().with_ctx(ExecCtx::pool(pool)).map(f)
-    }
-
-    /// Deprecated twin of [`Queryable::partition`] on an explicit pool.
-    #[deprecated(
-        note = "bind the pool once with `.with_ctx(ExecCtx::pool(pool))` and use `partition`"
-    )]
-    pub fn partition_with<K>(
-        &self,
-        keys: &[K],
-        key_fn: impl Fn(&T) -> K + Send + Sync,
-        pool: &ExecPool,
-    ) -> Result<Vec<Queryable<T>>>
-    where
-        K: Eq + Hash + Clone + Sync,
-        T: Clone + Send + Sync,
-    {
-        self.clone()
-            .with_ctx(ExecCtx::pool(pool))
-            .partition(keys, key_fn)
-    }
-
-    /// Deprecated twin of [`Queryable::noisy_count`] on an explicit pool.
-    #[deprecated(
-        note = "bind the pool once with `.with_ctx(ExecCtx::pool(pool))` and use `noisy_count`"
-    )]
-    pub fn noisy_count_with(&self, eps: f64, pool: &ExecPool) -> Result<f64>
-    where
-        T: Send + Sync,
-    {
-        self.clone().with_ctx(ExecCtx::pool(pool)).noisy_count(eps)
-    }
-
-    /// Deprecated twin of [`Queryable::noisy_sum`] on an explicit pool.
-    #[deprecated(
-        note = "bind the pool once with `.with_ctx(ExecCtx::pool(pool))` and use `noisy_sum`"
-    )]
-    pub fn noisy_sum_with(
-        &self,
-        eps: f64,
-        f: impl Fn(&T) -> f64 + Send + Sync,
-        pool: &ExecPool,
-    ) -> Result<f64>
-    where
-        T: Send + Sync,
-    {
-        self.clone().with_ctx(ExecCtx::pool(pool)).noisy_sum(eps, f)
-    }
-
-    /// Deprecated twin of [`Queryable::noisy_sum_clamped`] on an explicit
-    /// pool.
-    #[deprecated(
-        note = "bind the pool once with `.with_ctx(ExecCtx::pool(pool))` and use `noisy_sum_clamped`"
-    )]
-    pub fn noisy_sum_clamped_with(
-        &self,
-        eps: f64,
-        bound: f64,
-        f: impl Fn(&T) -> f64 + Send + Sync,
-        pool: &ExecPool,
-    ) -> Result<f64>
-    where
-        T: Send + Sync,
-    {
-        self.clone()
-            .with_ctx(ExecCtx::pool(pool))
-            .noisy_sum_clamped(eps, bound, f)
-    }
-
-    /// Deprecated twin of [`Queryable::noisy_median`] on an explicit pool.
-    #[deprecated(
-        note = "bind the pool once with `.with_ctx(ExecCtx::pool(pool))` and use `noisy_median`"
-    )]
-    #[allow(clippy::too_many_arguments)]
-    pub fn noisy_median_with(
-        &self,
-        eps: f64,
-        lo: f64,
-        hi: f64,
-        buckets: usize,
-        f: impl Fn(&T) -> f64 + Send + Sync,
-        pool: &ExecPool,
-    ) -> Result<f64>
-    where
-        T: Send + Sync,
-    {
-        self.clone()
-            .with_ctx(ExecCtx::pool(pool))
-            .noisy_median(eps, lo, hi, buckets, f)
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::ExecPool;
 
     #[derive(Clone, Debug, PartialEq)]
     struct Pkt {
@@ -1784,5 +1741,90 @@ mod tests {
         let seq = run(ExecCtx::Sequential);
         let pool = ExecPool::new(4).unwrap().with_chunk_size(256);
         assert_eq!(run(ExecCtx::pool(&pool)), seq);
+    }
+
+    #[test]
+    fn explain_snapshots_lineage_without_side_effects() {
+        let (acct, q) = setup(10.0);
+        let lazy = q.filter(|p| p.port == 80);
+        let tree = lazy.explain();
+        assert_eq!(tree.pending_fused, 1);
+        assert!(!tree.materialized);
+        assert_eq!(tree.lineage.op, "filter");
+        assert!(tree.lineage.fused);
+        assert_eq!(tree.lineage.inputs[0].op, "source");
+
+        let shaped = lazy.group_by(|p| p.src);
+        let tree = shaped.explain();
+        assert_eq!(tree.stability, 2.0);
+        assert_eq!(tree.pending_fused, 0);
+        assert!(tree.materialized);
+        assert_eq!(tree.lineage.op, "group_by");
+        assert_eq!(tree.lineage.inputs[0].op, "filter");
+        // Predicting a pending noisy_count(0.1): stability 2 × 0.1 at root.
+        let predicted = tree.predict(0.1);
+        assert_eq!(predicted.len(), 1);
+        assert_eq!(predicted[0].0, "root");
+        assert!((predicted[0].1 - 0.2).abs() < 1e-12);
+        // Explain charged nothing.
+        assert!(acct.spent().abs() < 1e-12);
+    }
+
+    #[test]
+    fn explain_lineage_tracks_partitions_and_combinators() {
+        let (_, q) = setup(10.0);
+        let parts = q.partition(&[80u16, 443], |p| p.port).unwrap();
+        let tree = parts[1].explain();
+        assert_eq!(tree.lineage.op, "partition");
+        assert_eq!(tree.lineage.detail.as_deref(), Some("part[1] of 2"));
+        assert_eq!(tree.charge.path(), "part[1]/scale(x1)/root");
+
+        let joined = parts[0].concat(&parts[1]);
+        let tree = joined.explain();
+        assert_eq!(tree.lineage.op, "concat");
+        assert_eq!(tree.lineage.inputs.len(), 2);
+        assert!(matches!(
+            tree.charge,
+            crate::explain::ChargeTree::Combined(_)
+        ));
+    }
+
+    #[test]
+    fn installed_recorder_captures_real_partition_charges() {
+        let _guard = crate::explain::test_global_guard();
+        let acct = Accountant::new(10.0);
+        let noise = NoiseSource::seeded(7);
+        let q = Queryable::new(trace(), &acct, &noise);
+        // select_many(7, ..) gives a scale(x7) edge no other test produces,
+        // so this test's records are identifiable even though the recorder
+        // is process-global and other tests may charge concurrently.
+        let expanded = q.select_many(7, |p| vec![p.port]).unwrap();
+        let parts = expanded.partition(&[80u16, 443], |p| *p).unwrap();
+
+        let rec = Arc::new(crate::explain::ExplainRecorder::new());
+        crate::explain::install_explain_recorder(rec.clone());
+        parts[0].noisy_count(0.05).unwrap();
+        parts[1].noisy_count(0.05).unwrap();
+        crate::explain::uninstall_explain_recorder();
+
+        let report = rec.report();
+        let agg = report
+            .aggregations
+            .iter()
+            .find(|a| a.operator == "noisy_count" && a.path == "part[*]/scale(x7)/root")
+            .expect("aggregation recorded");
+        assert_eq!(agg.calls, 2);
+        assert!((agg.requested_eps - 0.1).abs() < 1e-12);
+        // Part 0 raised the max by 0.05 (×7 at the root); part 1 was
+        // absorbed. Predicted per-path ε equals what the accountant saw.
+        assert!((agg.predicted_eps - 0.35).abs() < 1e-12);
+        assert!((acct.spent() - 0.35).abs() < 1e-12);
+        let by_full: std::collections::BTreeMap<&str, f64> = report
+            .full_paths
+            .iter()
+            .map(|p| (p.path.as_str(), p.predicted_eps))
+            .collect();
+        assert!((by_full["part[0]/scale(x7)/root"] - 0.35).abs() < 1e-12);
+        assert!(by_full["part[1]/scale(x7)/root"].abs() < 1e-12);
     }
 }
