@@ -5,6 +5,7 @@
 //! bench_guard speedup <seq.json> <par.json> [--min 1.5]
 //! bench_guard kernel-speedup [--workers 4] [--min 1.5]
 //! bench_guard record [--out bench-reports] [<id> ...]
+//! bench_guard record --check [--out bench-reports]
 //! bench_guard golden <current.json> <golden.json>
 //! ```
 //!
@@ -32,6 +33,17 @@
 //! machine. Run it after an intentional engine change, then commit the
 //! refreshed baseline alongside the change.
 //!
+//! `record --check` is the dry-run staleness gate: it touches nothing and
+//! instead verifies that the committed fixtures the other gates consume —
+//! `BENCH_baseline.json` and every `GOLDEN_*.json` under the report
+//! directory — were produced by the current report schema. Run-report
+//! fixtures must carry `schema_version` equal to
+//! [`dpnet_bench::report::SCHEMA_VERSION`]; explain-format fixtures must
+//! parse with the current explain-semantics reader. Any stale file fails
+//! (exit 1) with the exact regeneration command, so a schema bump cannot
+//! silently turn the compare/golden gates into no-ops that misread old
+//! field layouts.
+//!
 //! `golden` compares only the *semantic* fields of two reports — experiment
 //! ids, their `eps_charged`, and each phase's name and `eps_spent` — and
 //! ignores wall times entirely. CI runs a fast fixed-seed experiment and
@@ -55,7 +67,7 @@
 //! and wall times cannot.
 
 use dpnet_bench::experiments as exp;
-use dpnet_bench::report::RunReport;
+use dpnet_bench::report::{RunReport, SCHEMA_VERSION};
 use dpnet_obs::{set_global_sink, MemorySink};
 use dpnet_trace::gen::scatter::{generate_with, ScatterConfig};
 use pinq::{Accountant, ExecCtx, ExecPool, NoiseSource, Queryable};
@@ -525,6 +537,111 @@ fn cmd_record(out_dir: &str, ids: &[String]) -> i32 {
     }
 }
 
+/// One fixture's freshness verdict for `record --check`: `Ok` carries a
+/// printable status, `Err` the reason the file is stale. Pure on the file
+/// name and contents so the logic is testable without a filesystem.
+fn check_fixture_text(name: &str, text: &str) -> Result<String, String> {
+    if text.contains("\"explain\":") {
+        // Explain-format fixtures carry no run-report schema_version; the
+        // current-parser round trip is the schema check.
+        return match explain_semantics(text, name) {
+            Ok(s) => Ok(format!(
+                "explain report for '{}' parses ({} aggregation sites, {} charge paths)",
+                s.title,
+                s.aggregations.len(),
+                s.paths.len()
+            )),
+            Err(e) => Err(format!("does not parse as a current explain report: {e}")),
+        };
+    }
+    match field_u64(text, "schema_version") {
+        Some(v) if v == SCHEMA_VERSION => Ok(format!("schema_version {v}")),
+        Some(v) => Err(format!(
+            "schema_version {v}, current schema is {SCHEMA_VERSION}"
+        )),
+        None => Err(format!(
+            "no schema_version field (predates schema {SCHEMA_VERSION})"
+        )),
+    }
+}
+
+/// The exact command that regenerates a stale fixture, by file name.
+fn regenerate_hint(name: &str) -> String {
+    if name == "BENCH_baseline.json" {
+        return "cargo run --release -p dpnet-bench --bin bench_guard -- record".to_string();
+    }
+    if let Some(id) = name
+        .strip_prefix("GOLDEN_explain_")
+        .and_then(|s| s.strip_suffix(".json"))
+    {
+        return format!(
+            "cargo run --release -p dpnet-cli --bin dpnet -- explain {id} --format json \
+             --out bench-reports/{name}"
+        );
+    }
+    if let Some(id) = name
+        .strip_prefix("GOLDEN_")
+        .and_then(|s| s.strip_suffix(".json"))
+    {
+        return format!(
+            "cargo run --release -p dpnet-bench --bin repro -- {id} && \
+             cp bench-reports/BENCH_{id}.json bench-reports/{name}"
+        );
+    }
+    format!("regenerate bench-reports/{name} with the tool that produced it")
+}
+
+fn cmd_record_check(out_dir: &str) -> i32 {
+    let dir = std::path::Path::new(out_dir);
+    // The baseline is checked even when absent; goldens are whatever is
+    // committed (sorted so the output is stable).
+    let mut names = vec!["BENCH_baseline.json".to_string()];
+    match std::fs::read_dir(dir) {
+        Ok(entries) => {
+            let mut goldens: Vec<String> = entries
+                .filter_map(Result::ok)
+                .filter_map(|e| e.file_name().into_string().ok())
+                .filter(|n| n.starts_with("GOLDEN_") && n.ends_with(".json"))
+                .collect();
+            goldens.sort();
+            names.extend(goldens);
+        }
+        Err(e) => {
+            eprintln!("cannot read {out_dir}: {e}");
+            return 2;
+        }
+    }
+    let mut stale = Vec::new();
+    for name in &names {
+        match std::fs::read_to_string(dir.join(name)) {
+            Ok(text) => match check_fixture_text(name, &text) {
+                Ok(status) => println!("[fresh] {name}: {status}"),
+                Err(reason) => {
+                    eprintln!("[STALE] {name}: {reason}");
+                    stale.push(name.clone());
+                }
+            },
+            Err(e) => {
+                eprintln!("[STALE] {name}: cannot read: {e}");
+                stale.push(name.clone());
+            }
+        }
+    }
+    if stale.is_empty() {
+        println!("record --check: all committed fixtures match schema {SCHEMA_VERSION}");
+        return 0;
+    }
+    eprintln!(
+        "\nbench_guard: {} committed fixture(s) stale against schema {SCHEMA_VERSION}; \
+         regenerate and commit:",
+        stale.len()
+    );
+    for name in &stale {
+        eprintln!("  {}", regenerate_hint(name));
+    }
+    1
+}
+
 fn cmd_golden(current: &str, golden: &str) -> i32 {
     let read =
         |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
@@ -765,23 +882,27 @@ fn main() {
                 .and_then(|i| args.get(i + 1))
                 .cloned()
                 .unwrap_or_else(|| "bench-reports".to_string());
-            let ids: Vec<String> = {
-                let mut rest = Vec::new();
-                let mut skip = false;
-                for a in &args[1..] {
-                    if skip {
-                        skip = false;
-                        continue;
+            if args.iter().any(|a| a == "--check") {
+                cmd_record_check(&out)
+            } else {
+                let ids: Vec<String> = {
+                    let mut rest = Vec::new();
+                    let mut skip = false;
+                    for a in &args[1..] {
+                        if skip {
+                            skip = false;
+                            continue;
+                        }
+                        if a == "--out" {
+                            skip = true;
+                            continue;
+                        }
+                        rest.push(a.clone());
                     }
-                    if a == "--out" {
-                        skip = true;
-                        continue;
-                    }
-                    rest.push(a.clone());
-                }
-                rest
-            };
-            cmd_record(&out, &ids)
+                    rest
+                };
+                cmd_record(&out, &ids)
+            }
         }
         Some("golden") if args.len() >= 3 => cmd_golden(&args[1], &args[2]),
         Some("profile") if args.len() >= 3 => cmd_profile(&args[1], &args[2]),
@@ -792,6 +913,7 @@ fn main() {
                  \x20      bench_guard speedup <seq.json> <par.json> [--min 1.5]\n\
                  \x20      bench_guard kernel-speedup [--workers 4] [--min 1.5]\n\
                  \x20      bench_guard record [--out bench-reports] [<id> ...]\n\
+                 \x20      bench_guard record --check [--out bench-reports]\n\
                  \x20      bench_guard golden <current.json> <golden.json>\n\
                  \x20      bench_guard profile <a.json> <b.json>\n\
                  \x20      bench_guard explain <current.json> <golden.json>"
@@ -906,6 +1028,40 @@ mod tests {
         let mut renamed = base.clone();
         renamed.paths[1].0 = "scale(x2)/root".to_string();
         assert!(!explain_drift(&renamed, &base).is_empty());
+    }
+
+    #[test]
+    fn fixture_check_accepts_the_current_schema_only() {
+        let current = format!("{{\"schema_version\":{SCHEMA_VERSION},\"target\":\"baseline\"}}");
+        assert!(check_fixture_text("BENCH_baseline.json", &current).is_ok());
+        // An older version and a pre-versioned report are both stale.
+        let old = "{\"schema_version\":1,\"target\":\"baseline\"}";
+        let reason = check_fixture_text("BENCH_baseline.json", old).unwrap_err();
+        assert!(reason.contains("schema_version 1"), "{reason}");
+        let reason = check_fixture_text("BENCH_baseline.json", SAMPLE).unwrap_err();
+        assert!(reason.contains("no schema_version"), "{reason}");
+    }
+
+    #[test]
+    fn fixture_check_round_trips_explain_fixtures_through_the_parser() {
+        let status = check_fixture_text("GOLDEN_explain_fig1.json", EXPLAIN_SAMPLE).unwrap();
+        assert!(status.contains("2 aggregation sites"), "{status}");
+        let reason =
+            check_fixture_text("GOLDEN_explain_fig1.json", "{\"explain\":\"x\"}").unwrap_err();
+        assert!(reason.contains("explain report"), "{reason}");
+    }
+
+    #[test]
+    fn regenerate_hints_name_the_producing_command() {
+        assert!(regenerate_hint("BENCH_baseline.json").contains("bench_guard -- record"));
+        let golden = regenerate_hint("GOLDEN_fig1.json");
+        assert!(golden.contains("repro -- fig1"), "{golden}");
+        assert!(
+            golden.contains("cp bench-reports/BENCH_fig1.json"),
+            "{golden}"
+        );
+        let explain = regenerate_hint("GOLDEN_explain_fig1.json");
+        assert!(explain.contains("explain fig1 --format json"), "{explain}");
     }
 
     #[test]

@@ -10,13 +10,25 @@
 use dpnet_trace::gen::hotspot::{self, HotspotConfig, HotspotTrace};
 use dpnet_trace::gen::isp::{self, IspConfig, IspTrace};
 use dpnet_trace::gen::scatter::{self, ScatterConfig, ScatterTrace};
-use std::sync::OnceLock;
+use dpnet_trace::Packet;
+use std::sync::{Arc, OnceLock};
 
 /// The experiment Hotspot trace (~a few hundred thousand packets; the
 /// paper's capture had 7.0 M — same structure, smaller constant).
 pub fn hotspot() -> &'static HotspotTrace {
     static CACHE: OnceLock<HotspotTrace> = OnceLock::new();
     CACHE.get_or_init(|| hotspot::generate(HotspotConfig::default()))
+}
+
+/// The experiment Hotspot packets as `Arc`-shared shards, built once per
+/// process. Experiments wrap these with
+/// `pinq::Queryable::from_shared_shards`, so each protected view costs one
+/// reference bump per shard instead of cloning a few hundred thousand
+/// packets per run; the flat record order is [`fn@hotspot`]'s packet
+/// order, so releases are bit-identical to views over the row vector.
+pub fn hotspot_shards() -> &'static Vec<Arc<Vec<Packet>>> {
+    static CACHE: OnceLock<Vec<Arc<Vec<Packet>>>> = OnceLock::new();
+    CACHE.get_or_init(|| hotspot().packet_shards())
 }
 
 /// A reduced Hotspot trace for quick runs and 1/10th-data experiments.

@@ -74,7 +74,10 @@ fn run_ctx(eps_total: f64, ctx: ExecCtx) -> Result<(Fig1, String)> {
 
     let budget = Accountant::new(1e9);
     let noise = NoiseSource::seeded(0xf1);
-    let q = Queryable::new(trace.packets.clone(), &budget, &noise).with_ctx(ctx);
+    // Shared shards: wrapping is Arc bumps, not a trace copy, and the flat
+    // order matches `trace.packets`, so releases are unchanged.
+    let q = Queryable::from_shared_shards(datasets::hotspot_shards().clone(), &budget, &noise)
+        .with_ctx(ctx);
     let delays = private_retx_delays(&q);
 
     let levels = (BUCKETS.next_power_of_two().trailing_zeros() + 1) as f64;

@@ -59,7 +59,8 @@ fn run_ctx(eps: f64, ctx: ExecCtx) -> (Vec<ItemsetRow>, String) {
     let trace = datasets::hotspot();
     let budget = Accountant::new(1e9);
     let noise = NoiseSource::seeded(0x17e3);
-    let q = Queryable::new(trace.packets.clone(), &budget, &noise).with_ctx(ctx);
+    let q = Queryable::from_shared_shards(datasets::hotspot_shards().clone(), &budget, &noise)
+        .with_ctx(ctx);
 
     // Per-host port sets. Each record carries the host address as an item
     // outside the 16-bit port space, keeping records distinct (the

@@ -72,7 +72,9 @@ fn run_on_impl(
 
     let budget = Accountant::new(1e9);
     let noise = NoiseSource::seeded(0x3042);
-    let q = Queryable::new(trace.packets.clone(), &budget, &noise);
+    // Generator-emitted shards: the trace enters the engine pre-chunked
+    // (flat order unchanged, so releases are identical to a flat source).
+    let q = Queryable::from_shared_shards(trace.packet_shards(), &budget, &noise);
 
     // The paper's companion measurement: count payload groups with > 5
     // distinct sources and destinations, without revealing the payloads.

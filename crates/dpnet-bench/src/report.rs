@@ -131,6 +131,15 @@ pub struct ExperimentRun {
 /// floor rather than serialized.
 pub const ATTRIBUTION_TOP: usize = 10;
 
+/// Version of the `BENCH_*.json` / `GOLDEN_*.json` schema. Bump this when
+/// the report layout changes shape (fields added/removed/renamed) so
+/// `bench_guard record --check` can flag committed baselines that predate
+/// the change instead of letting the naive field scanners misread them.
+///
+/// History: 1 = pre-versioned reports (no `schema_version` field);
+/// 2 = columnar data plane (adds `schema_version`).
+pub const SCHEMA_VERSION: u64 = 2;
+
 /// Wall time of a fixed CPU-bound spin, measured on this machine right
 /// now (best of three to dodge scheduler noise). Recorded in every run
 /// report so the regression guard can compare wall times across machines
@@ -324,6 +333,7 @@ impl RunReport {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push('{');
+        out.push_str(&format!("\"schema_version\":{SCHEMA_VERSION},"));
         out.push_str(&format!("\"target\":{},", escape(&self.target)));
         out.push_str(&format!("\"workers\":{},", self.workers));
         out.push_str(&format!("\"calibration_ns\":{},", self.calibration_ns));
@@ -487,6 +497,16 @@ mod tests {
         assert!(a > 0 && b > 0);
         let ratio = a.max(b) as f64 / a.min(b) as f64;
         assert!(ratio < 10.0, "calibration unstable: {a} vs {b}");
+    }
+
+    #[test]
+    fn run_report_json_carries_the_schema_version() {
+        let r = RunReport::new("test");
+        let json = r.to_json();
+        assert!(
+            json.starts_with(&format!("{{\"schema_version\":{SCHEMA_VERSION},")),
+            "schema_version must lead the report: {json}"
+        );
     }
 
     #[test]

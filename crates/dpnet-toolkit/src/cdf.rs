@@ -79,12 +79,16 @@ pub fn cdf_naive(data: &Queryable<usize>, n_buckets: usize, eps: f64) -> Result<
 pub fn cdf_partition(data: &Queryable<usize>, n_buckets: usize, eps: f64) -> Result<Vec<f64>> {
     let _prof = span::enter("cdf_partition");
     let timer = SpanTimer::start();
+    // Batched fan-out: one shard-parallel histogram pass instead of
+    // materializing 256 single-bucket parts. Charges and noise draws run in
+    // part order through the same partition ledger, so the releases are
+    // bit-identical to the per-part loop this replaces.
     let keys: Vec<usize> = (0..n_buckets).collect();
-    let parts = data.partition(&keys, |&v| v)?;
+    let counts = data.partition_noisy_counts(&keys, |&v| v, eps)?;
     let mut out = Vec::with_capacity(n_buckets);
     let mut tally = 0.0;
-    for part in &parts {
-        tally += part.noisy_count(eps)?;
+    for c in counts {
+        tally += c;
         out.push(tally);
     }
     // Parallel composition: ε total regardless of resolution.

@@ -20,6 +20,19 @@
 use dpnet_obs::{emit_phase_global, SpanTimer};
 use pinq::{Queryable, Result};
 
+/// Pack up to 8 prefix bytes into one big-endian `u64` code. Distinct
+/// prefixes of one length map to distinct codes, so at `length ≤ 8` each
+/// extension round can partition on integer keys instead of `Vec<u8>`
+/// allocations.
+fn pack(bytes: &[u8]) -> u64 {
+    debug_assert!(bytes.len() <= 8);
+    let mut code = 0u64;
+    for &b in bytes {
+        code = (code << 8) | u64::from(b);
+    }
+    code
+}
+
 /// Configuration for the frequent-string search.
 #[derive(Debug, Clone)]
 pub struct FrequentStringsConfig {
@@ -78,37 +91,68 @@ pub fn frequent_strings(
 
     for level in 1..=cfg.length {
         levels_run = level;
-        // Candidates: every viable prefix extended by every byte value.
-        let mut candidates: Vec<Vec<u8>> = Vec::with_capacity(viable.len() * 256);
-        for prefix in &viable {
-            for b in 0..=255u8 {
-                let mut c = prefix.clone();
-                c.push(b);
-                candidates.push(c);
+        // Candidates: every viable prefix extended by every byte value, in
+        // prefix-then-byte order. One batched partitioned count covers the
+        // whole round — a single histogram pass over the records instead of
+        // materializing up to `max_viable × 256` per-part buffers. Records
+        // too short for a `level`-byte prefix map to a key outside the
+        // candidate list and are dropped, as under `partition`.
+        let round_counts: Vec<f64> = if cfg.length <= 8 {
+            // Fast path: prefixes pack into u64 codes, so each record is
+            // keyed by one shift-or loop and candidate keys cost nothing to
+            // build. `None` marks too-short records; it can never collide
+            // with a candidate code.
+            let mut codes: Vec<Option<u64>> = Vec::with_capacity(viable.len() * 256);
+            for prefix in &viable {
+                let base = pack(prefix) << 8;
+                for b in 0..=255u64 {
+                    codes.push(Some(base | b));
+                }
             }
-        }
-        // Partition records by their `level`-byte prefix. Records too short
-        // to have such a prefix map to a key outside the candidate list and
-        // are dropped by Partition.
-        let parts = data.partition(&candidates, |rec: &Vec<u8>| {
-            if rec.len() >= level {
-                rec[..level].to_vec()
-            } else {
-                Vec::new() // never a candidate at level ≥ 1
+            data.partition_noisy_counts(
+                &codes,
+                move |rec: &Vec<u8>| (rec.len() >= level).then(|| pack(&rec[..level])),
+                cfg.eps_per_level,
+            )?
+        } else {
+            let mut candidates: Vec<Vec<u8>> = Vec::with_capacity(viable.len() * 256);
+            for prefix in &viable {
+                for b in 0..=255u8 {
+                    let mut c = prefix.clone();
+                    c.push(b);
+                    candidates.push(c);
+                }
             }
-        })?;
-        let mut survivors: Vec<(Vec<u8>, f64)> = Vec::new();
-        for (cand, part) in candidates.into_iter().zip(&parts) {
-            let c = part.noisy_count(cfg.eps_per_level)?;
-            if c > cfg.threshold {
-                survivors.push((cand, c));
-            }
-        }
+            data.partition_noisy_counts(
+                &candidates,
+                move |rec: &Vec<u8>| {
+                    if rec.len() >= level {
+                        rec[..level].to_vec()
+                    } else {
+                        Vec::new() // never a candidate at level ≥ 1
+                    }
+                },
+                cfg.eps_per_level,
+            )?
+        };
         // Keep only the strongest candidates (post-processing of released
-        // counts — no privacy cost).
+        // counts — no privacy cost). Candidate `i` is `viable[i / 256]`
+        // extended by byte `i % 256`; only survivors get their bytes built.
+        let mut survivors: Vec<(usize, f64)> = round_counts
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, c)| c > cfg.threshold)
+            .collect();
         survivors.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite counts"));
         survivors.truncate(cfg.max_viable);
-        viable = survivors.iter().map(|(c, _)| c.clone()).collect();
+        viable = survivors
+            .iter()
+            .map(|&(i, _)| {
+                let mut c = viable[i / 256].clone();
+                c.push((i % 256) as u8);
+                c
+            })
+            .collect();
         counts = survivors.into_iter().map(|(_, c)| c).collect();
         if viable.is_empty() {
             break;

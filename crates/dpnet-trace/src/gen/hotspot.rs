@@ -163,6 +163,31 @@ pub struct HotspotTrace {
     pub truth: HotspotTruth,
 }
 
+/// Records per shard emitted by [`HotspotTrace::packet_shards`]: large
+/// enough that shard bookkeeping is negligible, small enough that a pool's
+/// fixed-size task chunks overlap several shards.
+pub const SHARD_RECORDS: usize = 1 << 16;
+
+impl HotspotTrace {
+    /// The trace in columnar (SoA, dictionary-encoded) form. Payloads come
+    /// from the generator's pooled strings, so the dictionary is a few
+    /// hundred entries regardless of packet count.
+    pub fn columns(&self) -> crate::columns::PacketColumns {
+        crate::columns::PacketColumns::from_packets(&self.packets)
+    }
+
+    /// The trace as `Arc`-shared row shards of [`SHARD_RECORDS`] packets,
+    /// in timestamp order — the form protected views are built from
+    /// (`pinq::Queryable::from_shared_shards`) without cloning the trace
+    /// per experiment run.
+    pub fn packet_shards(&self) -> Vec<std::sync::Arc<Vec<Packet>>> {
+        self.packets
+            .chunks(SHARD_RECORDS)
+            .map(|c| std::sync::Arc::new(c.to_vec()))
+            .collect()
+    }
+}
+
 /// Common destination server ports, popularity-ordered (Zipf ranks).
 pub const COMMON_PORTS: [u16; 14] = [
     80, 443, 53, 22, 25, 110, 143, 993, 445, 139, 8080, 123, 465, 587,

@@ -12,10 +12,12 @@
 //! A pool run takes `n` independent tasks. Workers claim task indices from a
 //! shared atomic counter — the single-injector analog of work stealing: an
 //! idle worker always finds the next unclaimed task, so load balances even
-//! when task costs are skewed. Each result travels back through a typed
-//! [`std::sync::mpsc`] channel tagged with its task index, and the pool
-//! reassembles results **in task order** before returning. Threads are
-//! scoped ([`std::thread::scope`]), so tasks may freely borrow from the
+//! when task costs are skewed. Each worker writes its result directly into
+//! a preallocated per-task slot (one writer per slot, so the slot locks are
+//! never contended), and after the workers join the pool unwraps the slots
+//! **in task order**. There is no result channel and no post-join drain
+//! loop — completing in order costs nothing beyond the slot write. Threads
+//! are scoped ([`std::thread::scope`]), so tasks may freely borrow from the
 //! caller's stack; the crate-wide `forbid(unsafe_code)` holds.
 //!
 //! ## Determinism contract
@@ -41,9 +43,9 @@
 use crate::error::{Error, Result};
 use dpnet_obs::span;
 use dpnet_obs::{Histogram, MetricsRegistry};
+use parking_lot::Mutex;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -56,8 +58,9 @@ struct RunTelemetry {
     /// Per worker per run: worker wall-clock minus busy time (claim
     /// contention plus scheduling tail).
     idle: Arc<Histogram>,
-    /// Per run: ns spent draining the result channel into ordered slots
-    /// after the workers joined.
+    /// Per run: ns spent unwrapping the ordered result slots after the
+    /// workers joined (workers write slots directly, so this is a single
+    /// move pass, not a drain loop).
     reassembly: Arc<Histogram>,
     /// Tasks claimed beyond a worker's fair share ⌊n/threads⌋ — the
     /// work-stealing analog. Task counts are data-dependent (input sizes
@@ -208,12 +211,15 @@ impl ExecPool {
         let telemetry = profiled.then(RunTelemetry::resolve);
         let fair_share = n / threads;
         let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        // One slot per task, written directly by whichever worker claims the
+        // task. Exactly one worker ever touches a given slot, so the lock is
+        // uncontended — it exists only to satisfy `forbid(unsafe_code)`.
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for w in 0..threads {
-                let tx = tx.clone();
                 let next = &next;
                 let f = &f;
+                let slots = &slots;
                 let telemetry = telemetry.as_ref();
                 scope.spawn(move || {
                     let started = Instant::now();
@@ -228,8 +234,6 @@ impl ExecPool {
                             break;
                         }
                         claims += 1;
-                        // The receiver outlives the scope, so a send can
-                        // only fail if it was dropped early — never is.
                         if let Some(t) = telemetry {
                             #[cfg(feature = "trusted-owner")]
                             t.queue_depth.record_ns((n - i) as u64);
@@ -240,9 +244,9 @@ impl ExecPool {
                                 f(i)
                             };
                             busy_ns += task_start.elapsed().as_nanos() as u64;
-                            let _ = tx.send((i, r));
+                            *slots[i].lock() = Some(r);
                         } else {
-                            let _ = tx.send((i, f(i)));
+                            *slots[i].lock() = Some(f(i));
                         }
                     }
                     if let Some(t) = telemetry {
@@ -258,16 +262,14 @@ impl ExecPool {
                 });
             }
         });
-        drop(tx);
 
         let drain_start = telemetry.as_ref().map(|_| Instant::now());
-        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        for (i, r) in rx {
-            slots[i] = Some(r);
-        }
         let out: Vec<R> = slots
             .into_iter()
-            .map(|s| s.expect("every task index is claimed exactly once"))
+            .map(|s| {
+                s.into_inner()
+                    .expect("every task index is claimed exactly once")
+            })
             .collect();
         if let (Some(t), Some(at)) = (&telemetry, drain_start) {
             t.reassembly.record_ns(at.elapsed().as_nanos() as u64);

@@ -65,6 +65,7 @@ mod plan;
 pub mod policy;
 pub mod queryable;
 pub mod rng;
+mod shard;
 pub mod types;
 
 pub use budget::{Accountant, OperatorTotal, SpendEvent, DEFAULT_LOG_CAPACITY};

@@ -18,12 +18,23 @@ use crate::error::Result;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
+/// Per-part spends plus the running maximum, kept under one lock so a
+/// charge is O(1): the max can only grow through the part that was just
+/// incremented, so no rescan is needed. (With 2^k-way fan-outs the old
+/// scan-per-charge made the worm search quadratic in the part count.)
+#[derive(Debug)]
+struct LedgerState {
+    /// Cumulative spend per part.
+    spends: Vec<f64>,
+    /// `spends.iter().fold(0.0, f64::max)`, maintained incrementally.
+    max: f64,
+}
+
 /// Shared accounting state for the parts of one `Partition` operation.
 #[derive(Debug)]
 pub(crate) struct PartitionLedger {
     parent: Arc<ChargeNode>,
-    /// Cumulative spend per part.
-    spends: Mutex<Vec<f64>>,
+    state: Mutex<LedgerState>,
 }
 
 impl PartitionLedger {
@@ -31,7 +42,10 @@ impl PartitionLedger {
     pub(crate) fn new(parent: Arc<ChargeNode>, parts: usize) -> Self {
         PartitionLedger {
             parent,
-            spends: Mutex::new(vec![0.0; parts]),
+            state: Mutex::new(LedgerState {
+                spends: vec![0.0; parts],
+                max: 0.0,
+            }),
         }
     }
 
@@ -39,10 +53,6 @@ impl PartitionLedger {
     /// path rendering — see [`ChargeNode::describe`]).
     pub(crate) fn parent(&self) -> &Arc<ChargeNode> {
         &self.parent
-    }
-
-    fn current_max(spends: &[f64]) -> f64 {
-        spends.iter().cloned().fold(0.0, f64::max)
     }
 
     /// Spend `eps` on behalf of part `index`; forwards only the increase of
@@ -68,18 +78,20 @@ impl PartitionLedger {
         path: &str,
         trace: &mut Option<&mut Vec<(String, f64)>>,
     ) -> Result<()> {
-        let mut spends = self.spends.lock();
-        let old_max = Self::current_max(&spends);
-        spends[index] += eps;
-        let new_max = Self::current_max(&spends);
+        let mut st = self.state.lock();
+        let old_max = st.max;
+        st.spends[index] += eps;
+        // Only the incremented part can raise the max, so this stays O(1).
+        let new_max = st.spends[index].max(old_max);
         if new_max > old_max {
             if let Err(e) = self
                 .parent
                 .charge_traced(new_max - old_max, meta, path, trace)
             {
-                spends[index] -= eps;
+                st.spends[index] -= eps;
                 return Err(e);
             }
+            st.max = new_max;
         } else if let Some(t) = trace.as_mut() {
             self.parent.predict_into(0.0, path, t);
         }
@@ -89,9 +101,8 @@ impl PartitionLedger {
     /// The delta a `charge_child(index, eps)` would forward to the parent
     /// right now, given current part spends. Side-effect-free.
     pub(crate) fn predict_child(&self, index: usize, eps: f64) -> f64 {
-        let spends = self.spends.lock();
-        let old_max = Self::current_max(&spends);
-        (spends[index] + eps).max(old_max) - old_max
+        let st = self.state.lock();
+        (st.spends[index] + eps).max(st.max) - st.max
     }
 
     /// Undo a previous `charge_child(index, eps)`, refunding the parent for
@@ -103,18 +114,23 @@ impl PartitionLedger {
 
     /// [`PartitionLedger::refund_child`] with provenance threaded through.
     pub(crate) fn refund_child_with(&self, index: usize, eps: f64, meta: &ChargeMeta, path: &str) {
-        let mut spends = self.spends.lock();
-        let old_max = Self::current_max(&spends);
-        spends[index] = (spends[index] - eps).max(0.0);
-        let new_max = Self::current_max(&spends);
-        if new_max < old_max {
-            self.parent.refund_with(old_max - new_max, meta, path);
+        let mut st = self.state.lock();
+        let before = st.spends[index];
+        st.spends[index] = (before - eps).max(0.0);
+        // The max can only drop if the refunded part was holding it; only
+        // then is a rescan needed.
+        if before >= st.max {
+            let new_max = st.spends.iter().cloned().fold(0.0, f64::max);
+            if new_max < st.max {
+                self.parent.refund_with(st.max - new_max, meta, path);
+                st.max = new_max;
+            }
         }
     }
 
     /// Cumulative spend of each part (explain snapshots / introspection).
     pub(crate) fn spends(&self) -> Vec<f64> {
-        self.spends.lock().clone()
+        self.state.lock().spends.clone()
     }
 }
 

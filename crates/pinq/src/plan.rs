@@ -25,6 +25,7 @@
 //! bit-identical to the sequential one, for any worker count.
 
 use crate::exec::ExecPool;
+use crate::shard::Shards;
 use std::ops::Range;
 use std::sync::{Arc, OnceLock};
 
@@ -36,7 +37,7 @@ pub(crate) type Runner<T> = Arc<dyn Fn(Range<usize>, &mut dyn FnMut(T)) + Send +
 /// buffer to use as a fresh source, or the parent's unforced fused chain.
 pub(crate) enum View<T> {
     /// A concrete buffer (an eager source, or a memoized plan output).
-    Source(Arc<Vec<T>>),
+    Source(Shards<T>),
     /// An unforced chain: runner, source length, stages already fused.
     Chain(Runner<T>, usize, usize),
 }
@@ -50,7 +51,7 @@ pub(crate) struct LazyPlan<T> {
     /// Number of operator stages fused into `run`.
     fused: usize,
     /// Memoized materialization; filled at most once.
-    cell: OnceLock<Arc<Vec<T>>>,
+    cell: OnceLock<Shards<T>>,
 }
 
 impl<T> LazyPlan<T> {
@@ -90,13 +91,13 @@ impl<T> LazyPlan<T> {
 
     /// Force on the calling thread: one pass over the whole source. Sets
     /// `*fresh` when this call actually materialized (vs. read the memo).
-    pub(crate) fn force_sequential(&self, fresh: &mut bool) -> Arc<Vec<T>> {
+    pub(crate) fn force_sequential(&self, fresh: &mut bool) -> Shards<T> {
         self.cell
             .get_or_init(|| {
                 *fresh = true;
                 let mut out = Vec::new();
                 (self.run)(0..self.source_len, &mut |t| out.push(t));
-                Arc::new(out)
+                Shards::from_vec(out)
             })
             .clone()
     }
@@ -104,11 +105,12 @@ impl<T> LazyPlan<T> {
 
 impl<T: Send + Sync> LazyPlan<T> {
     /// Force on a worker pool: the source splits into fixed-size chunks
-    /// (positions depend only on length and chunk size), each chunk runs
-    /// the fused pass independently, and the per-chunk outputs concatenate
-    /// in chunk order — bit-identical to [`LazyPlan::force_sequential`] for
-    /// any worker count.
-    pub(crate) fn force_pool(&self, pool: &ExecPool, fresh: &mut bool) -> Arc<Vec<T>> {
+    /// (positions depend only on length and chunk size) and each chunk runs
+    /// the fused pass independently. Each chunk's output becomes one shard
+    /// of the result, in chunk order — the flat sequence is bit-identical
+    /// to [`LazyPlan::force_sequential`] for any worker count, and no
+    /// concatenation pass runs after the workers join.
+    pub(crate) fn force_pool(&self, pool: &ExecPool, fresh: &mut bool) -> Shards<T> {
         self.cell
             .get_or_init(|| {
                 *fresh = true;
@@ -118,11 +120,7 @@ impl<T: Send + Sync> LazyPlan<T> {
                     (self.run)(r.clone(), &mut |t| v.push(t));
                     v
                 });
-                let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
-                for mut c in chunks {
-                    out.append(&mut c);
-                }
-                Arc::new(out)
+                Shards::from_vecs(chunks)
             })
             .clone()
     }
@@ -165,7 +163,13 @@ mod tests {
             let pool = ExecPool::new(4).unwrap().with_chunk_size(512);
             doubler(10_000).force_pool(&pool, &mut fresh)
         };
-        assert_eq!(*seq, *pooled);
+        // Physical layouts differ (one shard vs one per chunk); the flat
+        // sequences are bit-identical.
+        assert!(pooled.shard_count() > seq.shard_count());
+        assert_eq!(
+            seq.iter().collect::<Vec<_>>(),
+            pooled.iter().collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -177,7 +181,7 @@ mod tests {
         let mut second = false;
         let b = plan.force_sequential(&mut second);
         assert!(!second, "second force must hit the memo");
-        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.ptr_eq(&b));
     }
 
     #[test]

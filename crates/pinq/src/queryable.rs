@@ -40,8 +40,9 @@ use crate::error::{check_epsilon, Error, Result};
 use crate::exec::ExecCtx;
 use crate::explain::{ExplainTree, OpNode};
 use crate::partition::PartitionLedger;
-use crate::plan::{LazyPlan, View};
+use crate::plan::{LazyPlan, Runner, View};
 use crate::rng::NoiseSource;
+use crate::shard::Shards;
 use crate::types::{Group, JoinGroup};
 use dpnet_obs::sink::SinkHandle;
 use dpnet_obs::span;
@@ -53,11 +54,32 @@ use std::hash::Hash;
 use std::ops::Range;
 use std::sync::Arc;
 
-/// The records behind a queryable: a materialized buffer, or a lazy fused
-/// plan that will produce one when forced.
+/// The records behind a queryable: a materialized (sharded) buffer, or a
+/// lazy fused plan that will produce one when forced.
 enum Data<T> {
-    Ready(Arc<Vec<T>>),
+    Ready(Shards<T>),
     Lazy(Arc<LazyPlan<T>>),
+}
+
+/// Where an aggregation kernel reads records from: the sharded buffer when
+/// one exists, or the unforced fused chain streamed straight off the
+/// source (no output buffer ever exists).
+///
+/// `walk` visits a *global index range* of the stream's domain — record
+/// positions for a buffer, source positions for a chain — so the fixed
+/// chunk decomposition stays worker-count independent either way.
+enum StreamSource<T> {
+    Buf(Shards<T>),
+    Chain(Runner<T>),
+}
+
+impl<T> StreamSource<T> {
+    fn walk(&self, range: Range<usize>, f: &mut dyn FnMut(&T)) {
+        match self {
+            StreamSource::Buf(s) => s.for_range(range, f),
+            StreamSource::Chain(run) => run(range, &mut |t| f(&t)),
+        }
+    }
 }
 
 impl<T> Clone for Data<T> {
@@ -140,8 +162,34 @@ impl<T> Queryable<T> {
     /// Wrap raw records under the protection of `budget`. This is the data
     /// owner's entry point; everything downstream sees only the handle.
     pub fn new(records: Vec<T>, budget: &Accountant, noise: &NoiseSource) -> Self {
+        Self::from_sharded(Shards::from_vec(records), budget, noise)
+    }
+
+    /// Wrap records already chunked into shards (e.g. emitted shard-by-shard
+    /// by a trace generator) without copying them into one flat buffer. The
+    /// flat record sequence is the concatenation of `shards` in order;
+    /// privacy semantics are identical to [`Queryable::new`] over that
+    /// flattened vector — the shard layout is a physical detail no released
+    /// value depends on. Empty shards are allowed and read as zero records.
+    pub fn from_shards(shards: Vec<Vec<T>>, budget: &Accountant, noise: &NoiseSource) -> Self {
+        Self::from_sharded(Shards::from_vecs(shards), budget, noise)
+    }
+
+    /// Like [`Queryable::from_shards`], but sharing already-`Arc`ed shards:
+    /// wrapping costs one reference bump per shard and zero record copies,
+    /// so a cached dataset can back many protected views (each with its own
+    /// budget) without duplicating the trace in memory.
+    pub fn from_shared_shards(
+        shards: Vec<Arc<Vec<T>>>,
+        budget: &Accountant,
+        noise: &NoiseSource,
+    ) -> Self {
+        Self::from_sharded(Shards::from_arcs(shards), budget, noise)
+    }
+
+    fn from_sharded(records: Shards<T>, budget: &Accountant, noise: &NoiseSource) -> Self {
         Queryable {
-            data: Data::Ready(Arc::new(records)),
+            data: Data::Ready(records),
             charge: Arc::new(ChargeNode::Root(budget.clone())),
             noise: noise.clone(),
             stability: 1.0,
@@ -176,7 +224,7 @@ impl<T> Queryable<T> {
             ))
         };
         Queryable {
-            data: Data::Ready(records),
+            data: Data::Ready(Shards::from_arc(records)),
             charge,
             noise: noise.clone(),
             stability: 1.0,
@@ -192,7 +240,7 @@ impl<T> Queryable<T> {
 
     fn derive<U>(&self, op: &'static str, records: Vec<U>, stability: f64) -> Queryable<U> {
         Queryable {
-            data: Data::Ready(Arc::new(records)),
+            data: Data::Ready(Shards::from_vec(records)),
             charge: self.charge.clone(),
             noise: self.noise.clone(),
             stability,
@@ -235,8 +283,10 @@ impl<T> Queryable<T> {
     /// Force materialization (memoized) and return the shared buffer.
     ///
     /// Emits one [`PlanEvent`] per *actual* materialization; reads of the
-    /// memo are free and silent.
-    fn records(&self) -> Arc<Vec<T>>
+    /// memo are free and silent. Under [`ExecCtx::Pool`] each fixed-size
+    /// source chunk's output becomes one shard of the buffer (see
+    /// [`LazyPlan::force_pool`]) — no concatenation barrier.
+    fn records(&self) -> Shards<T>
     where
         T: Send + Sync,
     {
@@ -256,6 +306,52 @@ impl<T> Queryable<T> {
                 }
                 out
             }
+        }
+    }
+
+    /// The record stream an aggregation kernel should read, plus the length
+    /// of the global index domain its chunk decomposition ranges over:
+    /// record count for a buffer, *source* record count for an unforced
+    /// chain (the fused stages run inside the kernel's pass — fused
+    /// aggregation, no output buffer is ever allocated).
+    fn stream(&self) -> (StreamSource<T>, usize) {
+        match self.view() {
+            View::Source(s) => {
+                let len = s.len();
+                (StreamSource::Buf(s), len)
+            }
+            View::Chain(run, len, _) => (StreamSource::Chain(run), len),
+        }
+    }
+
+    /// Number of records the queryable holds, counted by streaming the
+    /// fused chain when nothing has materialized — the fused form of the
+    /// count aggregations. Deterministic in both modes (chunk counts are
+    /// integers, summed in chunk order).
+    fn stream_count(&self, kernel: &'static str, t: &SpanTimer) -> usize
+    where
+        T: Send + Sync,
+    {
+        match self.stream() {
+            (StreamSource::Buf(s), _) => s.len(),
+            (StreamSource::Chain(run), domain) => match &self.ctx {
+                ExecCtx::Sequential => {
+                    let mut n = 0usize;
+                    run(0..domain, &mut |_| n += 1);
+                    self.emit_exec(kernel, 1, 1, t.elapsed_ns());
+                    n
+                }
+                ExecCtx::Pool(pool) => {
+                    let ranges = pool.chunks(domain);
+                    let counts: Vec<usize> = pool.run(&ranges, |_, r| {
+                        let mut n = 0usize;
+                        run(r.clone(), &mut |_| n += 1);
+                        n
+                    });
+                    self.emit_exec(kernel, pool.workers(), ranges.len(), t.elapsed_ns());
+                    counts.into_iter().sum()
+                }
+            },
         }
     }
 
@@ -523,11 +619,11 @@ impl<T> Queryable<T> {
             View::Source(src) => {
                 let len = src.len();
                 LazyPlan::new(len, 1, move |r: Range<usize>, emit: &mut dyn FnMut(T)| {
-                    for rec in &src[r] {
+                    src.for_range(r, &mut |rec| {
                         if pred(rec) {
                             emit(rec.clone());
                         }
-                    }
+                    });
                 })
             }
             View::Chain(run, len, fused) => LazyPlan::new(
@@ -561,9 +657,7 @@ impl<T> Queryable<T> {
             View::Source(src) => {
                 let len = src.len();
                 LazyPlan::new(len, 1, move |r: Range<usize>, emit: &mut dyn FnMut(U)| {
-                    for rec in &src[r] {
-                        emit(f(rec));
-                    }
+                    src.for_range(r, &mut |rec| emit(f(rec)));
                 })
             }
             View::Chain(run, len, fused) => LazyPlan::new(
@@ -603,13 +697,13 @@ impl<T> Queryable<T> {
             View::Source(src) => {
                 let len = src.len();
                 LazyPlan::new(len, 1, move |r: Range<usize>, emit: &mut dyn FnMut(U)| {
-                    for rec in &src[r] {
+                    src.for_range(r, &mut |rec| {
                         let mut items = f(rec);
                         items.truncate(bound);
                         for item in items {
                             emit(item);
                         }
-                    }
+                    });
                 })
             }
             View::Chain(run, len, fused) => LazyPlan::new(
@@ -747,7 +841,7 @@ impl<T> Queryable<T> {
             .collect();
         let n_out = out.len();
         let q = Queryable {
-            data: Data::Ready(Arc::new(out)),
+            data: Data::Ready(Shards::from_vec(out)),
             charge: self.combined_charge(other.charge.clone(), other.stability),
             noise: self.noise.clone(),
             stability: 1.0,
@@ -779,9 +873,10 @@ impl<T> Queryable<T> {
     /// Concatenate two protected datasets (PINQ `Concat`). No sensitivity
     /// increase for either input; aggregations charge both budgets.
     ///
-    /// When one input is empty the other's buffer is reused as-is (no
-    /// copy); the combined charge node is built either way, because a
-    /// neighboring dataset of the empty side could hold a record.
+    /// Zero-copy: the output buffer references both inputs' shards. When
+    /// one input is empty the other's buffer handle is reused as-is; the
+    /// combined charge node is built either way, because a neighboring
+    /// dataset of the empty side could hold a record.
     pub fn concat(&self, other: &Queryable<T>) -> Queryable<T>
     where
         T: Clone + Send + Sync,
@@ -794,10 +889,7 @@ impl<T> Queryable<T> {
         } else if left.is_empty() {
             right
         } else {
-            let mut out = Vec::with_capacity(left.len() + right.len());
-            out.extend(left.iter().cloned());
-            out.extend(right.iter().cloned());
-            Arc::new(out)
+            left.concat(&right)
         };
         let n_out = records.len();
         let q = Queryable {
@@ -832,7 +924,7 @@ impl<T> Queryable<T> {
             .collect();
         let n_out = out.len();
         let q = Queryable {
-            data: Data::Ready(Arc::new(out)),
+            data: Data::Ready(Shards::from_vec(out)),
             charge: self.combined_charge(other.charge.clone(), other.stability),
             noise: self.noise.clone(),
             stability: 1.0,
@@ -898,11 +990,11 @@ impl<T> Queryable<T> {
                 let n_tasks = ranges.len();
                 let locals: Vec<Vec<Vec<T>>> = pool.run(&ranges, |_, r| {
                     let mut buckets: Vec<Vec<T>> = (0..keys.len()).map(|_| Vec::new()).collect();
-                    for rec in &records[r.clone()] {
+                    records.for_range(r.clone(), &mut |rec| {
                         if let Some(&i) = index_of.get(&key_fn(rec)) {
                             buckets[i].push(rec.clone());
                         }
-                    }
+                    });
                     buckets
                 });
                 self.emit_exec("partition", pool.workers(), n_tasks, t.elapsed_ns());
@@ -938,7 +1030,7 @@ impl<T> Queryable<T> {
             .into_iter()
             .enumerate()
             .map(|(index, records)| Queryable {
-                data: Data::Ready(Arc::new(records)),
+                data: Data::Ready(Shards::from_vec(records)),
                 charge: Arc::new(ChargeNode::PartitionPart {
                     ledger: ledger.clone(),
                     index,
@@ -959,22 +1051,162 @@ impl<T> Queryable<T> {
             .collect()
     }
 
+    /// Partition by a data-independent key list and release a noisy count
+    /// of **every part** in one pass — the batched form of
+    /// [`Queryable::partition`] followed by per-part
+    /// [`Queryable::noisy_count`], with identical privacy arithmetic and
+    /// bit-identical releases:
+    ///
+    /// - the budget sees the same `PartitionLedger` with the same parent
+    ///   scaling, charged once per part *in part order* with the same
+    ///   `noisy_count` provenance, so ε accounting, explain traces, and
+    ///   failure behavior (parts before the failing one stay charged) match
+    ///   the unbatched form exactly;
+    /// - noise is drawn from the shared stream once per part, in part
+    ///   order, on the calling thread — the same draws the unbatched form
+    ///   takes;
+    /// - only a key histogram is computed (streamed over the fused chain
+    ///   when nothing has materialized): the per-part record buffers never
+    ///   exist. A 256-way fan-out costs one pass and 256 integers instead
+    ///   of 256 allocations.
+    ///
+    /// Returns [`Error::DuplicatePartitionKeys`] when `keys` repeats a key,
+    /// like [`Queryable::partition`].
+    pub fn partition_noisy_counts<K>(
+        &self,
+        keys: &[K],
+        key_fn: impl Fn(&T) -> K + Send + Sync,
+        eps: f64,
+    ) -> Result<Vec<f64>>
+    where
+        K: Eq + Hash + Sync,
+        T: Send + Sync,
+    {
+        let prof = self.agg_span("partition_noisy_counts");
+        let t = SpanTimer::start();
+        let index_of: HashMap<&K, usize> = keys.iter().enumerate().map(|(i, k)| (k, i)).collect();
+        if index_of.len() != keys.len() {
+            return Err(Error::DuplicatePartitionKeys);
+        }
+        check_epsilon(eps)?;
+        if !(self.stability.is_finite() && self.stability > 0.0) {
+            return Err(Error::InvalidStability(self.stability));
+        }
+        // One histogram pass; integer merges in chunk order keep the counts
+        // identical for any worker count (and to the sequential pass).
+        let (src, domain) = self.stream();
+        let counts: Vec<usize> = match &self.ctx {
+            ExecCtx::Sequential => {
+                let mut counts = vec![0usize; keys.len()];
+                src.walk(0..domain, &mut |rec| {
+                    if let Some(&i) = index_of.get(&key_fn(rec)) {
+                        counts[i] += 1;
+                    }
+                });
+                self.emit_exec("partition_noisy_counts", 1, 1, t.elapsed_ns());
+                counts
+            }
+            ExecCtx::Pool(pool) => {
+                let ranges = pool.chunks(domain);
+                let locals: Vec<Vec<usize>> = pool.run(&ranges, |_, rg| {
+                    let mut counts = vec![0usize; keys.len()];
+                    src.walk(rg.clone(), &mut |rec| {
+                        if let Some(&i) = index_of.get(&key_fn(rec)) {
+                            counts[i] += 1;
+                        }
+                    });
+                    counts
+                });
+                self.emit_exec(
+                    "partition_noisy_counts",
+                    pool.workers(),
+                    ranges.len(),
+                    t.elapsed_ns(),
+                );
+                let mut counts = vec![0usize; keys.len()];
+                for local in locals {
+                    for (c, l) in counts.iter_mut().zip(local) {
+                        *c += l;
+                    }
+                }
+                counts
+            }
+        };
+        prof.set_records(counts.iter().sum::<usize>() as u64);
+        // The ledger the unbatched form builds in `wrap_parts`: parts charge
+        // through a node scaled by this queryable's stability; each part's
+        // own stability is 1.
+        let ledger = Arc::new(PartitionLedger::new(
+            Arc::new(ChargeNode::Scaled {
+                parent: self.charge.clone(),
+                factor: self.stability,
+            }),
+            keys.len(),
+        ));
+        let meta = ChargeMeta::new("noisy_count", self.label.clone());
+        let mut out = Vec::with_capacity(keys.len());
+        for (index, &n) in counts.iter().enumerate() {
+            let node = Arc::new(ChargeNode::PartitionPart {
+                ledger: ledger.clone(),
+                index,
+            });
+            let part_timer = SpanTimer::start();
+            let r = (|| {
+                if let Some(rec) = crate::explain::recorder() {
+                    let mut trace = Vec::new();
+                    node.charge_traced(eps, &meta, "", &mut Some(&mut trace))?;
+                    rec.record("noisy_count", &node.describe(), eps, &trace);
+                } else {
+                    node.charge_with(eps, &meta, "")?;
+                }
+                aggregates::noisy_count(&self.noise, n, eps)
+            })();
+            // Per-part events mirror the unbatched per-part noisy_count:
+            // stability 1, eps charged when the part's release succeeded.
+            let outcome = outcome_of(&r);
+            self.sink.emit(|| {
+                Event::Aggregate(AggregateEvent {
+                    operator: "noisy_count",
+                    mechanism: "laplace",
+                    label: self.label.clone(),
+                    stability: 1.0,
+                    eps_requested: eps,
+                    eps_charged: if outcome == Outcome::Ok { eps } else { 0.0 },
+                    outcome,
+                    released: r.as_ref().ok().copied(),
+                    wall_ns: part_timer.elapsed_ns(),
+                    at_ns: part_timer.started_at_ns(),
+                    #[cfg(feature = "trusted-owner")]
+                    input_records: n as u64,
+                })
+            });
+            out.push(r?);
+        }
+        Ok(out)
+    }
+
     // ------------------------------------------------------------------
     // Aggregations
     // ------------------------------------------------------------------
 
     /// Noisy count of records: `n + Lap(1/ε)`. Charges `stability × ε`.
+    ///
+    /// Fused: an unforced pipeline is *streamed*, counting emissions of the
+    /// fused pass without allocating (or memoizing) an output buffer. The
+    /// count is an integer either way, so the release is bit-identical to
+    /// counting a materialized buffer, in both execution modes and for any
+    /// worker count.
     pub fn noisy_count(&self, eps: f64) -> Result<f64>
     where
         T: Send + Sync,
     {
         let prof = self.agg_span("noisy_count");
         let t = SpanTimer::start();
-        let records = self.records();
-        prof.set_records(records.len() as u64);
+        let n = self.stream_count("noisy_count", &t);
+        prof.set_records(n as u64);
         let r = self
             .pay(eps, "noisy_count")
-            .and_then(|()| aggregates::noisy_count(&self.noise, records.len(), eps));
+            .and_then(|()| aggregates::noisy_count(&self.noise, n, eps));
         self.emit_aggregate(
             "noisy_count",
             "laplace",
@@ -982,23 +1214,25 @@ impl<T> Queryable<T> {
             r.as_ref().ok().copied(),
             outcome_of(&r),
             t,
-            records.len(),
+            n,
         );
         r
     }
 
     /// Noisy integral count via the geometric mechanism, clamped at zero.
+    ///
+    /// Fused like [`Queryable::noisy_count`]: an unforced pipeline streams.
     pub fn noisy_count_int(&self, eps: f64) -> Result<i64>
     where
         T: Send + Sync,
     {
         let prof = self.agg_span("noisy_count_int");
         let t = SpanTimer::start();
-        let records = self.records();
-        prof.set_records(records.len() as u64);
+        let n = self.stream_count("noisy_count_int", &t);
+        prof.set_records(n as u64);
         let r = self
             .pay(eps, "noisy_count_int")
-            .and_then(|()| aggregates::noisy_count_int(&self.noise, records.len(), eps));
+            .and_then(|()| aggregates::noisy_count_int(&self.noise, n, eps));
         self.emit_aggregate(
             "noisy_count_int",
             "geometric",
@@ -1006,7 +1240,7 @@ impl<T> Queryable<T> {
             r.as_ref().ok().map(|&v| v as f64),
             outcome_of(&r),
             t,
-            records.len(),
+            n,
         );
         r
     }
@@ -1022,13 +1256,18 @@ impl<T> Queryable<T> {
     /// Noisy sum with values clamped to `[-bound, bound]`; noise scale
     /// `bound/ε`.
     ///
+    /// Fused: an unforced pipeline streams through the clamp-and-sum fold
+    /// without materializing an output buffer.
+    ///
     /// Under [`ExecCtx::Sequential`] the clamped values sum flat, in record
     /// order. Under [`ExecCtx::Pool`] partial sums are computed per
     /// fixed-size chunk concurrently, combined in chunk order, and a single
     /// Laplace draw is taken on the calling thread — identical budget
     /// charge and noise stream, bit-identical for any worker count, but
     /// possibly an ulp away from the flat sequential sum because the
-    /// chunked sum associates additions at chunk boundaries.
+    /// chunked sum associates additions at chunk boundaries. (For a fused
+    /// pipeline the chunks tile the *source*, so a pooled sum taken before
+    /// forcing may likewise sit an ulp from one taken after.)
     pub fn noisy_sum_clamped(
         &self,
         eps: f64,
@@ -1040,8 +1279,7 @@ impl<T> Queryable<T> {
     {
         let prof = self.agg_span("noisy_sum");
         let t = SpanTimer::start();
-        let records = self.records();
-        prof.set_records(records.len() as u64);
+        let mut n_records = 0usize;
         let r = (|| {
             if !(bound.is_finite() && bound > 0.0) {
                 return Err(Error::InvalidRange {
@@ -1050,26 +1288,36 @@ impl<T> Queryable<T> {
                 });
             }
             self.pay(eps, "noisy_sum")?;
-            match &self.ctx {
+            let (src, domain) = self.stream();
+            let total = match &self.ctx {
                 ExecCtx::Sequential => {
-                    let r = aggregates::noisy_sum(&self.noise, records.iter().map(&f), bound, eps);
+                    let mut total = 0.0;
+                    src.walk(0..domain, &mut |rec| {
+                        total += aggregates::clamp(f(rec), -bound, bound);
+                        n_records += 1;
+                    });
                     // Sequential runs still emit a kernel event: workers 1.
                     self.emit_exec("noisy_sum", 1, 1, t.elapsed_ns());
-                    r
+                    total
                 }
                 ExecCtx::Pool(pool) => {
-                    let ranges = pool.chunks(records.len());
-                    let partials: Vec<f64> = pool.run(&ranges, |_, rg| {
-                        records[rg.clone()]
-                            .iter()
-                            .map(|rec| aggregates::clamp(f(rec), -bound, bound))
-                            .sum::<f64>()
+                    let ranges = pool.chunks(domain);
+                    let partials: Vec<(f64, usize)> = pool.run(&ranges, |_, rg| {
+                        let mut s = 0.0;
+                        let mut n = 0usize;
+                        src.walk(rg.clone(), &mut |rec| {
+                            s += aggregates::clamp(f(rec), -bound, bound);
+                            n += 1;
+                        });
+                        (s, n)
                     });
                     self.emit_exec("noisy_sum", pool.workers(), ranges.len(), t.elapsed_ns());
-                    let total: f64 = partials.iter().sum();
-                    Ok(total + crate::mechanisms::laplace_noise(&self.noise, bound / eps))
+                    n_records = partials.iter().map(|&(_, n)| n).sum();
+                    partials.iter().map(|&(s, _)| s).sum::<f64>()
                 }
-            }
+            };
+            prof.set_records(n_records as u64);
+            Ok(total + crate::mechanisms::laplace_noise(&self.noise, bound / eps))
         })();
         self.emit_aggregate(
             "noisy_sum",
@@ -1078,7 +1326,7 @@ impl<T> Queryable<T> {
             r.as_ref().ok().copied(),
             outcome_of(&r),
             t,
-            records.len(),
+            n_records,
         );
         r
     }
@@ -1216,11 +1464,16 @@ impl<T> Queryable<T> {
     /// Noisy median of `f(record)` over `[lo, hi]` discretized into
     /// `buckets` candidate cut points, via the exponential mechanism.
     ///
-    /// Under [`ExecCtx::Pool`] the value projection `f` runs concurrently
-    /// over fixed-size chunks, concatenated in chunk order, and the
-    /// mechanism then runs on the calling thread — the candidate scores
-    /// (and thus the released value at a fixed seed) are identical to the
-    /// sequential path for any worker count.
+    /// Fused: an unforced pipeline streams its value projection straight
+    /// off the source — the record buffer is never allocated, only the
+    /// `f64` projection. Projection order is the record order, so the
+    /// candidate scores (and the released value at a fixed seed) are
+    /// identical whether or not the pipeline materialized first.
+    ///
+    /// Under [`ExecCtx::Pool`] the projection runs concurrently over
+    /// fixed-size chunks, concatenated in chunk order, and the mechanism
+    /// then runs on the calling thread — identical to the sequential path
+    /// for any worker count.
     pub fn noisy_median(
         &self,
         eps: f64,
@@ -1234,8 +1487,7 @@ impl<T> Queryable<T> {
     {
         let prof = self.agg_span("noisy_median");
         let t = SpanTimer::start();
-        let records = self.records();
-        prof.set_records(records.len() as u64);
+        let mut n_records = 0usize;
         let r = (|| {
             if lo >= hi || !lo.is_finite() || !hi.is_finite() {
                 return Err(Error::InvalidRange { lo, hi });
@@ -1244,26 +1496,32 @@ impl<T> Queryable<T> {
                 return Err(Error::EmptyCandidates);
             }
             self.pay(eps, "noisy_median")?;
+            let (src, domain) = self.stream();
             let values: Vec<f64> = match &self.ctx {
                 ExecCtx::Sequential => {
-                    let values: Vec<f64> = records.iter().map(&f).collect();
+                    let mut values = Vec::new();
+                    src.walk(0..domain, &mut |rec| values.push(f(rec)));
                     // Sequential runs still emit a kernel event: workers 1.
                     self.emit_exec("noisy_median", 1, 1, t.elapsed_ns());
                     values
                 }
                 ExecCtx::Pool(pool) => {
-                    let ranges = pool.chunks(records.len());
+                    let ranges = pool.chunks(domain);
                     let chunks: Vec<Vec<f64>> = pool.run(&ranges, |_, rg| {
-                        records[rg.clone()].iter().map(&f).collect()
+                        let mut v = Vec::new();
+                        src.walk(rg.clone(), &mut |rec| v.push(f(rec)));
+                        v
                     });
                     self.emit_exec("noisy_median", pool.workers(), ranges.len(), t.elapsed_ns());
-                    let mut values = Vec::with_capacity(records.len());
+                    let mut values = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
                     for mut c in chunks {
                         values.append(&mut c);
                     }
                     values
                 }
             };
+            n_records = values.len();
+            prof.set_records(n_records as u64);
             aggregates::noisy_median(&self.noise, &values, lo, hi, buckets, eps)
         })();
         self.emit_aggregate(
@@ -1273,7 +1531,7 @@ impl<T> Queryable<T> {
             r.as_ref().ok().copied(),
             outcome_of(&r),
             t,
-            records.len(),
+            n_records,
         );
         r
     }
@@ -1660,7 +1918,7 @@ mod tests {
         let both = a.concat(&empty);
         match &both.data {
             Data::Ready(buf) => {
-                assert!(Arc::ptr_eq(buf, &src), "non-empty side must be reused");
+                assert!(buf.ptr_eq(&src), "non-empty side must be reused");
             }
             Data::Lazy(_) => panic!("concat output should be materialized"),
         }
@@ -1672,7 +1930,7 @@ mod tests {
     }
 
     #[test]
-    fn lazy_chain_materializes_once_across_aggregations() {
+    fn fused_aggregations_stream_without_materializing() {
         let acct = Accountant::new(10.0);
         let sink = Arc::new(dpnet_obs::MemorySink::new());
         acct.set_sink(Some(sink.clone()));
@@ -1690,9 +1948,17 @@ mod tests {
         };
         assert_eq!(plans(), 0, "declaring transforms must not materialize");
         chain.noisy_count(0.1).unwrap();
-        assert_eq!(plans(), 1, "first aggregation forces the plan");
         chain.noisy_sum_clamped(0.1, 100.0, |&v| v as f64).unwrap();
-        assert_eq!(plans(), 1, "second aggregation reads the memo");
+        chain
+            .noisy_median(0.1, 0.0, 10_000.0, 16, |&v| v as f64)
+            .unwrap();
+        assert_eq!(plans(), 0, "fused aggregations stream; no plan forced");
+        // A barrier that genuinely needs the buffer (group_by) forces once…
+        chain.group_by(|&v| v % 7).noisy_count(0.1).unwrap();
+        assert_eq!(plans(), 1, "group_by forces the plan");
+        // …and later fused aggregations read the memo, not the chain.
+        chain.noisy_count(0.1).unwrap();
+        assert_eq!(plans(), 1, "memoized plan is reused");
         let fused = sink
             .events()
             .iter()
@@ -1702,6 +1968,70 @@ mod tests {
             })
             .unwrap();
         assert_eq!(fused, 3, "filter → map → filter fuse into one pass");
+    }
+
+    #[test]
+    fn fused_count_matches_materialized_count_bitwise() {
+        let run = |force_first: bool| {
+            let acct = Accountant::new(10.0);
+            let noise = NoiseSource::seeded(57);
+            let q = Queryable::new((0..5000u32).collect::<Vec<_>>(), &acct, &noise);
+            let chain = q.filter(|v| v % 5 == 0).map(|&v| v * 3);
+            let chain = if force_first {
+                chain.collect_protected()
+            } else {
+                chain
+            };
+            (chain.noisy_count(0.5).unwrap().to_bits(), acct.spent())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn partition_noisy_counts_matches_the_unbatched_form_bitwise() {
+        let batched = {
+            let (acct, q) = setup(10.0);
+            let ports: Vec<u16> = vec![80, 443, 22];
+            let counts = q
+                .partition_noisy_counts(&ports, |p| p.port, 0.3)
+                .unwrap()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>();
+            (counts, acct.spent())
+        };
+        let unbatched = {
+            let (acct, q) = setup(10.0);
+            let ports: Vec<u16> = vec![80, 443, 22];
+            let parts = q.partition(&ports, |p| p.port).unwrap();
+            let counts = parts
+                .iter()
+                .map(|p| p.noisy_count(0.3).unwrap().to_bits())
+                .collect::<Vec<_>>();
+            (counts, acct.spent())
+        };
+        assert_eq!(batched, unbatched);
+    }
+
+    #[test]
+    fn partition_noisy_counts_rejects_duplicates_and_respects_budget() {
+        let (acct, q) = setup(1.0);
+        assert!(matches!(
+            q.partition_noisy_counts(&[80u16, 80], |p| p.port, 0.1),
+            Err(Error::DuplicatePartitionKeys)
+        ));
+        assert_eq!(acct.spent(), 0.0);
+        // Parallel composition: 3 parts at 0.3 cost max = 0.3, like the
+        // unbatched form.
+        q.partition_noisy_counts(&[80u16, 443, 22], |p| p.port, 0.3)
+            .unwrap();
+        assert!((acct.spent() - 0.3).abs() < 1e-12);
+        // A fan-out that cannot fit fails on its first part and rolls that
+        // part's spend back; the earlier release stays charged.
+        assert!(q
+            .partition_noisy_counts(&[80u16, 443, 22], |p| p.port, 0.8)
+            .is_err());
+        assert!((acct.spent() - 0.3).abs() < 1e-12);
     }
 
     #[test]

@@ -50,6 +50,66 @@ fn run_pipeline(
     )
 }
 
+/// Like [`run_pipeline`] (lazy mode), but the left source enters the engine
+/// pre-sharded into chunks of `shard` records instead of as one flat `Vec`.
+/// The physical layout must be invisible: identical releases, ε, stability.
+fn run_sharded_pipeline(
+    n: usize,
+    shard: usize,
+    bound: usize,
+    modulus: u32,
+    seed: u64,
+    ctx: ExecCtx,
+) -> (u64, u64, f64, f64) {
+    let acct = Accountant::new(1_000.0);
+    let noise = NoiseSource::seeded(seed);
+    let flat = dataset(n, 0);
+    let chunks: Vec<Vec<u32>> = flat.chunks(shard).map(<[u32]>::to_vec).collect();
+    let left = Queryable::from_shards(chunks, &acct, &noise).with_ctx(ctx.clone());
+    let right = Queryable::new(dataset(n / 2, 1), &acct, &noise).with_ctx(ctx);
+    let expanded = left.select_many(bound, move |&v| vec![v; bound]).unwrap();
+    let filtered = expanded.filter(move |&v| v % modulus == 0);
+    let combined = filtered.concat(&right);
+    let count = combined.noisy_count(1.0).unwrap();
+    let median = combined
+        .noisy_median(1.0, 0.0, n as f64 + 2.0, 16, |&v| f64::from(v))
+        .unwrap();
+    (
+        count.to_bits(),
+        median.to_bits(),
+        acct.spent(),
+        combined.stability(),
+    )
+}
+
+/// Run a `k`-way partition fan-out of noisy counts, either through the
+/// batched single-pass [`Queryable::partition_noisy_counts`] or through the
+/// classic `partition` + per-part `noisy_count` loop. Returns the released
+/// bits (in key order) and the total ε charged.
+fn run_fanout(
+    n: usize,
+    k: u32,
+    eps: f64,
+    seed: u64,
+    ctx: ExecCtx,
+    batched: bool,
+) -> (Vec<u64>, f64) {
+    let acct = Accountant::new(1_000.0);
+    let noise = NoiseSource::seeded(seed);
+    let q = Queryable::new(dataset(n, 0), &acct, &noise)
+        .with_ctx(ctx)
+        .group_by(move |&v| v % (k + 1)); // stability ×2, so scaling matters
+    let keys: Vec<u32> = (0..k).collect();
+    let counts: Vec<f64> = if batched {
+        q.partition_noisy_counts(&keys, move |g| g.key % k, eps)
+            .unwrap()
+    } else {
+        let parts = q.partition(&keys, move |g| g.key % k).unwrap();
+        parts.iter().map(|p| p.noisy_count(eps).unwrap()).collect()
+    };
+    (counts.iter().map(|c| c.to_bits()).collect(), acct.spent())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -69,6 +129,48 @@ proptest! {
             let pool = ExecPool::new(workers).unwrap().with_chunk_size(64);
             let lazy_pool = run_pipeline(n, bound, modulus, seed, ExecCtx::pool(&pool), false);
             prop_assert_eq!(lazy_pool, baseline, "workers={} diverged", workers);
+        }
+    }
+
+    /// Columnar ≡ row: a source pre-sharded at any chunk size releases the
+    /// same bits, charges the same ε, and reports the same stability as the
+    /// flat single-buffer source, sequentially and at workers 1/2/8.
+    #[test]
+    fn sharded_sources_match_flat_sources_for_any_layout(
+        n in 1usize..400,
+        shard in 1usize..64,
+        bound in 1usize..4,
+        modulus in 1u32..7,
+        seed in 0u64..1_000,
+    ) {
+        let flat = run_pipeline(n, bound, modulus, seed, ExecCtx::Sequential, false);
+        let seq = run_sharded_pipeline(n, shard, bound, modulus, seed, ExecCtx::Sequential);
+        prop_assert_eq!(seq, flat, "sharded sequential diverged from flat");
+        for workers in [1usize, 2, 8] {
+            let pool = ExecPool::new(workers).unwrap().with_chunk_size(64);
+            let pooled = run_sharded_pipeline(n, shard, bound, modulus, seed, ExecCtx::pool(&pool));
+            prop_assert_eq!(pooled, flat, "shard={} workers={} diverged", shard, workers);
+        }
+    }
+
+    /// The batched single-pass partition fan-out is indistinguishable from
+    /// the classic per-part loop: bit-identical releases in key order and
+    /// an identical total charge (max-of-parts through the same ledger),
+    /// sequentially and at workers 1/2/8.
+    #[test]
+    fn batched_partition_counts_match_the_per_part_loop(
+        n in 1usize..400,
+        k in 1u32..6,
+        seed in 0u64..1_000,
+    ) {
+        let eps = 0.5;
+        let loop_form = run_fanout(n, k, eps, seed, ExecCtx::Sequential, false);
+        let batched = run_fanout(n, k, eps, seed, ExecCtx::Sequential, true);
+        prop_assert_eq!(&batched, &loop_form, "batched sequential diverged");
+        for workers in [1usize, 2, 8] {
+            let pool = ExecPool::new(workers).unwrap().with_chunk_size(64);
+            let pooled = run_fanout(n, k, eps, seed, ExecCtx::pool(&pool), true);
+            prop_assert_eq!(&pooled, &loop_form, "workers={} diverged", workers);
         }
     }
 }

@@ -110,27 +110,35 @@ fn aggregations_open_spans_tagged_with_their_charge_path() {
 }
 
 #[test]
-fn plan_materialization_is_spanned_inside_its_aggregation() {
+fn plan_materialization_is_spanned_inside_its_barrier() {
     let _g = global_guard();
     let ((), spans, _) = profiled(|| {
         let (_, _, q) = dataset(10_000, 100.0);
-        q.filter(|v| v % 2 == 0)
-            .map(|v| v * 3)
-            .noisy_count(0.1)
-            .unwrap();
+        let chained = q.filter(|v| v % 2 == 0).map(|v| v * 3);
+        // Streaming aggregations fuse into the plan without materializing…
+        chained.noisy_count(0.1).unwrap();
+        // …so the first key-shuffling barrier is what forces it.
+        let keys = [0u64, 1, 2];
+        chained.partition(&keys, |v| v % 3).unwrap();
     });
+    let count = spans
+        .iter()
+        .find(|s| s.name == "noisy_count")
+        .expect("aggregation span");
     let plan = spans
         .iter()
         .find(|s| s.name == "plan/materialize")
         .expect("plan span");
-    let agg = spans
+    let barrier = spans
         .iter()
-        .find(|s| s.name == "noisy_count")
-        .expect("aggregation span");
-    // The plan forced at the aggregation barrier: parent/child on one track.
-    assert_eq!(plan.parent, Some(agg.id));
-    assert_eq!(plan.track, agg.track);
-    assert!(agg.dur_ns >= plan.dur_ns);
+        .find(|s| s.name == "partition")
+        .expect("barrier span");
+    // The fused count streamed off the chain: no materialization under it.
+    assert_ne!(plan.parent, Some(count.id));
+    // The plan forced at the partition barrier: parent/child on one track.
+    assert_eq!(plan.parent, Some(barrier.id));
+    assert_eq!(plan.track, barrier.track);
+    assert!(barrier.dur_ns >= plan.dur_ns);
     assert_eq!(plan.detail.as_deref(), Some("sequential"));
 }
 
