@@ -269,6 +269,36 @@ fn cmd_compare(current: &str, baseline: &str, threshold: f64) -> i32 {
     }
 }
 
+/// Surface a skipped gate in the GitHub Actions checks UI. Silent `[skip]`
+/// lines on stderr vanish into the log on single-core runners, so a parallel
+/// gate can stop gating without anyone noticing; this also emits the
+/// `::warning::` workflow command (rendered as an annotation) and appends a
+/// line to the job summary when `$GITHUB_STEP_SUMMARY` is set.
+fn ci_skip_warning(gate: &str, reason: &str) {
+    eprintln!("[skip] {gate}: {reason}");
+    println!("::warning title={gate} gate skipped::{reason}");
+    if let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        if !path.is_empty() {
+            append_skip_summary(&path, gate, reason);
+        }
+    }
+}
+
+/// The job-summary half of [`ci_skip_warning`]: one appended markdown line.
+fn append_skip_summary(path: &str, gate: &str, reason: &str) {
+    use std::io::Write;
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        Ok(mut f) => {
+            let _ = writeln!(f, ":warning: `{gate}` gate **skipped**: {reason}");
+        }
+        Err(e) => eprintln!("[warn] cannot append to job summary {path}: {e}"),
+    }
+}
+
 fn cmd_speedup(seq_path: &str, par_path: &str, min: f64) -> i32 {
     let (seq, par) = match (load(seq_path), load(par_path)) {
         (Ok(s), Ok(p)) => (s, p),
@@ -281,9 +311,13 @@ fn cmd_speedup(seq_path: &str, par_path: &str, min: f64) -> i32 {
         .map(|n| n.get() as u64)
         .unwrap_or(1);
     if cpus < par.workers {
-        eprintln!(
-            "[skip] speedup check: machine has {cpus} CPUs, parallel run used {} workers",
-            par.workers
+        ci_skip_warning(
+            "speedup",
+            &format!(
+                "machine has {cpus} CPUs, parallel run used {} workers — \
+                 parallel speedup was NOT checked",
+                par.workers
+            ),
         );
         return 0;
     }
@@ -320,7 +354,13 @@ fn cmd_kernel_speedup(workers: usize, min: f64) -> i32 {
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
     if cpus < workers {
-        eprintln!("[skip] kernel-speedup: machine has {cpus} CPUs, need {workers}");
+        ci_skip_warning(
+            "kernel-speedup",
+            &format!(
+                "machine has {cpus} CPUs, need {workers} — \
+                 kernel speedup was NOT checked"
+            ),
+        );
         return 0;
     }
     let seq = ExecPool::sequential();
@@ -537,16 +577,79 @@ fn cmd_record(out_dir: &str, ids: &[String]) -> i32 {
     }
 }
 
+/// True when `seg` is one grammar segment of a kernel charge path:
+/// `root` | `scale(x<float>)` | `part[<digits>|*]` | `in[<digits>]`
+/// (the `*` form is the normalized per-part wildcard explain reports use).
+fn valid_path_segment(seg: &str) -> bool {
+    if seg == "root" {
+        return true;
+    }
+    if let Some(inner) = seg
+        .strip_prefix("scale(x")
+        .and_then(|s| s.strip_suffix(')'))
+    {
+        return inner.parse::<f64>().map(f64::is_finite).unwrap_or(false);
+    }
+    if let Some(inner) = seg.strip_prefix("part[").and_then(|s| s.strip_suffix(']')) {
+        return inner == "*" || (!inner.is_empty() && inner.bytes().all(|b| b.is_ascii_digit()));
+    }
+    if let Some(inner) = seg.strip_prefix("in[").and_then(|s| s.strip_suffix(']')) {
+        return !inner.is_empty() && inner.bytes().all(|b| b.is_ascii_digit());
+    }
+    false
+}
+
+/// True when `path` parses under the kernel charge-path grammar:
+/// slash-separated [`valid_path_segment`]s, leaf to root, so the last
+/// segment is always `root` (every charge terminates at a root budget).
+fn valid_charge_path(path: &str) -> bool {
+    path.split('/').all(valid_path_segment) && path.ends_with("root")
+}
+
+/// Every `"path":"…"` value in `text`, in order of appearance. Fixture
+/// paths never contain escapes, so a plain quote scan is exact.
+fn extract_path_fields(text: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(i) = rest.find("\"path\":\"") {
+        let after = &rest[i + "\"path\":\"".len()..];
+        let Some(j) = after.find('"') else { break };
+        out.push(&after[..j]);
+        rest = &after[j..];
+    }
+    out
+}
+
+/// Validate every `"path"` field in a fixture against the charge-path
+/// grammar, returning how many were checked. The kernel refactor could
+/// silently change how paths render; this pins the committed fixtures to
+/// the grammar the kernel actually emits.
+fn check_path_fields(text: &str) -> Result<usize, String> {
+    let paths = extract_path_fields(text);
+    for p in &paths {
+        if !valid_charge_path(p) {
+            return Err(format!(
+                "\"path\":\"{p}\" is not a kernel charge path \
+                 (segments root | scale(x<float>) | part[<digits>|*] | in[<digits>], \
+                 last segment root)"
+            ));
+        }
+    }
+    Ok(paths.len())
+}
+
 /// One fixture's freshness verdict for `record --check`: `Ok` carries a
 /// printable status, `Err` the reason the file is stale. Pure on the file
 /// name and contents so the logic is testable without a filesystem.
 fn check_fixture_text(name: &str, text: &str) -> Result<String, String> {
+    let n_paths = check_path_fields(text)?;
     if text.contains("\"explain\":") {
         // Explain-format fixtures carry no run-report schema_version; the
         // current-parser round trip is the schema check.
         return match explain_semantics(text, name) {
             Ok(s) => Ok(format!(
-                "explain report for '{}' parses ({} aggregation sites, {} charge paths)",
+                "explain report for '{}' parses ({} aggregation sites, {} charge paths, \
+                 {n_paths} path fields in grammar)",
                 s.title,
                 s.aggregations.len(),
                 s.paths.len()
@@ -929,6 +1032,78 @@ mod tests {
     use super::*;
 
     const SAMPLE: &str = r#"{"target":"fig1","workers":4,"calibration_ns":1000,"generated_at_s":1,"experiments":[{"id":"fig1","wall_ns":5000,"eps_charged":1,"phases":[{"name":"p","eps_spent":1,"wall_ns":9}]},{"id":"worm","wall_ns":7000,"eps_charged":1,"phases":[]}],"metrics":{}}"#;
+
+    #[test]
+    fn charge_path_grammar_accepts_kernel_shapes() {
+        for good in [
+            "root",
+            "scale(x2)/root",
+            "scale(x0.5)/root",
+            "part[*]/scale(x1)/root",
+            "part[12]/scale(x1)/root",
+            "in[0]/root",
+            "in[1]/scale(x3)/root",
+            "part[*]/scale(x1)/part[*]/scale(x2)/root",
+        ] {
+            assert!(valid_charge_path(good), "rejected valid path {good:?}");
+        }
+        for bad in [
+            "",
+            "scale(x1)",         // does not terminate at a root budget
+            "root/scale(x1)",    // root must be last
+            "scale(1)/root",     // missing the x
+            "scale(xoops)/root", // not a float
+            "part[]/root",       // empty index
+            "part[a]/root",      // non-digit index
+            "in[*]/root",        // inputs are never wildcarded
+            "notroot",           // unknown segment
+            "part[*]//root",     // empty segment
+        ] {
+            assert!(!valid_charge_path(bad), "accepted invalid path {bad:?}");
+        }
+    }
+
+    #[test]
+    fn record_check_rejects_fixtures_with_malformed_paths() {
+        // A schema-current run report with a path field that no longer
+        // parses under the kernel grammar must be flagged stale.
+        let good = format!(
+            r#"{{"schema_version":{SCHEMA_VERSION},"target":"x","path":"part[*]/scale(x1)/root"}}"#
+        );
+        assert!(check_fixture_text("BENCH_x.json", &good).is_ok());
+        let drifted = good.replace("part[*]/scale(x1)/root", "partition:3/mult-1/ROOT");
+        let err = check_fixture_text("BENCH_x.json", &drifted).unwrap_err();
+        assert!(err.contains("not a kernel charge path"), "got: {err}");
+        assert!(err.contains("partition:3/mult-1/ROOT"), "got: {err}");
+        // The committed explain golden passes end-to-end, paths included.
+        let committed = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../bench-reports/GOLDEN_explain_fig1.json"
+        ))
+        .unwrap();
+        let status = check_fixture_text("GOLDEN_explain_fig1.json", &committed).unwrap();
+        assert!(status.contains("path fields in grammar"), "got: {status}");
+        assert_eq!(
+            extract_path_fields(&committed).len(),
+            check_path_fields(&committed).unwrap()
+        );
+    }
+
+    #[test]
+    fn skip_summary_lines_append_without_clobbering() {
+        let path = std::env::temp_dir().join("dpnet-bench-guard-summary-test.md");
+        let path_s = path.to_str().unwrap();
+        std::fs::remove_file(&path).ok();
+        append_skip_summary(path_s, "speedup", "machine has 1 CPUs");
+        append_skip_summary(path_s, "kernel-speedup", "machine has 1 CPUs, need 4");
+        let summary = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            summary,
+            ":warning: `speedup` gate **skipped**: machine has 1 CPUs\n\
+             :warning: `kernel-speedup` gate **skipped**: machine has 1 CPUs, need 4\n"
+        );
+        std::fs::remove_file(&path).ok();
+    }
 
     #[test]
     fn fields_parse() {

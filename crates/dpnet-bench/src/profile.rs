@@ -14,8 +14,8 @@
 use crate::experiments as exp;
 use crate::report::RunReport;
 use dpnet_obs::{
-    install_recorder, set_global_sink, uninstall_recorder, write_chrome_trace, MemorySink,
-    TraceRecorder,
+    install_recorder, set_global_sink, uninstall_recorder, write_chrome_trace_aggregated,
+    AggregatedSpans, MemorySink, SpanMode, TraceRecorder,
 };
 use pinq::ExecPool;
 use std::io::BufWriter;
@@ -85,6 +85,12 @@ pub struct ProfileConfig {
     /// When set, also time an *unprofiled* run first and fail if the
     /// profiled run is more than `(1 + ceiling)` times slower.
     pub max_overhead: Option<f64>,
+    /// How the recorder treats high-frequency aggregation spans:
+    /// [`SpanMode::Full`] keeps every span; [`SpanMode::Aggregate`] folds
+    /// them into count + total-ns rows per charge path (`--spans agg`),
+    /// which keeps large partitioned runs from materializing millions of
+    /// span records.
+    pub span_mode: SpanMode,
 }
 
 /// Everything one profiled run produced.
@@ -101,8 +107,10 @@ pub struct ProfileOutcome {
     pub profiled_wall_ns: u64,
     /// Wall time of the unprofiled baseline run, when one was made.
     pub baseline_wall_ns: Option<u64>,
-    /// Number of spans the run recorded.
+    /// Number of individually recorded spans.
     pub spans: usize,
+    /// Number of aggregate rows the recorder folded (aggregate mode only).
+    pub aggregated: usize,
 }
 
 impl ProfileOutcome {
@@ -133,7 +141,7 @@ pub fn run_profiled(cfg: &ProfileConfig) -> Result<ProfileOutcome, String> {
 
     let sink = Arc::new(MemorySink::new());
     set_global_sink(Some(sink.clone()));
-    let rec = Arc::new(TraceRecorder::new());
+    let rec = Arc::new(TraceRecorder::with_mode(cfg.span_mode));
     install_recorder(rec.clone());
     let start = Instant::now();
     let result = run_experiment(&cfg.experiment, &pool);
@@ -142,10 +150,17 @@ pub fn run_profiled(cfg: &ProfileConfig) -> Result<ProfileOutcome, String> {
     set_global_sink(None);
     let output = result?;
     let spans = rec.take();
+    let aggs = rec.take_aggregated();
 
     let mut report = RunReport::new(&format!("{}-w{}", cfg.experiment, cfg.workers));
     report.set_workers(cfg.workers);
-    report.record_with_spans(&cfg.experiment, profiled_wall_ns, &sink.drain(), &spans);
+    report.record_with_profile(
+        &cfg.experiment,
+        profiled_wall_ns,
+        &sink.drain(),
+        &spans,
+        &aggs,
+    );
     let attribution = report.render_attribution_report();
     let report_path = report
         .write_json(&cfg.report_dir)
@@ -153,7 +168,7 @@ pub fn run_profiled(cfg: &ProfileConfig) -> Result<ProfileOutcome, String> {
 
     let trace_path = match &cfg.trace_out {
         Some(path) => {
-            write_trace(path, &spans, &rec)?;
+            write_trace(path, &spans, &aggs, &rec)?;
             Some(path.clone())
         }
         None => None,
@@ -167,6 +182,7 @@ pub fn run_profiled(cfg: &ProfileConfig) -> Result<ProfileOutcome, String> {
         profiled_wall_ns,
         baseline_wall_ns,
         spans: spans.len(),
+        aggregated: aggs.len(),
     };
     if let (Some(ceiling), Some(overhead)) = (cfg.max_overhead, outcome.overhead()) {
         if overhead > ceiling {
@@ -186,6 +202,7 @@ pub fn run_profiled(cfg: &ProfileConfig) -> Result<ProfileOutcome, String> {
 fn write_trace(
     path: &Path,
     spans: &[dpnet_obs::CompletedSpan],
+    aggs: &[AggregatedSpans],
     rec: &TraceRecorder,
 ) -> Result<(), String> {
     if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
@@ -194,7 +211,7 @@ fn write_trace(
     }
     let file = std::fs::File::create(path)
         .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
-    write_chrome_trace(BufWriter::new(file), spans, &rec.track_names())
+    write_chrome_trace_aggregated(BufWriter::new(file), spans, &rec.track_names(), &[], aggs)
         .map_err(|e| format!("cannot write {}: {e}", path.display()))
 }
 
@@ -219,9 +236,11 @@ mod tests {
             report_dir: dir.clone(),
             trace_out: Some(dir.join("trace.json")),
             max_overhead: None,
+            span_mode: SpanMode::Full,
         };
         let out = run_profiled(&cfg).expect("profiled run");
         assert!(out.spans > 0, "experiment should record spans");
+        assert_eq!(out.aggregated, 0, "full mode folds nothing");
         assert!(!out.attribution.is_empty());
         let report = std::fs::read_to_string(&out.report_path).unwrap();
         assert!(report.contains("\"target\":\"example23-w1\""));
@@ -229,6 +248,40 @@ mod tests {
         let trace = std::fs::read_to_string(out.trace_path.as_ref().unwrap()).unwrap();
         assert!(trace.contains("\"traceEvents\""));
         assert!(trace.contains("\"ph\":\"X\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn aggregate_mode_folds_aggregation_spans_and_still_exports_a_trace() {
+        let _g = global_guard();
+        let dir = std::env::temp_dir().join("dpnet-profile-agg-test");
+        let run = |span_mode| {
+            let cfg = ProfileConfig {
+                experiment: "fig1".to_string(),
+                workers: 1,
+                report_dir: dir.clone(),
+                trace_out: Some(dir.join(format!("trace-{span_mode:?}.json"))),
+                max_overhead: None,
+                span_mode,
+            };
+            run_profiled(&cfg).expect("profiled run")
+        };
+        let full = run(SpanMode::Full);
+        let agg = run(SpanMode::Aggregate);
+        assert!(agg.aggregated > 0, "fig1 charges through aggregation spans");
+        assert!(
+            agg.spans < full.spans,
+            "aggregate mode must store fewer individual spans ({} vs {})",
+            agg.spans,
+            full.spans
+        );
+        // The attribution table still names the folded operators.
+        assert!(agg.attribution.contains("noisy_count"));
+        // The trace stays loadable and gains the dedicated aggregate lane.
+        let trace = std::fs::read_to_string(agg.trace_path.as_ref().unwrap()).unwrap();
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("aggregated spans"));
+        assert!(trace.contains("\"cat\":\"dpnet-agg\""));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -11,7 +11,10 @@
 //! for dashboards and regression tracking.
 
 use dpnet_obs::json::{escape, number};
-use dpnet_obs::{attribution, unix_time_s, AttributionRow, CompletedSpan, Event, MetricsRegistry};
+use dpnet_obs::{
+    attribution_with_aggregates, unix_time_s, AggregatedSpans, AttributionRow, CompletedSpan,
+    Event, MetricsRegistry,
+};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -212,6 +215,21 @@ impl RunReport {
         events: &[Event],
         spans: &[CompletedSpan],
     ) {
+        self.record_with_profile(id, wall_ns, events, spans, &[]);
+    }
+
+    /// [`RunReport::record_with_spans`] for runs profiled in
+    /// [`dpnet_obs::SpanMode::Aggregate`]: the folded aggregate rows join
+    /// the full spans in the attribution table, so the table is the same
+    /// whichever span mode recorded the run.
+    pub fn record_with_profile(
+        &mut self,
+        id: &str,
+        wall_ns: u64,
+        events: &[Event],
+        spans: &[CompletedSpan],
+        aggs: &[AggregatedSpans],
+    ) {
         let mut phases = Vec::new();
         let mut eps_charged = 0.0;
         for ev in events {
@@ -253,7 +271,7 @@ impl RunReport {
         self.registry
             .histogram("experiment.wall_ns")
             .record_ns(wall_ns);
-        let mut rows = attribution(spans);
+        let mut rows = attribution_with_aggregates(spans, aggs);
         rows.truncate(ATTRIBUTION_TOP);
         self.runs.push(ExperimentRun {
             id: id.to_string(),

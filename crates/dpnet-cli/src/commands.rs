@@ -316,12 +316,17 @@ pub fn classify_cmd(args: &Args) -> Result<String, String> {
 }
 
 /// `dpnet profile <experiment> [--workers N] [--trace-out FILE]
-/// [--max-overhead R] [--report-dir DIR]` — run one paper experiment with
-/// the span profiler installed, write the attribution-bearing
-/// `BENCH_<experiment>-wN.json` report, and optionally a Chrome-trace
-/// JSON loadable in Perfetto (`ui.perfetto.dev`) or `chrome://tracing`.
+/// [--max-overhead R] [--report-dir DIR] [--spans full|agg]` — run one
+/// paper experiment with the span profiler installed, write the
+/// attribution-bearing `BENCH_<experiment>-wN.json` report, and optionally
+/// a Chrome-trace JSON loadable in Perfetto (`ui.perfetto.dev`) or
+/// `chrome://tracing`. `--spans agg` folds the high-frequency aggregation
+/// spans into count + total-ns rows per charge path instead of recording
+/// each one (attribution tables and traces keep working; large partitioned
+/// runs stop materializing millions of span records).
 pub fn profile_cmd(args: &Args) -> Result<String, String> {
     use dpnet_bench::profile::{run_profiled, ProfileConfig, IDS};
+    use dpnet_obs::SpanMode;
     use std::path::PathBuf;
 
     let experiment = args.positional(0, "experiment")?;
@@ -339,6 +344,16 @@ pub fn profile_cmd(args: &Args) -> Result<String, String> {
         ),
         None => None,
     };
+    let span_mode = match args
+        .flags
+        .get("spans")
+        .map(String::as_str)
+        .unwrap_or("full")
+    {
+        "full" => SpanMode::Full,
+        "agg" => SpanMode::Aggregate,
+        other => return Err(format!("invalid value '{other}' for --spans (full|agg)")),
+    };
     let cfg = ProfileConfig {
         experiment: experiment.to_string(),
         workers,
@@ -350,6 +365,7 @@ pub fn profile_cmd(args: &Args) -> Result<String, String> {
         ),
         trace_out: args.flags.get("trace-out").map(PathBuf::from),
         max_overhead,
+        span_mode,
     };
     let outcome = run_profiled(&cfg)?;
 
@@ -364,6 +380,13 @@ pub fn profile_cmd(args: &Args) -> Result<String, String> {
         outcome.spans,
         outcome.profiled_wall_ns as f64 / 1e6
     );
+    if outcome.aggregated > 0 {
+        let _ = writeln!(
+            out,
+            "aggregated spans: {} (name, charge path) rows folded (--spans agg)",
+            outcome.aggregated
+        );
+    }
     if let (Some(base), Some(overhead)) = (outcome.baseline_wall_ns, outcome.overhead()) {
         let _ = writeln!(
             out,
@@ -470,8 +493,11 @@ pub fn usage() -> String {
        audit    <file> <query> [--budget E] [--eps E] [--seed N] [--label L] [--out FILE]\n\
                 run a query, then print the owner-side per-operator \u{3b5} ledger\n\
        profile  <experiment> [--workers N] [--trace-out FILE] [--max-overhead R]\n\
+                [--spans full|agg]\n\
                 run a paper experiment under the span profiler; writes\n\
-                bench-reports/BENCH_<experiment>-wN.json and a Perfetto trace\n\
+                bench-reports/BENCH_<experiment>-wN.json and a Perfetto trace;\n\
+                --spans agg folds high-frequency aggregation spans into\n\
+                count + total-ns rows per charge path\n\
        explain  <experiment> [--analyze] [--format tree|dot|json] [--workers N]\n\
                 [--out FILE] [--trace-out FILE]\n\
                 EXPLAIN / EXPLAIN ANALYZE: predicted \u{3b5} per charge path and\n\

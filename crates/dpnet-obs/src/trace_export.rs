@@ -13,10 +13,14 @@
 //! file contains names, details, links and timings — never record counts.
 
 use crate::json::{escape, number};
-use crate::span::CompletedSpan;
+use crate::span::{AggregatedSpans, CompletedSpan};
 use std::collections::BTreeMap;
 use std::io::{self, Write};
 use std::sync::Arc;
+
+/// The `tid` lane synthetic aggregate events render on. Real span tracks
+/// are numbered from 1, so lane 0 is free.
+const AGG_TRACK: u64 = 0;
 
 fn us(ns: u64) -> String {
     number(ns as f64 / 1000.0)
@@ -54,10 +58,26 @@ pub fn write_chrome_trace<W: Write>(
 /// event per [`CounterSample`], sharing the spans' `pid` so Perfetto
 /// shows the counters in the same timeline.
 pub fn write_chrome_trace_with_counters<W: Write>(
+    w: W,
+    spans: &[CompletedSpan],
+    track_names: &BTreeMap<u64, Arc<str>>,
+    counters: &[CounterSample],
+) -> io::Result<()> {
+    write_chrome_trace_aggregated(w, spans, track_names, counters, &[])
+}
+
+/// The full exporter: spans, counter tracks, *and* the folded
+/// [`AggregatedSpans`] rows a [`crate::span::SpanMode::Aggregate`]
+/// recorder produced. Each aggregate row becomes one
+/// synthetic `"ph":"X"` event on a dedicated `tid 0` lane named
+/// `"aggregated spans"`, laid end-to-end (the lane shows *total* time per
+/// charge path, not a timeline) with the fold's `count` in its args.
+pub fn write_chrome_trace_aggregated<W: Write>(
     mut w: W,
     spans: &[CompletedSpan],
     track_names: &BTreeMap<u64, Arc<str>>,
     counters: &[CounterSample],
+    aggs: &[AggregatedSpans],
 ) -> io::Result<()> {
     write!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
     let mut first = true;
@@ -74,6 +94,14 @@ pub fn write_chrome_trace_with_counters<W: Write>(
     let mut tracks: Vec<u64> = spans.iter().map(|s| s.track).collect();
     tracks.sort_unstable();
     tracks.dedup();
+    if !aggs.is_empty() {
+        sep(&mut w, &mut first)?;
+        write!(
+            w,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{AGG_TRACK},\
+             \"args\":{{\"name\":\"aggregated spans\"}}}}"
+        )?;
+    }
     for track in &tracks {
         let name: String = match track_names.get(track) {
             Some(n) => n.to_string(),
@@ -109,6 +137,27 @@ pub fn write_chrome_trace_with_counters<W: Write>(
         write!(w, ",\"records\":{}", s.records)?;
         write!(w, "}}}}")?;
     }
+    // Aggregate rows: end-to-end on the dedicated lane, so a row's width
+    // reads as total time spent under that (name, charge path).
+    let mut cursor_ns = 0u64;
+    for a in aggs {
+        sep(&mut w, &mut first)?;
+        write!(
+            w,
+            "{{\"name\":{},\"cat\":\"dpnet-agg\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{AGG_TRACK},\"args\":{{\"count\":{},\"self_us\":{}",
+            escape(a.name),
+            us(cursor_ns),
+            us(a.total_ns),
+            a.count,
+            us(a.self_ns()),
+        )?;
+        if let Some(detail) = &a.detail {
+            write!(w, ",\"detail\":{}", escape(detail))?;
+        }
+        write!(w, "}}}}")?;
+        cursor_ns += a.total_ns;
+    }
     for c in counters {
         sep(&mut w, &mut first)?;
         write!(
@@ -135,8 +184,18 @@ pub fn chrome_trace_json_with_counters(
     track_names: &BTreeMap<u64, Arc<str>>,
     counters: &[CounterSample],
 ) -> String {
+    chrome_trace_json_aggregated(spans, track_names, counters, &[])
+}
+
+/// [`write_chrome_trace_aggregated`] into a `String`.
+pub fn chrome_trace_json_aggregated(
+    spans: &[CompletedSpan],
+    track_names: &BTreeMap<u64, Arc<str>>,
+    counters: &[CounterSample],
+    aggs: &[AggregatedSpans],
+) -> String {
     let mut buf = Vec::new();
-    write_chrome_trace_with_counters(&mut buf, spans, track_names, counters)
+    write_chrome_trace_aggregated(&mut buf, spans, track_names, counters, aggs)
         .expect("writing to a Vec cannot fail");
     String::from_utf8(buf).expect("exporter emits UTF-8")
 }
@@ -240,6 +299,49 @@ mod tests {
         assert!(only.starts_with("{\"displayTimeUnit\""));
         assert!(only.ends_with("]}"));
         assert!(!only.contains("}{"));
+    }
+
+    #[test]
+    fn aggregate_rows_become_synthetic_events_on_their_own_lane() {
+        use crate::json::{parse_value, JsonValue};
+        let aggs = vec![
+            AggregatedSpans {
+                name: "noisy_count",
+                detail: Some(Arc::from("part[*]/scale(x1)/root")),
+                count: 1200,
+                total_ns: 3_000,
+                child_ns: 500,
+            },
+            AggregatedSpans {
+                name: "noisy_sum",
+                detail: None,
+                count: 4,
+                total_ns: 1_000,
+                child_ns: 0,
+            },
+        ];
+        let spans = vec![span(1, None, "exec/run", 3)];
+        let json = chrome_trace_json_aggregated(&spans, &BTreeMap::new(), &[], &aggs);
+        // Dedicated lane gets a name; rows lie end-to-end on tid 0.
+        assert!(json.contains("{\"name\":\"aggregated spans\"}"));
+        assert!(json.contains(
+            "{\"name\":\"noisy_count\",\"cat\":\"dpnet-agg\",\"ph\":\"X\",\"ts\":0,\"dur\":3,\
+             \"pid\":1,\"tid\":0,\"args\":{\"count\":1200,\"self_us\":2.5,\
+             \"detail\":\"part[*]/scale(x1)/root\"}}"
+        ));
+        assert!(
+            json.contains("{\"name\":\"noisy_sum\",\"cat\":\"dpnet-agg\",\"ph\":\"X\",\"ts\":3,")
+        );
+        let doc = parse_value(&json).expect("aggregated trace is parseable JSON");
+        let events = doc.get("traceEvents").and_then(JsonValue::items).unwrap();
+        // 1 agg-lane meta + 1 span-track meta + 1 span + 2 aggregate rows.
+        assert_eq!(events.len(), 5);
+        // Without aggregate rows the document is unchanged from the
+        // counters-only writer (full mode stays byte-stable).
+        assert_eq!(
+            chrome_trace_json_aggregated(&spans, &BTreeMap::new(), &[], &[]),
+            chrome_trace_json(&spans, &BTreeMap::new())
+        );
     }
 
     #[test]

@@ -97,42 +97,12 @@ impl ChargeTree {
 
     /// Predict the per-root `(full_path, ε)` deltas a charge of `eps`
     /// through this node would apply, given the spends captured in the
-    /// snapshot. Pure arithmetic on the snapshot; nothing is spent.
+    /// snapshot. Pure: the snapshot is compiled into a kernel
+    /// [`crate::kernel::model::KernelState`] and walked with the kernel's
+    /// own predict arithmetic — the same formulas live charges use, so a
+    /// static `EXPLAIN` cannot drift from the engine.
     pub fn predict(&self, eps: f64) -> Vec<(String, f64)> {
-        let mut out = Vec::new();
-        self.predict_into(eps, "", &mut out);
-        out
-    }
-
-    fn predict_into(&self, eps: f64, path: &str, out: &mut Vec<(String, f64)>) {
-        let join = |seg: &str| {
-            if path.is_empty() {
-                seg.to_string()
-            } else {
-                format!("{path}/{seg}")
-            }
-        };
-        match self {
-            ChargeTree::Root { .. } => out.push((join("root"), eps)),
-            ChargeTree::Scaled { factor, child } => {
-                child.predict_into(eps * factor, &join(&format!("scale(x{factor})")), out)
-            }
-            ChargeTree::Combined(children) => {
-                for (i, c) in children.iter().enumerate() {
-                    c.predict_into(eps, &join(&format!("in[{i}]")), out);
-                }
-            }
-            ChargeTree::Part {
-                index,
-                part_spent,
-                max_spent,
-                child,
-                ..
-            } => {
-                let delta = (part_spent + eps).max(*max_spent) - max_spent;
-                child.predict_into(delta, &join(&format!("part[{index}]")), out);
-            }
-        }
+        crate::kernel::predict_tree(self, eps)
     }
 
     fn render_text_into(&self, indent: usize, out: &mut String) {

@@ -26,16 +26,13 @@
 //! whole picture — retained spends, exact per-operator totals, and a
 //! summary — as owner-side JSONL.
 
-use crate::error::{Error, Result};
+use super::model::RootBudget;
+use crate::error::Result;
 use dpnet_obs::sink::SinkHandle;
 use dpnet_obs::{now_ns, ChargeEvent, Event, EventSink};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
-
-/// Small tolerance so that spending exactly the remaining budget succeeds
-/// despite floating-point accumulation.
-const TOLERANCE: f64 = 1e-9;
 
 /// Spend-log entries retained by default before the ring buffer starts
 /// evicting the oldest (see [`Accountant::set_log_capacity`]).
@@ -72,8 +69,7 @@ pub struct OperatorTotal {
 
 #[derive(Debug)]
 struct AccountantState {
-    total: f64,
-    spent: f64,
+    budget: RootBudget,
     sequence: u64,
     log: VecDeque<SpendEvent>,
     log_capacity: usize,
@@ -85,8 +81,7 @@ struct AccountantState {
 impl Default for AccountantState {
     fn default() -> Self {
         AccountantState {
-            total: 0.0,
-            spent: 0.0,
+            budget: RootBudget::new(0.0),
             sequence: 0,
             log: VecDeque::new(),
             log_capacity: DEFAULT_LOG_CAPACITY,
@@ -120,13 +115,13 @@ impl AccountantState {
 
 /// Provenance attached to a charge as it walks the composition tree.
 #[derive(Debug, Clone)]
-pub(crate) struct ChargeMeta {
-    pub(crate) operator: Arc<str>,
-    pub(crate) label: Option<Arc<str>>,
+pub(in crate::kernel) struct ChargeMeta {
+    pub(in crate::kernel) operator: Arc<str>,
+    pub(in crate::kernel) label: Option<Arc<str>>,
 }
 
 impl ChargeMeta {
-    pub(crate) fn new(operator: &str, label: Option<Arc<str>>) -> Self {
+    pub(in crate::kernel) fn new(operator: &str, label: Option<Arc<str>>) -> Self {
         ChargeMeta {
             operator: Arc::from(operator),
             label,
@@ -158,13 +153,9 @@ impl Accountant {
     /// Panics if `total` is negative, NaN or infinite; the budget is a
     /// policy decision by the data owner and must be a real number.
     pub fn new(total: f64) -> Self {
-        assert!(
-            total.is_finite() && total >= 0.0,
-            "budget must be finite and non-negative, got {total}"
-        );
         Accountant {
             state: Arc::new(Mutex::new(AccountantState {
-                total,
+                budget: RootBudget::new(total),
                 ..AccountantState::default()
             })),
             sink: SinkHandle::new(),
@@ -174,18 +165,24 @@ impl Accountant {
     /// The total budget currently configured (initial grant plus any
     /// later [`Accountant::grant`]s).
     pub fn total(&self) -> f64 {
-        self.state.lock().total
+        self.state.lock().budget.total
     }
 
     /// Cumulative ε spent so far.
     pub fn spent(&self) -> f64 {
-        self.state.lock().spent
+        self.state.lock().budget.spent
     }
 
     /// ε still available.
     pub fn remaining(&self) -> f64 {
-        let st = self.state.lock();
-        (st.total - st.spent).max(0.0)
+        self.state.lock().budget.remaining()
+    }
+
+    /// A copy of the underlying kernel budget value, read under one lock
+    /// acquisition — `total` and `spent` taken at the same instant, for
+    /// tests and tooling replaying the facade against the pure model.
+    pub fn budget_snapshot(&self) -> RootBudget {
+        self.state.lock().budget
     }
 
     /// Enlarge the budget by `extra` ε — a *data-owner* operation, the
@@ -196,11 +193,7 @@ impl Accountant {
     /// # Panics
     /// Panics on a negative, NaN or infinite grant.
     pub fn grant(&self, extra: f64) {
-        assert!(
-            extra.is_finite() && extra >= 0.0,
-            "grant must be finite and non-negative, got {extra}"
-        );
-        self.state.lock().total += extra;
+        self.state.lock().budget.grant(extra);
     }
 
     /// Bind (or with `None`, unbind) the sink that receives this
@@ -273,18 +266,19 @@ impl Accountant {
         self.charge_with(eps, &direct_meta(), "root")
     }
 
-    /// Attempt to spend `eps`, recording full provenance.
-    pub(crate) fn charge_with(&self, eps: f64, meta: &ChargeMeta, path: &str) -> Result<()> {
-        debug_assert!(eps >= 0.0, "negative charge {eps}");
+    /// Attempt to spend `eps`, recording full provenance. The admission
+    /// decision and the spend itself are [`RootBudget::try_charge`] — the
+    /// kernel model's arithmetic, verbatim; this shell only adds locking,
+    /// the audit ledger and sink emission.
+    pub(in crate::kernel) fn charge_with(
+        &self,
+        eps: f64,
+        meta: &ChargeMeta,
+        path: &str,
+    ) -> Result<()> {
         let ev = {
             let mut st = self.state.lock();
-            if st.spent + eps > st.total + TOLERANCE {
-                return Err(Error::BudgetExceeded {
-                    requested: eps,
-                    available: (st.total - st.spent).max(0.0),
-                });
-            }
-            st.spent += eps;
+            st.budget.try_charge(eps)?;
             st.sequence += 1;
             let ev = SpendEvent {
                 epsilon: eps,
@@ -295,7 +289,7 @@ impl Accountant {
                 at_ns: now_ns(),
             };
             st.record(ev.clone());
-            (ev, st.spent)
+            (ev, st.budget.spent)
         };
         // Emit outside the lock; sinks may be arbitrarily slow.
         let (ev, spent_after) = ev;
@@ -321,16 +315,14 @@ impl Accountant {
         self.refund_with(eps, &direct_meta(), "root");
     }
 
-    /// Return `eps` to the budget, recording full provenance.
-    pub(crate) fn refund_with(&self, eps: f64, meta: &ChargeMeta, path: &str) {
-        debug_assert!(eps >= 0.0);
+    /// Return `eps` to the budget, recording full provenance. The clamp
+    /// at zero and the applied-delta attribution are
+    /// [`RootBudget::refund`] — per-operator totals keep summing exactly
+    /// to `spent` even if a refund clamps.
+    pub(in crate::kernel) fn refund_with(&self, eps: f64, meta: &ChargeMeta, path: &str) {
         let ev = {
             let mut st = self.state.lock();
-            let before = st.spent;
-            st.spent = (st.spent - eps).max(0.0);
-            // Attribute the *applied* delta so per-operator totals keep
-            // summing exactly to `spent` even if a refund clamps at zero.
-            let applied = before - st.spent;
+            let applied = st.budget.refund(eps);
             st.sequence += 1;
             let ev = SpendEvent {
                 epsilon: -applied,
@@ -341,7 +333,7 @@ impl Accountant {
                 at_ns: now_ns(),
             };
             st.record(ev.clone());
-            (ev, st.spent)
+            (ev, st.budget.spent)
         };
         let (ev, spent_after) = ev;
         self.sink.emit(|| {
@@ -394,8 +386,8 @@ impl Accountant {
                     .iter()
                     .map(|(k, v)| (k.clone(), *v))
                     .collect::<Vec<_>>(),
-                st.spent,
-                st.total,
+                st.budget.spent,
+                st.budget.total,
                 st.evicted,
             )
         };
@@ -441,6 +433,7 @@ impl Accountant {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::Error;
 
     #[test]
     fn charges_accumulate() {

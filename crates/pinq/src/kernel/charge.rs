@@ -18,36 +18,37 @@
 //! mediated model needs the owner to explain not just *how much* ε left the
 //! budget but *through which composition* it did.
 
-use crate::budget::{Accountant, ChargeMeta};
+use super::budget::{Accountant, ChargeMeta};
+use super::model::{join_path, seg_in, seg_part, seg_scale, SEG_ROOT};
+use super::partition::PartitionLedger;
 use crate::error::Result;
-use crate::partition::PartitionLedger;
 use std::sync::Arc;
 
-/// A node in the charge DAG. Crate-internal: analysts only see queryables.
+/// A node in the charge DAG. Crate-internal: analysts only see queryables,
+/// and the rest of the crate only *holds* nodes — construction and every
+/// ε-moving walk are sealed inside the kernel (built via
+/// [`crate::kernel::root_node`] and friends; the `kernel-seal` CI check
+/// flags variant construction outside `crates/pinq/src/kernel/`).
 #[derive(Debug, Clone)]
 pub(crate) enum ChargeNode {
     /// Charges land directly on a dataset budget.
     Root(Accountant),
     /// Charges are multiplied by `factor` and forwarded to `parent`.
     Scaled {
+        /// Upstream node.
         parent: Arc<ChargeNode>,
+        /// Stability multiplier.
         factor: f64,
     },
     /// Charges are forwarded, unscaled, to every parent.
     Combined(Vec<Arc<ChargeNode>>),
     /// Charges flow through a partition ledger (max-of-parts accounting).
     PartitionPart {
+        /// The ledger mediating this part.
         ledger: Arc<PartitionLedger>,
+        /// Part index (narrated as `part[index]` in charge paths).
         index: usize,
     },
-}
-
-fn join_path(prefix: &str, segment: &str) -> String {
-    if prefix.is_empty() {
-        segment.to_string()
-    } else {
-        format!("{prefix}/{segment}")
-    }
 }
 
 impl ChargeNode {
@@ -59,7 +60,12 @@ impl ChargeNode {
 
     /// Spend `eps` through this node, threading provenance: `meta` names
     /// the initiating operator, `path` accumulates one segment per hop.
-    pub(crate) fn charge_with(&self, eps: f64, meta: &ChargeMeta, path: &str) -> Result<()> {
+    pub(in crate::kernel) fn charge_with(
+        &self,
+        eps: f64,
+        meta: &ChargeMeta,
+        path: &str,
+    ) -> Result<()> {
         self.charge_traced(eps, meta, path, &mut None)
     }
 
@@ -71,7 +77,7 @@ impl ChargeNode {
     /// racing in from pool workers can never make the trace disagree with
     /// the ledger. On `Err` the caller must discard the trace: a `Combined`
     /// rollback may leave entries for parents charged and then refunded.
-    pub(crate) fn charge_traced(
+    pub(in crate::kernel) fn charge_traced(
         &self,
         eps: f64,
         meta: &ChargeMeta,
@@ -80,7 +86,7 @@ impl ChargeNode {
     ) -> Result<()> {
         match self {
             ChargeNode::Root(acct) => {
-                let full = join_path(path, "root");
+                let full = join_path(path, SEG_ROOT);
                 acct.charge_with(eps, meta, &full)?;
                 if let Some(t) = trace.as_mut() {
                     t.push((full, eps));
@@ -90,17 +96,17 @@ impl ChargeNode {
             ChargeNode::Scaled { parent, factor } => parent.charge_traced(
                 eps * factor,
                 meta,
-                &join_path(path, &format!("scale(x{factor})")),
+                &join_path(path, &seg_scale(*factor)),
                 trace,
             ),
             ChargeNode::Combined(parents) => {
                 for (i, p) in parents.iter().enumerate() {
-                    let seg = join_path(path, &format!("in[{i}]"));
+                    let seg = join_path(path, &seg_in(i));
                     if let Err(e) = p.charge_traced(eps, meta, &seg, trace) {
                         // Roll back the parents already charged so that a
                         // failed multi-input aggregation is free.
                         for (j, q) in parents[..i].iter().enumerate() {
-                            q.refund_with(eps, meta, &join_path(path, &format!("in[{j}]")));
+                            q.refund_with(eps, meta, &join_path(path, &seg_in(j)));
                         }
                         return Err(e);
                     }
@@ -111,7 +117,7 @@ impl ChargeNode {
                 *index,
                 eps,
                 meta,
-                &join_path(path, &format!("part[{index}]")),
+                &join_path(path, &seg_part(*index)),
                 trace,
             ),
         }
@@ -121,26 +127,27 @@ impl ChargeNode {
     /// that a `charge_with(eps, …)` issued *now* would apply, given current
     /// ledger state. Zero-delta entries are kept so callers see every root
     /// the walk can reach. Nothing is spent anywhere.
-    pub(crate) fn predict_into(&self, eps: f64, path: &str, out: &mut Vec<(String, f64)>) {
+    pub(in crate::kernel) fn predict_into(
+        &self,
+        eps: f64,
+        path: &str,
+        out: &mut Vec<(String, f64)>,
+    ) {
         match self {
-            ChargeNode::Root(_) => out.push((join_path(path, "root"), eps)),
-            ChargeNode::Scaled { parent, factor } => parent.predict_into(
-                eps * factor,
-                &join_path(path, &format!("scale(x{factor})")),
-                out,
-            ),
+            ChargeNode::Root(_) => out.push((join_path(path, SEG_ROOT), eps)),
+            ChargeNode::Scaled { parent, factor } => {
+                parent.predict_into(eps * factor, &join_path(path, &seg_scale(*factor)), out)
+            }
             ChargeNode::Combined(parents) => {
                 for (i, p) in parents.iter().enumerate() {
-                    p.predict_into(eps, &join_path(path, &format!("in[{i}]")), out);
+                    p.predict_into(eps, &join_path(path, &seg_in(i)), out);
                 }
             }
             ChargeNode::PartitionPart { ledger, index } => {
                 let delta = ledger.predict_child(*index, eps);
-                ledger.parent().predict_into(
-                    delta,
-                    &join_path(path, &format!("part[{index}]")),
-                    out,
-                );
+                ledger
+                    .parent()
+                    .predict_into(delta, &join_path(path, &seg_part(*index)), out);
             }
         }
     }
@@ -207,25 +214,20 @@ impl ChargeNode {
     }
 
     /// Undo a previous successful `charge_with`, with the same provenance.
-    pub(crate) fn refund_with(&self, eps: f64, meta: &ChargeMeta, path: &str) {
+    pub(in crate::kernel) fn refund_with(&self, eps: f64, meta: &ChargeMeta, path: &str) {
         match self {
-            ChargeNode::Root(acct) => acct.refund_with(eps, meta, &join_path(path, "root")),
-            ChargeNode::Scaled { parent, factor } => parent.refund_with(
-                eps * factor,
-                meta,
-                &join_path(path, &format!("scale(x{factor})")),
-            ),
+            ChargeNode::Root(acct) => acct.refund_with(eps, meta, &join_path(path, SEG_ROOT)),
+            ChargeNode::Scaled { parent, factor } => {
+                parent.refund_with(eps * factor, meta, &join_path(path, &seg_scale(*factor)))
+            }
             ChargeNode::Combined(parents) => {
                 for (i, p) in parents.iter().enumerate() {
-                    p.refund_with(eps, meta, &join_path(path, &format!("in[{i}]")));
+                    p.refund_with(eps, meta, &join_path(path, &seg_in(i)));
                 }
             }
-            ChargeNode::PartitionPart { ledger, index } => ledger.refund_child_with(
-                *index,
-                eps,
-                meta,
-                &join_path(path, &format!("part[{index}]")),
-            ),
+            ChargeNode::PartitionPart { ledger, index } => {
+                ledger.refund_child_with(*index, eps, meta, &join_path(path, &seg_part(*index)))
+            }
         }
     }
 }
@@ -331,7 +333,7 @@ mod tests {
         assert_eq!(scaled.describe(), "scale(x2)/root");
         let combined = ChargeNode::Combined(vec![root.clone(), scaled.clone()]);
         assert_eq!(combined.describe(), "(in[0]:root+in[1]:scale(x2)/root)");
-        let ledger = Arc::new(crate::partition::PartitionLedger::new(scaled, 4));
+        let ledger = Arc::new(crate::kernel::partition::PartitionLedger::new(scaled, 4));
         let part = ChargeNode::PartitionPart { ledger, index: 3 };
         assert_eq!(part.describe(), "part[3]/scale(x2)/root");
         // Describing is free: nothing was spent anywhere.
@@ -346,7 +348,7 @@ mod tests {
             parent: root,
             factor: 2.0,
         });
-        let ledger = Arc::new(crate::partition::PartitionLedger::new(scaled, 2));
+        let ledger = Arc::new(crate::kernel::partition::PartitionLedger::new(scaled, 2));
         let part0 = ChargeNode::PartitionPart {
             ledger: ledger.clone(),
             index: 0,
@@ -378,7 +380,7 @@ mod tests {
     fn predict_matches_what_a_charge_would_apply() {
         let acct = Accountant::new(10.0);
         let root = Arc::new(ChargeNode::Root(acct.clone()));
-        let ledger = Arc::new(crate::partition::PartitionLedger::new(root, 2));
+        let ledger = Arc::new(crate::kernel::partition::PartitionLedger::new(root, 2));
         let part = ChargeNode::PartitionPart {
             ledger: ledger.clone(),
             index: 1,
@@ -411,7 +413,7 @@ mod tests {
             parent: root,
             factor: 2.0,
         });
-        let ledger = Arc::new(crate::partition::PartitionLedger::new(scaled, 4));
+        let ledger = Arc::new(crate::kernel::partition::PartitionLedger::new(scaled, 4));
         let part = ChargeNode::PartitionPart { ledger, index: 3 };
         part.charge(0.25).unwrap();
         let tree = part.snapshot();

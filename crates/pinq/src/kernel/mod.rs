@@ -1,0 +1,276 @@
+//! The sealed privacy kernel: every ε-mutating state transition in one
+//! auditable module tree.
+//!
+//! Structure (the Featherweight-PINQ layering):
+//!
+//! * [`model`] — the **pure core**: [`model::KernelState`] +
+//!   [`model::Transition`] + [`model::step`], side-effect-free arithmetic
+//!   the test suite enumerates and property-checks. All privacy constants
+//!   and formulas (tolerance, stability scaling, max-of-parts forwarding,
+//!   refund clamping, charge-path narration) have exactly one definition
+//!   here.
+//! * [`budget`] — the [`budget::Accountant`] shell: a
+//!   [`model::RootBudget`] behind a mutex, plus audit-log, sink-event and
+//!   phase-observation mechanics. Public, because data owners configure
+//!   budgets through it.
+//! * `charge` (crate-internal) — the live charge DAG (`ChargeNode`)
+//!   whose walks mirror [`model::step`]'s `Charge`/`Refund` transitions
+//!   node-for-node.
+//! * `partition` (crate-internal) — the parallel-composition ledger: a
+//!   [`model::LedgerBook`] behind a mutex.
+//!
+//! **The seal:** every mutating entry point of the shells
+//! (`Accountant::charge_with`, `ChargeNode::charge_traced`,
+//! `PartitionLedger::charge_child_traced`, the node/ledger constructors, …)
+//! is `pub(in crate::kernel)`. The rest of the crate composes privacy
+//! state exclusively through the oblivious functions below — it can hold
+//! and describe `ChargeNode`s but cannot construct them or move ε
+//! through them except via this module. CI enforces the boundary with the
+//! `kernel-seal` static check (`scripts/kernel_seal.sh`), which fails
+//! naming the offending path if privileged symbols appear outside
+//! `crates/pinq/src/kernel/`.
+
+pub mod budget;
+pub(crate) mod charge;
+pub mod model;
+pub(crate) mod partition;
+
+pub(crate) use charge::ChargeNode;
+
+use crate::error::Result;
+use budget::{Accountant, ChargeMeta};
+use model::{LedgerBook, NodeSpec};
+use partition::PartitionLedger;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// DAG construction — the only way the rest of the crate grows the charge
+// graph (the live counterpart of `Transition::ExtendDag`/`NewLedger`).
+// ---------------------------------------------------------------------
+
+/// A root node charging directly against one dataset budget.
+pub(crate) fn root_node(budget: &Accountant) -> Arc<ChargeNode> {
+    Arc::new(ChargeNode::Root(budget.clone()))
+}
+
+/// The charge node protecting a dataset guarded by several budgets at
+/// once: a single root for one accountant, a transactional `Combined` of
+/// roots otherwise (every budget must afford every charge).
+pub(crate) fn shared_root_node(budgets: &[&Accountant]) -> Arc<ChargeNode> {
+    if budgets.len() == 1 {
+        root_node(budgets[0])
+    } else {
+        Arc::new(ChargeNode::Combined(
+            budgets.iter().map(|b| root_node(b)).collect(),
+        ))
+    }
+}
+
+/// The charge node for a two-input transformation (e.g. `join`): each
+/// input charged through its own stability scaling, transactionally.
+pub(crate) fn scaled_pair(
+    left: &Arc<ChargeNode>,
+    left_factor: f64,
+    right: &Arc<ChargeNode>,
+    right_factor: f64,
+) -> Arc<ChargeNode> {
+    Arc::new(ChargeNode::Combined(vec![
+        Arc::new(ChargeNode::Scaled {
+            parent: left.clone(),
+            factor: left_factor,
+        }),
+        Arc::new(ChargeNode::Scaled {
+            parent: right.clone(),
+            factor: right_factor,
+        }),
+    ]))
+}
+
+/// The charge nodes for the parts of a `partition`: one shared ledger
+/// (max-of-parts accounting) forwarding through a stability scaling of
+/// `parent`, and one `PartitionPart` node per part. The live counterpart
+/// of a `NewLedger` transition followed by one `ExtendDag` per part.
+pub(crate) fn partition_nodes(
+    parent: &Arc<ChargeNode>,
+    factor: f64,
+    parts: usize,
+) -> Vec<Arc<ChargeNode>> {
+    let ledger = Arc::new(PartitionLedger::new(
+        Arc::new(ChargeNode::Scaled {
+            parent: parent.clone(),
+            factor,
+        }),
+        parts,
+    ));
+    (0..parts)
+        .map(|index| {
+            Arc::new(ChargeNode::PartitionPart {
+                ledger: ledger.clone(),
+                index,
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Charging — the only way the rest of the crate spends ε.
+// ---------------------------------------------------------------------
+
+/// Provenance for a batch of charges, prepared once so hot loops (e.g.
+/// per-part noisy counts) do not re-intern operator strings per part.
+pub(crate) struct PreparedCharge {
+    operator: &'static str,
+    meta: ChargeMeta,
+}
+
+/// Prepare provenance for one or more charges initiated by `operator`
+/// under an optional analysis label.
+pub(crate) fn prepare(operator: &'static str, label: Option<Arc<str>>) -> PreparedCharge {
+    PreparedCharge {
+        operator,
+        meta: ChargeMeta::new(operator, label),
+    }
+}
+
+/// Spend `eps` through `node` — the live counterpart of a
+/// `Transition::Charge`. On failure nothing is spent anywhere (multi-input
+/// nodes roll back transactionally). When an explain recorder is
+/// installed, the per-root deltas are captured atomically with the charge
+/// and recorded against the node's static description; on `Err` the trace
+/// is discarded, matching the kernel model where a failed `step` yields no
+/// deltas.
+pub(crate) fn charge_prepared(node: &ChargeNode, eps: f64, prep: &PreparedCharge) -> Result<()> {
+    if let Some(rec) = crate::explain::recorder() {
+        let mut trace = Vec::new();
+        node.charge_traced(eps, &prep.meta, "", &mut Some(&mut trace))?;
+        rec.record(prep.operator, &node.describe(), eps, &trace);
+        Ok(())
+    } else {
+        node.charge_with(eps, &prep.meta, "")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Prediction — pure queries answered by compiling snapshots into the
+// model and walking them with `model::predict`.
+// ---------------------------------------------------------------------
+
+/// Predict the per-root `(path, ε)` deltas a charge of `eps` against the
+/// node captured in `tree` would apply, given the budget/ledger values the
+/// snapshot recorded. Pure: compiles the snapshot into a
+/// [`model::KernelState`] and runs the kernel's predict walk, so static
+/// `EXPLAIN` predictions use the same arithmetic as live charges.
+pub(crate) fn predict_tree(tree: &crate::explain::ChargeTree, eps: f64) -> Vec<(String, f64)> {
+    let mut state = model::KernelState::new();
+    let node = compile_tree(tree, &mut state);
+    model::predict(&state, node, eps)
+        .into_iter()
+        .map(|d| (d.path, d.eps))
+        .collect()
+}
+
+/// Compile one snapshot node into `state`, returning its id. Ledger books
+/// are compacted to the single column the snapshot retained (`slot` 0),
+/// with the narrated part index preserved separately — a snapshot only
+/// knows its own part's spend and the overall max, which is exactly what
+/// the forwarding rule needs.
+fn compile_tree(
+    tree: &crate::explain::ChargeTree,
+    state: &mut model::KernelState,
+) -> model::NodeId {
+    use crate::explain::ChargeTree;
+    match tree {
+        ChargeTree::Root { spent, total } => {
+            let root = state.add_root(model::RootBudget {
+                total: *total,
+                spent: *spent,
+            });
+            state.add_node(NodeSpec::Root(root))
+        }
+        ChargeTree::Scaled { factor, child } => {
+            let parent = compile_tree(child, state);
+            state.add_node(NodeSpec::Scaled {
+                parent,
+                factor: *factor,
+            })
+        }
+        ChargeTree::Combined(children) => {
+            let parents = children.iter().map(|c| compile_tree(c, state)).collect();
+            state.add_node(NodeSpec::Combined(parents))
+        }
+        ChargeTree::Part {
+            index,
+            part_spent,
+            max_spent,
+            child,
+            ..
+        } => {
+            let parent = compile_tree(child, state);
+            let ledger = state.add_ledger_book(
+                parent,
+                LedgerBook {
+                    spends: vec![*part_spent],
+                    max: *max_spent,
+                },
+            );
+            state.add_node(NodeSpec::Part {
+                ledger,
+                index: *index,
+                slot: 0,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_root_collapses_single_budget() {
+        let a = Accountant::new(1.0);
+        let node = shared_root_node(&[&a]);
+        assert_eq!(node.describe(), "root");
+        let b = Accountant::new(2.0);
+        let both = shared_root_node(&[&a, &b]);
+        assert_eq!(both.describe(), "(in[0]:root+in[1]:root)");
+    }
+
+    #[test]
+    fn charge_prepared_spends_like_a_direct_walk() {
+        let a = Accountant::new(1.0);
+        let node = root_node(&a);
+        let prep = prepare("noisy_count", None);
+        charge_prepared(&node, 0.25, &prep).unwrap();
+        assert!((a.spent() - 0.25).abs() < 1e-15);
+        assert_eq!(&*a.audit_log()[0].operator, "noisy_count");
+    }
+
+    #[test]
+    fn partition_nodes_share_one_ledger() {
+        let a = Accountant::new(1.0);
+        let parts = partition_nodes(&root_node(&a), 2.0, 3);
+        assert_eq!(parts.len(), 3);
+        let prep = prepare("noisy_count", None);
+        for p in &parts {
+            charge_prepared(p, 0.1, &prep).unwrap();
+        }
+        // Max-of-parts: the source owes 0.1 × scale 2, once.
+        assert!((a.spent() - 0.2).abs() < 1e-12);
+        assert_eq!(parts[2].describe(), "part[2]/scale(x2)/root");
+    }
+
+    #[test]
+    fn predict_tree_matches_the_live_walk() {
+        let a = Accountant::new(1.0);
+        let parts = partition_nodes(&root_node(&a), 1.0, 2);
+        let prep = prepare("noisy_count", None);
+        charge_prepared(&parts[0], 0.3, &prep).unwrap();
+        // Part 1 sits below the 0.3 max: a 0.2 charge would forward zero.
+        let predicted = predict_tree(&parts[1].snapshot(), 0.2);
+        assert_eq!(predicted, vec![("part[1]/scale(x1)/root".to_string(), 0.0)]);
+        // Beyond the max only the increase forwards.
+        let beyond = predict_tree(&parts[1].snapshot(), 0.5);
+        assert_eq!(beyond, vec![("part[1]/scale(x1)/root".to_string(), 0.2)]);
+    }
+}

@@ -12,46 +12,38 @@
 //! every port at cost `ε` total, rather than `ε × #ports` — the property the
 //! paper's `cdf2` estimator and frequent-string search rely on.
 
-use crate::budget::ChargeMeta;
-use crate::charge::ChargeNode;
+use super::budget::ChargeMeta;
+use super::charge::ChargeNode;
+use super::model::LedgerBook;
 use crate::error::Result;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
-/// Per-part spends plus the running maximum, kept under one lock so a
-/// charge is O(1): the max can only grow through the part that was just
-/// incremented, so no rescan is needed. (With 2^k-way fan-outs the old
-/// scan-per-charge made the worm search quadratic in the part count.)
-#[derive(Debug)]
-struct LedgerState {
-    /// Cumulative spend per part.
-    spends: Vec<f64>,
-    /// `spends.iter().fold(0.0, f64::max)`, maintained incrementally.
-    max: f64,
-}
-
-/// Shared accounting state for the parts of one `Partition` operation.
+/// Shared accounting state for the parts of one `Partition` operation: a
+/// kernel [`LedgerBook`] (per-part spends plus the incrementally
+/// maintained maximum — charges stay O(1) because only the incremented
+/// part can raise the max; with 2^k-way fan-outs the old scan-per-charge
+/// made the worm search quadratic in the part count) behind one lock, so
+/// the forwarding decision and the book update are atomic under
+/// concurrent part charges.
 #[derive(Debug)]
 pub(crate) struct PartitionLedger {
     parent: Arc<ChargeNode>,
-    state: Mutex<LedgerState>,
+    book: Mutex<LedgerBook>,
 }
 
 impl PartitionLedger {
     /// Create a ledger with `parts` children charging through `parent`.
-    pub(crate) fn new(parent: Arc<ChargeNode>, parts: usize) -> Self {
+    pub(in crate::kernel) fn new(parent: Arc<ChargeNode>, parts: usize) -> Self {
         PartitionLedger {
             parent,
-            state: Mutex::new(LedgerState {
-                spends: vec![0.0; parts],
-                max: 0.0,
-            }),
+            book: Mutex::new(LedgerBook::new(parts)),
         }
     }
 
     /// The node this ledger forwards max-increases to (for static charge
     /// path rendering — see [`ChargeNode::describe`]).
-    pub(crate) fn parent(&self) -> &Arc<ChargeNode> {
+    pub(in crate::kernel) fn parent(&self) -> &Arc<ChargeNode> {
         &self.parent
     }
 
@@ -70,7 +62,7 @@ impl PartitionLedger {
     /// held, so the trace stays exact under concurrent part charges. A
     /// charge absorbed below the current max traces a zero delta for every
     /// root it would have reached, keeping per-path call counts honest.
-    pub(crate) fn charge_child_traced(
+    pub(in crate::kernel) fn charge_child_traced(
         &self,
         index: usize,
         eps: f64,
@@ -78,31 +70,24 @@ impl PartitionLedger {
         path: &str,
         trace: &mut Option<&mut Vec<(String, f64)>>,
     ) -> Result<()> {
-        let mut st = self.state.lock();
-        let old_max = st.max;
-        st.spends[index] += eps;
-        // Only the incremented part can raise the max, so this stays O(1).
-        let new_max = st.spends[index].max(old_max);
-        if new_max > old_max {
-            if let Err(e) = self
-                .parent
-                .charge_traced(new_max - old_max, meta, path, trace)
-            {
-                st.spends[index] -= eps;
-                return Err(e);
-            }
-            st.max = new_max;
+        let mut book = self.book.lock();
+        // The forwarding decision is the kernel model's rule, verbatim;
+        // the book is committed only after the upstream charge succeeds,
+        // so a parent failure leaves the ledger untouched.
+        let delta = book.forwardable(index, eps);
+        if delta > 0.0 {
+            self.parent.charge_traced(delta, meta, path, trace)?;
         } else if let Some(t) = trace.as_mut() {
             self.parent.predict_into(0.0, path, t);
         }
+        book.commit(index, eps);
         Ok(())
     }
 
     /// The delta a `charge_child(index, eps)` would forward to the parent
     /// right now, given current part spends. Side-effect-free.
-    pub(crate) fn predict_child(&self, index: usize, eps: f64) -> f64 {
-        let st = self.state.lock();
-        (st.spends[index] + eps).max(st.max) - st.max
+    pub(in crate::kernel) fn predict_child(&self, index: usize, eps: f64) -> f64 {
+        self.book.lock().forwardable(index, eps)
     }
 
     /// Undo a previous `charge_child(index, eps)`, refunding the parent for
@@ -113,24 +98,25 @@ impl PartitionLedger {
     }
 
     /// [`PartitionLedger::refund_child`] with provenance threaded through.
-    pub(crate) fn refund_child_with(&self, index: usize, eps: f64, meta: &ChargeMeta, path: &str) {
-        let mut st = self.state.lock();
-        let before = st.spends[index];
-        st.spends[index] = (before - eps).max(0.0);
-        // The max can only drop if the refunded part was holding it; only
-        // then is a rescan needed.
-        if before >= st.max {
-            let new_max = st.spends.iter().cloned().fold(0.0, f64::max);
-            if new_max < st.max {
-                self.parent.refund_with(st.max - new_max, meta, path);
-                st.max = new_max;
-            }
+    /// The clamp and the max-drop rescan are [`LedgerBook::refund`]; only
+    /// a decrease of the maximum is refunded upstream, under the lock.
+    pub(in crate::kernel) fn refund_child_with(
+        &self,
+        index: usize,
+        eps: f64,
+        meta: &ChargeMeta,
+        path: &str,
+    ) {
+        let mut book = self.book.lock();
+        let upstream = book.refund(index, eps);
+        if upstream > 0.0 {
+            self.parent.refund_with(upstream, meta, path);
         }
     }
 
     /// Cumulative spend of each part (explain snapshots / introspection).
-    pub(crate) fn spends(&self) -> Vec<f64> {
-        self.state.lock().spends.clone()
+    pub(in crate::kernel) fn spends(&self) -> Vec<f64> {
+        self.book.lock().spends.clone()
     }
 }
 

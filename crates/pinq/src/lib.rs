@@ -53,20 +53,20 @@
 #![forbid(unsafe_code)]
 
 pub mod aggregates;
-pub mod budget;
-mod charge;
 pub mod error;
 pub mod exec;
 pub mod explain;
+pub mod kernel;
 pub mod mechanisms;
 pub mod parallel;
-mod partition;
 mod plan;
 pub mod policy;
 pub mod queryable;
 pub mod rng;
 mod shard;
 pub mod types;
+
+pub use kernel::budget;
 
 pub use budget::{Accountant, OperatorTotal, SpendEvent, DEFAULT_LOG_CAPACITY};
 pub use error::{Error, Result};

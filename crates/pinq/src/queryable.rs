@@ -34,12 +34,11 @@
 //! ```
 
 use crate::aggregates;
-use crate::budget::{Accountant, ChargeMeta};
-use crate::charge::ChargeNode;
+use crate::budget::Accountant;
 use crate::error::{check_epsilon, Error, Result};
 use crate::exec::ExecCtx;
 use crate::explain::{ExplainTree, OpNode};
-use crate::partition::PartitionLedger;
+use crate::kernel::{self, ChargeNode};
 use crate::plan::{LazyPlan, Runner, View};
 use crate::rng::NoiseSource;
 use crate::shard::Shards;
@@ -190,7 +189,7 @@ impl<T> Queryable<T> {
     fn from_sharded(records: Shards<T>, budget: &Accountant, noise: &NoiseSource) -> Self {
         Queryable {
             data: Data::Ready(records),
-            charge: Arc::new(ChargeNode::Root(budget.clone())),
+            charge: kernel::root_node(budget),
             noise: noise.clone(),
             stability: 1.0,
             label: None,
@@ -213,16 +212,7 @@ impl<T> Queryable<T> {
     /// unprotected.
     pub fn new_shared(records: Arc<Vec<T>>, budgets: &[&Accountant], noise: &NoiseSource) -> Self {
         assert!(!budgets.is_empty(), "at least one budget is required");
-        let charge = if budgets.len() == 1 {
-            Arc::new(ChargeNode::Root(budgets[0].clone()))
-        } else {
-            Arc::new(ChargeNode::Combined(
-                budgets
-                    .iter()
-                    .map(|b| Arc::new(ChargeNode::Root((*b).clone())))
-                    .collect(),
-            ))
-        };
+        let charge = kernel::shared_root_node(budgets);
         Queryable {
             data: Data::Ready(Shards::from_arc(records)),
             charge,
@@ -434,32 +424,18 @@ impl<T> Queryable<T> {
     /// Charge the budget for an aggregation at analyst accuracy `eps`,
     /// attributing the spend to `operator` in the ledger.
     ///
-    /// When an [`ExplainRecorder`](crate::ExplainRecorder) is installed,
-    /// the charge walks the traced path: the per-root ε deltas are
-    /// captured under the partition-ledger lock (exactly what the
-    /// accountants applied) and folded into the recorder. A failed charge
-    /// records nothing — a combined node may roll back siblings, so a
-    /// partial trace would lie.
+    /// Validation happens here; the spend itself goes through the sealed
+    /// kernel entry point ([`kernel::charge_prepared`]), which also folds
+    /// the per-root deltas into an installed
+    /// [`ExplainRecorder`](crate::ExplainRecorder), captured atomically
+    /// with the charge.
     fn pay(&self, eps: f64, operator: &'static str) -> Result<()> {
         check_epsilon(eps)?;
         if !(self.stability.is_finite() && self.stability > 0.0) {
             return Err(Error::InvalidStability(self.stability));
         }
-        let meta = ChargeMeta::new(operator, self.label.clone());
-        if let Some(rec) = crate::explain::recorder() {
-            let mut trace = Vec::new();
-            self.charge
-                .charge_traced(self.stability * eps, &meta, "", &mut Some(&mut trace))?;
-            rec.record(
-                operator,
-                &self.charge.describe(),
-                self.stability * eps,
-                &trace,
-            );
-            Ok(())
-        } else {
-            self.charge.charge_with(self.stability * eps, &meta, "")
-        }
+        let prep = kernel::prepare(operator, self.label.clone());
+        kernel::charge_prepared(&self.charge, self.stability * eps, &prep)
     }
 
     /// Snapshot this pipeline into a side-effect-free
@@ -599,7 +575,7 @@ impl<T> Queryable<T> {
     /// `"part[3]/scale(x2)/root"`). Pure privacy metadata; when profiling
     /// is disabled this is one relaxed atomic load and nothing formats.
     fn agg_span(&self, name: &'static str) -> span::SpanGuard {
-        span::enter_with(name, || self.charge.describe())
+        span::enter_agg_with(name, || self.charge.describe())
     }
 
     // ------------------------------------------------------------------
@@ -858,16 +834,7 @@ impl<T> Queryable<T> {
     /// each scaled by its accumulated stability (`concat`, `join`,
     /// `intersect` all reset stability to 1 against this combined node).
     fn combined_charge(&self, other: Arc<ChargeNode>, other_stability: f64) -> Arc<ChargeNode> {
-        Arc::new(ChargeNode::Combined(vec![
-            Arc::new(ChargeNode::Scaled {
-                parent: self.charge.clone(),
-                factor: self.stability,
-            }),
-            Arc::new(ChargeNode::Scaled {
-                parent: other,
-                factor: other_stability,
-            }),
-        ]))
+        kernel::scaled_pair(&self.charge, self.stability, &other, other_stability)
     }
 
     /// Concatenate two protected datasets (PINQ `Concat`). No sensitivity
@@ -1019,22 +986,14 @@ impl<T> Queryable<T> {
     /// source budget their maximum (parallel composition).
     fn wrap_parts(&self, parts: Vec<Vec<T>>) -> Vec<Queryable<T>> {
         let n_parts = parts.len();
-        let ledger = Arc::new(PartitionLedger::new(
-            Arc::new(ChargeNode::Scaled {
-                parent: self.charge.clone(),
-                factor: self.stability,
-            }),
-            n_parts,
-        ));
+        let nodes = kernel::partition_nodes(&self.charge, self.stability, n_parts);
         parts
             .into_iter()
+            .zip(nodes)
             .enumerate()
-            .map(|(index, records)| Queryable {
+            .map(|(index, (records, charge))| Queryable {
                 data: Data::Ready(Shards::from_vec(records)),
-                charge: Arc::new(ChargeNode::PartitionPart {
-                    ledger: ledger.clone(),
-                    index,
-                }),
+                charge,
                 noise: self.noise.clone(),
                 stability: 1.0,
                 label: self.label.clone(),
@@ -1133,32 +1092,16 @@ impl<T> Queryable<T> {
             }
         };
         prof.set_records(counts.iter().sum::<usize>() as u64);
-        // The ledger the unbatched form builds in `wrap_parts`: parts charge
-        // through a node scaled by this queryable's stability; each part's
-        // own stability is 1.
-        let ledger = Arc::new(PartitionLedger::new(
-            Arc::new(ChargeNode::Scaled {
-                parent: self.charge.clone(),
-                factor: self.stability,
-            }),
-            keys.len(),
-        ));
-        let meta = ChargeMeta::new("noisy_count", self.label.clone());
+        // The charge nodes the unbatched form builds in `wrap_parts`: parts
+        // charge through one shared ledger scaled by this queryable's
+        // stability; each part's own stability is 1.
+        let nodes = kernel::partition_nodes(&self.charge, self.stability, keys.len());
+        let prep = kernel::prepare("noisy_count", self.label.clone());
         let mut out = Vec::with_capacity(keys.len());
-        for (index, &n) in counts.iter().enumerate() {
-            let node = Arc::new(ChargeNode::PartitionPart {
-                ledger: ledger.clone(),
-                index,
-            });
+        for (node, &n) in nodes.iter().zip(counts.iter()) {
             let part_timer = SpanTimer::start();
             let r = (|| {
-                if let Some(rec) = crate::explain::recorder() {
-                    let mut trace = Vec::new();
-                    node.charge_traced(eps, &meta, "", &mut Some(&mut trace))?;
-                    rec.record("noisy_count", &node.describe(), eps, &trace);
-                } else {
-                    node.charge_with(eps, &meta, "")?;
-                }
+                kernel::charge_prepared(node, eps, &prep)?;
                 aggregates::noisy_count(&self.noise, n, eps)
             })();
             // Per-part events mirror the unbatched per-part noisy_count:

@@ -3,8 +3,9 @@
 //! composition rules (sequential sum, parallel max-of-parts) must hold
 //! regardless of scheduling.
 
+use pinq::kernel::model::{step, KernelState, NodeSpec, RootBudget, Transition};
 use pinq::parallel::parallel_map_parts_with;
-use pinq::{Accountant, ExecCtx, ExecPool, NoiseSource, Queryable};
+use pinq::{Accountant, ExecCtx, ExecPool, NoiseSource, Queryable, SessionManager, TimedRelease};
 use proptest::prelude::*;
 
 fn protect(n: usize, budget: f64, seed: u64) -> (Accountant, Queryable<u32>) {
@@ -116,5 +117,142 @@ proptest! {
             }
         }
         prop_assert_eq!(admitted, sim_admitted);
+    }
+
+    /// `SessionManager` sessions racing noisy counts from pool workers must
+    /// land exactly where a sequential replay of kernel `step` transitions
+    /// over the same two-root Combined topology lands: per-analyst spends,
+    /// global spend and total admissions all agree. Dyadic ε (multiples of
+    /// 1/1024) keeps every comparison exact: with equal charges, which
+    /// *analyst* wins a race can vary, but counts and sums cannot.
+    #[test]
+    fn session_manager_races_match_sequential_kernel_model(
+        global_units in 1u32..1024,
+        cap_units in 1u32..512,
+        eps_units in 1u32..128,
+        workers_idx in 0usize..3,
+        n_analysts in 1usize..5,
+        charges_each in 1usize..8,
+    ) {
+        let workers = [1usize, 2, 8][workers_idx];
+        let global = f64::from(global_units) / 1024.0;
+        let cap = f64::from(cap_units) / 1024.0;
+        let eps = f64::from(eps_units) / 1024.0;
+
+        let mgr = SessionManager::new((0..64u32).collect(), NoiseSource::seeded(9), global, cap);
+        let names: Vec<String> = (0..n_analysts).map(|i| format!("analyst-{i}")).collect();
+        // One task per (analyst, charge); workers race them all.
+        let tasks: Vec<usize> = (0..n_analysts * charges_each).collect();
+        let pool = ExecPool::new(workers).unwrap().with_chunk_size(1);
+        let outcomes = pool.run(&tasks, |_, &t| {
+            let session = mgr.session(&names[t % n_analysts]);
+            session.noisy_count(eps).is_ok()
+        });
+        let admitted = outcomes.iter().filter(|&&ok| ok).count();
+
+        // Sequential kernel replay: global root + one root per analyst,
+        // each session a Combined(global, personal) — the exact topology
+        // `SessionManager::session` builds — charged in analyst-major
+        // order.
+        let mut st = KernelState::new();
+        let g = st.add_root(RootBudget::new(global));
+        let g_node = st.add_node(NodeSpec::Root(g));
+        let sessions: Vec<_> = (0..n_analysts)
+            .map(|_| {
+                let p = st.add_root(RootBudget::new(cap));
+                let p_node = st.add_node(NodeSpec::Root(p));
+                (p, st.add_node(NodeSpec::Combined(vec![g_node, p_node])))
+            })
+            .collect();
+        let mut model = st;
+        let mut model_admitted = 0usize;
+        for _ in 0..charges_each {
+            for &(_, node) in &sessions {
+                if let Ok((next, _)) = step(&model, &Transition::Charge { node, eps }) {
+                    model = next;
+                    model_admitted += 1;
+                }
+            }
+        }
+
+        prop_assert_eq!(admitted, model_admitted);
+        prop_assert_eq!(mgr.global().spent(), model.roots[0].spent);
+
+        // When the global budget never binds (every personally-affordable
+        // attempt fits), each analyst's spend is race-independent and must
+        // match the model exactly, analyst by analyst. (When the global
+        // DOES bind, *which* analyst wins the last slots is scheduling —
+        // only the totals above are deterministic.)
+        let personal_capacity = |n: usize| {
+            let mut st = KernelState::new();
+            let p = st.add_root(RootBudget::new(cap));
+            let node = st.add_node(NodeSpec::Root(p));
+            let mut m = st;
+            let mut ok = 0usize;
+            for _ in 0..n {
+                if let Ok((next, _)) = step(&m, &Transition::Charge { node, eps }) {
+                    m = next;
+                    ok += 1;
+                }
+            }
+            ok
+        };
+        let unconstrained: usize = (0..n_analysts).map(|_| personal_capacity(charges_each)).sum();
+        if model_admitted == unconstrained {
+            for (i, name) in names.iter().enumerate() {
+                prop_assert_eq!(
+                    mgr.analyst_budget(name).spent(),
+                    model.roots[sessions[i].0 .0].spent
+                );
+            }
+        }
+    }
+
+    /// Concurrent `TimedRelease::advance_to` calls racing from pool workers
+    /// are idempotent and order-insensitive: the facade's final total must
+    /// equal a sequential replay of clamped `Grant` transitions up to the
+    /// maximum epoch — exactly, with dyadic per-epoch grants.
+    #[test]
+    fn timed_release_races_match_sequential_grant_replay(
+        initial_units in 0u32..256,
+        per_epoch_units in 1u32..64,
+        ceiling_units in 0u32..2048,
+        workers_idx in 0usize..3,
+        epochs in prop::collection::vec(0u64..30, 1..12),
+    ) {
+        let workers = [1usize, 2, 8][workers_idx];
+        let initial = f64::from(initial_units) / 1024.0;
+        let per_epoch = f64::from(per_epoch_units) / 1024.0;
+        let ceiling = initial + f64::from(ceiling_units) / 1024.0;
+
+        let acct = Accountant::new(initial);
+        let policy = TimedRelease::new(acct.clone(), per_epoch, Some(ceiling));
+        let pool = ExecPool::new(workers).unwrap().with_chunk_size(1);
+        pool.run(&epochs, |_, &e| policy.advance_to(e));
+
+        // Sequential replay against the kernel model: the policy's clamp
+        // feeds `Grant` transitions; racing advances collapse to one
+        // monotone walk to the maximum epoch.
+        let mut st = KernelState::new();
+        let r = st.add_root(RootBudget::new(initial));
+        let mut model = st.clone();
+        let mut epoch = 0u64;
+        for &e in &epochs {
+            if e <= epoch {
+                continue;
+            }
+            let steps = e - epoch;
+            epoch = e;
+            let mut grant = per_epoch * steps as f64;
+            grant = grant.min((ceiling - model.roots[r.0].total).max(0.0));
+            if grant > 0.0 {
+                let (next, _) = step(&model, &Transition::Grant { root: r, extra: grant }).unwrap();
+                model = next;
+            }
+        }
+
+        prop_assert_eq!(policy.epoch(), epoch);
+        prop_assert_eq!(acct.total(), model.roots[0].total);
+        prop_assert_eq!(acct.spent(), 0.0);
     }
 }

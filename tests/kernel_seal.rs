@@ -1,0 +1,90 @@
+//! The `kernel-seal` gate: `scripts/kernel_seal.sh` proves no module
+//! outside `pinq::kernel` constructs or mutates budget/ledger state.
+//!
+//! Two directions, both required by the gate's contract:
+//!
+//! * **positive** — the real repository is sealed today (the script exits
+//!   0), so the CI step that runs it gates every future change;
+//! * **negative** — injecting a direct budget mutation outside the kernel
+//!   into a scratch copy makes the script fail *and* name the offending
+//!   path, so a violation is actionable, not just red.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn run_seal(root: &Path) -> (bool, String) {
+    let out = Command::new("bash")
+        .arg(repo_root().join("scripts/kernel_seal.sh"))
+        .arg(root)
+        .output()
+        .expect("kernel_seal.sh runs");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn repository_is_sealed() {
+    let (ok, text) = run_seal(&repo_root());
+    assert!(
+        ok,
+        "kernel-seal reports violations in the real tree:\n{text}"
+    );
+    assert!(
+        text.contains("kernel-seal: OK"),
+        "unexpected output:\n{text}"
+    );
+}
+
+#[test]
+fn injected_budget_mutation_fails_the_gate_naming_the_path() {
+    // Build a minimal scratch tree: only the layout the script scans.
+    let scratch = std::env::temp_dir().join("dpnet-kernel-seal-negative");
+    let offender_rel = "crates/dpnet-toolkit/src/evil.rs";
+    let offender = scratch.join(offender_rel);
+    std::fs::remove_dir_all(&scratch).ok();
+    std::fs::create_dir_all(offender.parent().unwrap()).unwrap();
+    // A sealed file too, proving the failure is attributed precisely.
+    std::fs::create_dir_all(scratch.join("crates/pinq/src/kernel")).unwrap();
+    // The forbidden token is assembled at runtime so this very test file
+    // does not trip the gate it is testing.
+    let forbidden = format!(".{}{}", "charge_with", "(1.0, meta)");
+    std::fs::write(
+        scratch.join("crates/pinq/src/kernel/budget.rs"),
+        format!("// kernel-internal use is allowed: acct{forbidden};\n"),
+    )
+    .unwrap();
+    std::fs::write(
+        scratch.join("crates/dpnet-toolkit/src/lib.rs"),
+        "pub fn fine() {}\n",
+    )
+    .unwrap();
+    std::fs::write(
+        &offender,
+        format!("pub fn sneak(acct: &pinq::Accountant) {{\n    acct{forbidden};\n}}\n"),
+    )
+    .unwrap();
+
+    let (ok, text) = run_seal(&scratch);
+    std::fs::remove_dir_all(&scratch).ok();
+    assert!(!ok, "gate passed despite an injected mutation:\n{text}");
+    assert!(
+        text.contains("kernel-seal VIOLATION"),
+        "missing violation banner:\n{text}"
+    );
+    assert!(
+        text.contains(offender_rel),
+        "violation does not name the offending path {offender_rel}:\n{text}"
+    );
+    assert!(
+        !text.contains("lib.rs"),
+        "clean file falsely flagged:\n{text}"
+    );
+}
