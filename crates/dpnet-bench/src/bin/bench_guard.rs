@@ -658,7 +658,22 @@ fn check_fixture_text(name: &str, text: &str) -> Result<String, String> {
         };
     }
     match field_u64(text, "schema_version") {
-        Some(v) if v == SCHEMA_VERSION => Ok(format!("schema_version {v}")),
+        Some(v) if v == SCHEMA_VERSION => {
+            if name == "BENCH_serve.json" {
+                // Serve reports (schema 3) must carry the latency section:
+                // a serve fixture without percentiles predates the serving
+                // architecture no matter what version it stamps.
+                for field in ["\"latency\":", "\"p50_ns\":", "\"p95_ns\":", "\"p99_ns\":"] {
+                    if !text.contains(field) {
+                        return Err(format!(
+                            "schema_version {v} but no {field} section — not a serve report"
+                        ));
+                    }
+                }
+                return Ok(format!("schema_version {v}, latency percentiles present"));
+            }
+            Ok(format!("schema_version {v}"))
+        }
         Some(v) => Err(format!(
             "schema_version {v}, current schema is {SCHEMA_VERSION}"
         )),
@@ -672,6 +687,11 @@ fn check_fixture_text(name: &str, text: &str) -> Result<String, String> {
 fn regenerate_hint(name: &str) -> String {
     if name == "BENCH_baseline.json" {
         return "cargo run --release -p dpnet-bench --bin bench_guard -- record".to_string();
+    }
+    if name == "BENCH_serve.json" {
+        return "cargo run --release -p dpnet-cli --bin dpnet -- loadtest \
+                --sessions 64 --requests 4 --report-dir bench-reports"
+            .to_string();
     }
     if let Some(id) = name
         .strip_prefix("GOLDEN_explain_")
@@ -696,9 +716,13 @@ fn regenerate_hint(name: &str) -> String {
 
 fn cmd_record_check(out_dir: &str) -> i32 {
     let dir = std::path::Path::new(out_dir);
-    // The baseline is checked even when absent; goldens are whatever is
-    // committed (sorted so the output is stable).
+    // The baseline is checked even when absent; the serve report is
+    // checked when committed; goldens are whatever is committed (sorted so
+    // the output is stable).
     let mut names = vec!["BENCH_baseline.json".to_string()];
+    if dir.join("BENCH_serve.json").exists() {
+        names.push("BENCH_serve.json".to_string());
+    }
     match std::fs::read_dir(dir) {
         Ok(entries) => {
             let mut goldens: Vec<String> = entries
@@ -1218,6 +1242,26 @@ mod tests {
     }
 
     #[test]
+    fn serve_fixtures_require_the_latency_section() {
+        // Right version but no percentiles: not a serve report.
+        let bare = format!("{{\"schema_version\":{SCHEMA_VERSION},\"target\":\"serve\"}}");
+        let reason = check_fixture_text("BENCH_serve.json", &bare).unwrap_err();
+        assert!(reason.contains("latency"), "{reason}");
+        // The same text is fine for a non-serve report.
+        assert!(check_fixture_text("BENCH_baseline.json", &bare).is_ok());
+        let full = format!(
+            "{{\"schema_version\":{SCHEMA_VERSION},\"target\":\"serve\",\
+             \"experiments\":[{{\"id\":\"loadtest\",\"wall_ns\":1,\"eps_charged\":0.5,\
+             \"phases\":[],\"attribution\":[],\"latency\":{{\"sessions\":4,\
+             \"requests\":16,\"ok\":12,\"budget_exhausted\":4,\"invalid\":0,\
+             \"p50_ns\":100,\"p95_ns\":200,\"p99_ns\":300,\"max_ns\":400}}}}],\
+             \"metrics\":{{}}}}"
+        );
+        let status = check_fixture_text("BENCH_serve.json", &full).unwrap();
+        assert!(status.contains("latency percentiles present"), "{status}");
+    }
+
+    #[test]
     fn fixture_check_round_trips_explain_fixtures_through_the_parser() {
         let status = check_fixture_text("GOLDEN_explain_fig1.json", EXPLAIN_SAMPLE).unwrap();
         assert!(status.contains("2 aggregation sites"), "{status}");
@@ -1229,6 +1273,9 @@ mod tests {
     #[test]
     fn regenerate_hints_name_the_producing_command() {
         assert!(regenerate_hint("BENCH_baseline.json").contains("bench_guard -- record"));
+        let serve = regenerate_hint("BENCH_serve.json");
+        assert!(serve.contains("dpnet -- loadtest"), "{serve}");
+        assert!(serve.contains("--report-dir bench-reports"), "{serve}");
         let golden = regenerate_hint("GOLDEN_fig1.json");
         assert!(golden.contains("repro -- fig1"), "{golden}");
         assert!(

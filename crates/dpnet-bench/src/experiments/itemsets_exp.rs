@@ -55,18 +55,15 @@ pub fn run_with(eps: f64, pool: &ExecPool) -> (Vec<ItemsetRow>, String) {
     run_ctx(eps, ExecCtx::pool(pool))
 }
 
-fn run_ctx(eps: f64, ctx: ExecCtx) -> (Vec<ItemsetRow>, String) {
-    let trace = datasets::hotspot();
-    let budget = Accountant::new(1e9);
-    let noise = NoiseSource::seeded(0x17e3);
-    let q = Queryable::from_shared_shards(datasets::hotspot_shards().clone(), &budget, &noise)
-        .with_ctx(ctx);
-
-    // Per-host port sets. Each record carries the host address as an item
-    // outside the 16-bit port space, keeping records distinct (the
-    // partition rotation needs record diversity) without affecting port
-    // candidates.
-    let records = q.group_by(|p| p.src_ip).map(|g| -> BTreeSet<u32> {
+/// The private per-host port-set view: one `BTreeSet<u32>` record per
+/// source host, holding its destination ports. Each record carries the
+/// host address as an item outside the 16-bit port space, keeping records
+/// distinct (the partition rotation needs record diversity) without
+/// affecting port candidates. Shared with the analysis registry.
+pub fn private_host_port_sets(
+    packets: &Queryable<dpnet_trace::Packet>,
+) -> Queryable<BTreeSet<u32>> {
+    packets.group_by(|p| p.src_ip).map(|g| -> BTreeSet<u32> {
         let mut set: BTreeSet<u32> = g
             .items
             .iter()
@@ -75,7 +72,17 @@ fn run_ctx(eps: f64, ctx: ExecCtx) -> (Vec<ItemsetRow>, String) {
             .collect();
         set.insert(0x1_0000 + g.key);
         set
-    });
+    })
+}
+
+fn run_ctx(eps: f64, ctx: ExecCtx) -> (Vec<ItemsetRow>, String) {
+    let trace = datasets::hotspot();
+    let budget = Accountant::new(1e9);
+    let noise = NoiseSource::seeded(0x17e3);
+    let q = Queryable::from_shared_shards(datasets::hotspot_shards().clone(), &budget, &noise)
+        .with_ctx(ctx);
+
+    let records = private_host_port_sets(&q);
 
     let universe: Vec<u32> = COMMON_PORTS.iter().map(|&p| p as u32).collect();
     let found = frequent_itemsets(

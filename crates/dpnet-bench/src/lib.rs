@@ -22,6 +22,7 @@ pub mod datasets;
 pub mod experiments;
 pub mod explain;
 pub mod profile;
+pub mod registry;
 pub mod report;
 
 /// Tests that install process-global observers (the explain recorder, the

@@ -127,6 +127,34 @@ pub struct ExperimentRun {
     /// Per-operator time attribution from profiler spans (top rows by
     /// self-time, descending). Empty when the run was not profiled.
     pub attribution: Vec<AttributionRow>,
+    /// Request-latency percentiles, present only for serving runs
+    /// (`dpnet loadtest`). Schema 3.
+    pub latency: Option<LatencySummary>,
+}
+
+/// Request-latency percentiles and outcome counts from a serving load
+/// test: the report shape behind `BENCH_serve.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Concurrent analyst sessions driven.
+    pub sessions: u64,
+    /// Total requests sent.
+    pub requests: u64,
+    /// Requests answered with a released value.
+    pub ok: u64,
+    /// Requests refused with a typed `budget_exhausted` (graceful, not an
+    /// error: the cap or the global budget bound).
+    pub budget_exhausted: u64,
+    /// Requests refused as invalid (unknown analysis, bad ε, bad frame).
+    pub invalid: u64,
+    /// Median request latency, ns.
+    pub p50_ns: u64,
+    /// 95th-percentile request latency, ns.
+    pub p95_ns: u64,
+    /// 99th-percentile request latency, ns.
+    pub p99_ns: u64,
+    /// Worst observed request latency, ns.
+    pub max_ns: u64,
 }
 
 /// How many attribution rows a run report keeps per experiment: the top
@@ -140,8 +168,10 @@ pub const ATTRIBUTION_TOP: usize = 10;
 /// the change instead of letting the naive field scanners misread them.
 ///
 /// History: 1 = pre-versioned reports (no `schema_version` field);
-/// 2 = columnar data plane (adds `schema_version`).
-pub const SCHEMA_VERSION: u64 = 2;
+/// 2 = columnar data plane (adds `schema_version`);
+/// 3 = serving architecture (adds the optional per-experiment `latency`
+/// section: request/latency percentiles from `dpnet loadtest`).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Wall time of a fixed CPU-bound spin, measured on this machine right
 /// now (best of three to dodge scheduler noise). Recorded in every run
@@ -264,7 +294,7 @@ impl RunReport {
                         .histogram("plan.materialize.wall_ns")
                         .record_ns(p.wall_ns);
                 }
-                Event::Transform(_) => {}
+                Event::Transform(_) | Event::Session(_) => {}
             }
         }
         self.registry.counter("experiments.completed").inc();
@@ -279,6 +309,34 @@ impl RunReport {
             eps_charged,
             phases,
             attribution: rows,
+            latency: None,
+        });
+    }
+
+    /// Record a serving load-test run: latency percentiles instead of
+    /// phases/attribution. `eps_charged` is the total ε the driven
+    /// sessions burned (a released policy reading, not an event sum).
+    pub fn record_latency(
+        &mut self,
+        id: &str,
+        wall_ns: u64,
+        eps_charged: f64,
+        latency: LatencySummary,
+    ) {
+        self.registry.counter("experiments.completed").inc();
+        self.registry
+            .histogram("experiment.wall_ns")
+            .record_ns(wall_ns);
+        self.registry
+            .histogram("serve.request_p50_ns")
+            .record_ns(latency.p50_ns);
+        self.runs.push(ExperimentRun {
+            id: id.to_string(),
+            wall_ns,
+            eps_charged,
+            phases: Vec::new(),
+            attribution: Vec::new(),
+            latency: Some(latency),
         });
     }
 
@@ -391,7 +449,24 @@ impl RunReport {
                     a.self_ns
                 ));
             }
-            out.push_str("]}");
+            out.push(']');
+            if let Some(l) = &run.latency {
+                out.push_str(&format!(
+                    ",\"latency\":{{\"sessions\":{},\"requests\":{},\"ok\":{},\
+                     \"budget_exhausted\":{},\"invalid\":{},\"p50_ns\":{},\
+                     \"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+                    l.sessions,
+                    l.requests,
+                    l.ok,
+                    l.budget_exhausted,
+                    l.invalid,
+                    l.p50_ns,
+                    l.p95_ns,
+                    l.p99_ns,
+                    l.max_ns
+                ));
+            }
+            out.push('}');
         }
         out.push_str("],");
         out.push_str(&format!("\"metrics\":{}", self.registry.to_json()));
@@ -515,6 +590,41 @@ mod tests {
         assert!(a > 0 && b > 0);
         let ratio = a.max(b) as f64 / a.min(b) as f64;
         assert!(ratio < 10.0, "calibration unstable: {a} vs {b}");
+    }
+
+    #[test]
+    fn latency_runs_serialize_the_latency_section() {
+        let mut r = RunReport::new("serve");
+        r.record_latency(
+            "loadtest",
+            7_000_000,
+            0.75,
+            LatencySummary {
+                sessions: 8,
+                requests: 32,
+                ok: 24,
+                budget_exhausted: 8,
+                invalid: 0,
+                p50_ns: 1_000,
+                p95_ns: 5_000,
+                p99_ns: 9_000,
+                max_ns: 12_000,
+            },
+        );
+        let json = r.to_json();
+        assert!(json.contains("\"latency\":{\"sessions\":8,"));
+        assert!(json.contains("\"budget_exhausted\":8"));
+        assert!(json.contains("\"p50_ns\":1000"));
+        assert!(json.contains("\"p99_ns\":9000"));
+        // The latency object is flat and parses with the obs parser.
+        let start = json.find("\"latency\":").unwrap() + "\"latency\":".len();
+        let end = json[start..].find('}').unwrap() + start + 1;
+        let parsed = dpnet_obs::json::parse_flat_object(&json[start..end]).unwrap();
+        assert_eq!(parsed["p95_ns"].as_f64(), Some(5_000.0));
+        // Runs without latency do not carry the key.
+        let mut plain = RunReport::new("x");
+        plain.record("fig1", 1, &[]);
+        assert!(!plain.to_json().contains("\"latency\""));
     }
 
     #[test]

@@ -2,9 +2,7 @@
 //! so the logic is unit-testable without process spawning.
 
 use crate::args::Args;
-use dpnet_analyses::example_s23::heavy_hosts_to_port;
-use dpnet_analyses::flow_stats::{loss_rate_cdf, rtt_cdf};
-use dpnet_analyses::packet_dist::{packet_length_cdf, port_cdf};
+use dpnet_bench::registry;
 use dpnet_trace::format::{read_text, read_trace, write_text, write_trace};
 use dpnet_trace::gen::hotspot::{generate, HotspotConfig};
 use dpnet_trace::{FlowKey, Packet};
@@ -105,54 +103,21 @@ pub fn inspect_cmd(args: &Args) -> Result<String, String> {
     Ok(inspect_packets(&packets))
 }
 
-/// Run one named query against an already-protected trace, returning its
-/// report text. Shared by `analyze` and `audit`.
+/// Run one named analysis from the shared registry against an
+/// already-protected trace, returning its report text. Shared by
+/// `analyze` and `audit`, and the same catalogue the serving daemon
+/// exposes — one definition, three frontends.
 fn run_query(q: &Queryable<Packet>, query: &str, eps: f64) -> Result<String, String> {
-    let mut out = String::new();
-    match query {
-        "count" => {
-            let c = q.noisy_count(eps).map_err(|e| e.to_string())?;
-            let _ = writeln!(out, "noisy packet count: {c:.1}");
-        }
-        "heavy-hosts" => {
-            let c = heavy_hosts_to_port(q, 80, 1024, eps).map_err(|e| e.to_string())?;
-            let _ = writeln!(out, "hosts sending >1 KB to port 80 ≈ {c:.1}");
-        }
-        "lengths" => {
-            let cdf = packet_length_cdf(q, 1500, 50, eps).map_err(|e| e.to_string())?;
-            let _ = writeln!(out, "packet-length CDF (50-byte buckets):");
-            for (edge, v) in cdf.bucket_edges.iter().zip(&cdf.cdf).step_by(5) {
-                let _ = writeln!(out, "  ≤{edge:>5} B: {v:>12.1}");
-            }
-        }
-        "ports" => {
-            let cdf = port_cdf(q, 1024, eps).map_err(|e| e.to_string())?;
-            let _ = writeln!(out, "destination-port CDF (1024-port buckets):");
-            for (edge, v) in cdf.bucket_edges.iter().zip(&cdf.cdf).step_by(8) {
-                let _ = writeln!(out, "  ≤{edge:>6}: {v:>12.1}");
-            }
-        }
-        "rtt" => {
-            let cdf = rtt_cdf(q, 600, 20, eps).map_err(|e| e.to_string())?;
-            let _ = writeln!(out, "handshake RTT CDF (20 ms buckets; join costs 2ε):");
-            for (edge, v) in cdf.bucket_edges.iter().zip(&cdf.cdf).step_by(5) {
-                let _ = writeln!(out, "  ≤{edge:>4} ms: {v:>10.1}");
-            }
-        }
-        "loss" => {
-            let cdf = loss_rate_cdf(q, 20, 10, eps).map_err(|e| e.to_string())?;
-            let _ = writeln!(out, "flow loss-rate CDF (5% buckets; GroupBy costs 2ε):");
-            for (edge, v) in cdf.bucket_edges.iter().zip(&cdf.cdf).step_by(2) {
-                let _ = writeln!(out, "  ≤{:>3}%: {v:>10.1}", edge * 5);
-            }
-        }
-        other => {
-            return Err(format!(
-                "unknown query '{other}' (try count, lengths, ports, rtt, loss, heavy-hosts)"
-            ))
-        }
-    }
-    Ok(out)
+    let analysis = registry::find(query).ok_or_else(|| {
+        format!(
+            "unknown query '{query}' (one of: {})",
+            registry::names().join(", ")
+        )
+    })?;
+    analysis
+        .run(q, eps)
+        .map(|out| out.text)
+        .map_err(|e| e.to_string())
 }
 
 /// Build the accountant/noise/queryable triple shared by the private
@@ -215,12 +180,86 @@ pub fn analyze_cmd(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// Tail a JSONL audit stream: print complete lines as they are appended.
+/// Stops after `max_lines` lines (0 = unlimited) or once no new data
+/// arrived for `idle_ms` milliseconds (0 = wait forever). Returns the
+/// number of lines emitted. Malformed (non-JSON) lines are still printed
+/// but flagged, so a corrupted stream is visible instead of silent.
+pub fn follow_file(
+    path: &Path,
+    max_lines: u64,
+    idle_ms: u64,
+    out: &mut dyn std::io::Write,
+) -> Result<u64, String> {
+    use std::io::Read as _;
+    let poll = std::time::Duration::from_millis(25);
+    let mut file = File::open(path).map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    let mut pending = String::new();
+    let mut printed = 0u64;
+    let mut idle = std::time::Duration::ZERO;
+    loop {
+        let mut chunk = String::new();
+        file.read_to_string(&mut chunk)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        if chunk.is_empty() {
+            if idle_ms > 0 && idle.as_millis() as u64 >= idle_ms {
+                return Ok(printed);
+            }
+            std::thread::sleep(poll);
+            idle += poll;
+            continue;
+        }
+        idle = std::time::Duration::ZERO;
+        pending.push_str(&chunk);
+        while let Some(nl) = pending.find('\n') {
+            let line: String = pending.drain(..=nl).collect();
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let annotation = if dpnet_obs::json::parse_value(line).is_none() {
+                "  <- not valid JSON"
+            } else {
+                ""
+            };
+            writeln!(out, "{line}{annotation}").map_err(|e| format!("cannot write output: {e}"))?;
+            printed += 1;
+            if max_lines > 0 && printed >= max_lines {
+                return Ok(printed);
+            }
+        }
+    }
+}
+
+/// `dpnet audit --follow <file.jsonl> [--max-lines N] [--idle-ms M]` —
+/// tail an audit JSONL stream (e.g. a serving daemon's per-session file)
+/// live, like `tail -f`. The file may ride on the flag
+/// (`--follow file.jsonl`) or stand as the positional argument.
+fn audit_follow_cmd(args: &Args, flag_value: &str) -> Result<String, String> {
+    let path = if flag_value == "true" {
+        args.positional(0, "audit JSONL file")?.to_string()
+    } else {
+        flag_value.to_string()
+    };
+    let max_lines: u64 = args.flag_or("max-lines", 0u64)?;
+    let idle_ms: u64 = args.flag_or("idle-ms", 0u64)?;
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    let printed = follow_file(Path::new(&path), max_lines, idle_ms, &mut lock)?;
+    Ok(format!("followed {printed} line(s) from {path}"))
+}
+
 /// `dpnet audit <file> <query> [--budget E] [--eps E] [--seed N]
 /// [--label L] [--out FILE]` — run a private analysis and report the
 /// owner-side view: per-operator ε spend (with provenance-exact totals
 /// that sum to the accountant's reading), ledger retention, and optionally
-/// the full JSONL audit export.
+/// the full JSONL audit export. With `--follow`, tail an audit JSONL file
+/// instead (see [`follow_file`]).
 pub fn audit_cmd(args: &Args) -> Result<String, String> {
+    if let Some(v) = args.flags.get("follow") {
+        let v = v.clone();
+        return audit_follow_cmd(args, &v);
+    }
     let path = args.positional(0, "trace file")?;
     let query = args.positional(1, "query")?.to_string();
     let budget_eps: f64 = args.flag_or("budget", 1.0f64)?;
@@ -476,6 +515,210 @@ pub fn explain_cmd(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// Build the noise source the serving commands share: seed 0 means fresh
+/// entropy, anything else a fixed deterministic stream.
+fn noise_from_seed(seed: u64) -> NoiseSource {
+    if seed == 0 {
+        NoiseSource::from_entropy()
+    } else {
+        NoiseSource::seeded(seed)
+    }
+}
+
+/// `dpnet serve <trace> [--addr A] [--global-eps G] [--analyst-cap C]
+/// [--workers N] [--jobs J] [--seed N] [--audit-dir DIR]
+/// [--duration-s S]` — load the protected trace once and serve concurrent
+/// analyst sessions over length-framed JSON-over-TCP. Foreground: blocks
+/// until killed, or for `--duration-s` seconds when given (then prints
+/// the owner's ledger).
+pub fn serve_cmd(args: &Args) -> Result<String, String> {
+    use dpnet_serve::{serve, shard_packets, ServeConfig};
+    use std::path::PathBuf;
+
+    let path = args.positional(0, "trace file")?;
+    let addr = args
+        .flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7070".to_string());
+    let global_eps: f64 = args.flag_or("global-eps", 10.0f64)?;
+    let analyst_cap: f64 = args.flag_or("analyst-cap", 1.0f64)?;
+    let workers: usize = args.flag_or("workers", 0usize)?;
+    let jobs: usize = args.flag_or("jobs", 8usize)?;
+    let seed: u64 = args.flag_or("seed", 0u64)?;
+    let duration_s: f64 = args.flag_or("duration-s", 0.0f64)?;
+    let audit_dir = args.flags.get("audit-dir").map(PathBuf::from);
+
+    let packets = load_trace(path)?;
+    let loaded = packets.len();
+    let handle = serve(
+        shard_packets(packets),
+        noise_from_seed(seed),
+        ServeConfig {
+            addr,
+            global_eps,
+            analyst_cap,
+            workers,
+            max_concurrent_jobs: jobs,
+            audit_dir,
+        },
+    )
+    .map_err(|e| format!("cannot start daemon: {e}"))?;
+    // Announce readiness on stdout immediately: scripts wait for this line.
+    println!(
+        "dpnet-serve listening on {} ({loaded} packets, global ε {global_eps}, analyst cap {analyst_cap}, {workers} workers)",
+        handle.addr()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    if duration_s > 0.0 {
+        std::thread::sleep(std::time::Duration::from_secs_f64(duration_s));
+        let broker = handle.broker().clone();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "daemon stopped after {duration_s} s: {} live session(s), global ε spent {} of {}",
+            broker.live_sessions(),
+            broker.manager().global().spent(),
+            broker.manager().global().total()
+        );
+        for (analyst, spent) in broker.ledger() {
+            let _ = writeln!(out, "  {analyst:<20} ε {spent}");
+        }
+        handle.shutdown();
+        Ok(out)
+    } else {
+        handle.join();
+        Ok("daemon stopped".to_string())
+    }
+}
+
+/// `dpnet loadtest [--sessions N] [--requests N] [--analysts N]
+/// [--analysis NAME] [--eps E] [--addr A] [--flows N] [--global-eps G]
+/// [--analyst-cap C] [--workers N] [--jobs J] [--seed N]
+/// [--report-dir DIR]` — drive N concurrent analyst sessions. Without
+/// `--addr` it spins up an in-process daemon over a synthetic trace
+/// (fully reproducible via `--seed`); with `--addr` it targets a running
+/// daemon. Writes latency percentiles into `BENCH_serve.json` when
+/// `--report-dir` is given. Fails if any session hits an *unexpected*
+/// error — graceful `budget_exhausted` refusals are counted, not failed.
+pub fn loadtest_cmd(args: &Args) -> Result<String, String> {
+    use dpnet_bench::report::RunReport;
+    use dpnet_serve::loadtest::LoadtestConfig;
+    use dpnet_serve::{run_loadtest, serve, shard_packets, ServeConfig};
+    use dpnet_trace::gen::hotspot::{generate, HotspotConfig};
+    use std::path::PathBuf;
+
+    let cfg = LoadtestConfig {
+        sessions: args.flag_or("sessions", 64usize)?,
+        requests: args.flag_or("requests", 4usize)?,
+        analysts: args.flag_or("analysts", 8usize)?,
+        analysis: args
+            .flags
+            .get("analysis")
+            .cloned()
+            .unwrap_or_else(|| "count".to_string()),
+        eps: args.flag_or("eps", 0.01f64)?,
+    };
+    let workers: usize = args.flag_or("workers", 0usize)?;
+    let seed: u64 = args.flag_or("seed", 0x10adu64)?;
+
+    // Either drive an external daemon or bring one up in-process.
+    let (outcome, eps_charged) = match args.flags.get("addr") {
+        Some(addr) => {
+            let addr: std::net::SocketAddr = addr
+                .parse()
+                .map_err(|e| format!("invalid --addr '{addr}': {e}"))?;
+            let outcome = run_loadtest(addr, &cfg).map_err(|e| e.to_string())?;
+            (outcome, f64::NAN) // the remote owner holds the ledger
+        }
+        None => {
+            let flows: usize = args.flag_or("flows", 200usize)?;
+            let trace = generate(HotspotConfig {
+                seed,
+                web_flows: flows,
+                ..HotspotConfig::default()
+            });
+            let handle = serve(
+                shard_packets(trace.packets),
+                noise_from_seed(seed),
+                ServeConfig {
+                    addr: "127.0.0.1:0".to_string(),
+                    global_eps: args.flag_or("global-eps", 50.0f64)?,
+                    analyst_cap: args.flag_or("analyst-cap", 5.0f64)?,
+                    workers,
+                    max_concurrent_jobs: args.flag_or("jobs", 8usize)?,
+                    audit_dir: args.flags.get("audit-dir").map(PathBuf::from),
+                },
+            )
+            .map_err(|e| format!("cannot start daemon: {e}"))?;
+            let outcome = run_loadtest(handle.addr(), &cfg).map_err(|e| e.to_string())?;
+            let spent = handle.broker().manager().global().spent();
+            handle.shutdown();
+            (outcome, spent)
+        }
+    };
+
+    let summary = outcome.summary();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "loadtest: {} session(s), {} request(s) in {:.1} ms",
+        summary.sessions,
+        summary.requests,
+        outcome.wall.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(
+        out,
+        "  ok {}  budget_exhausted {}  invalid {}",
+        summary.ok, summary.budget_exhausted, summary.invalid
+    );
+    let _ = writeln!(
+        out,
+        "  latency p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  max {:.3} ms",
+        summary.p50_ns as f64 / 1e6,
+        summary.p95_ns as f64 / 1e6,
+        summary.p99_ns as f64 / 1e6,
+        summary.max_ns as f64 / 1e6
+    );
+    if eps_charged.is_finite() {
+        let _ = writeln!(out, "  global ε charged: {eps_charged}");
+    }
+
+    if let Some(dir) = args.flags.get("report-dir") {
+        let mut report = RunReport::new("serve");
+        report.set_workers(workers.max(1));
+        report.record_latency(
+            "serve-loadtest",
+            outcome.wall.as_nanos() as u64,
+            if eps_charged.is_finite() {
+                eps_charged
+            } else {
+                0.0
+            },
+            summary,
+        );
+        let path = report
+            .write_json(Path::new(dir))
+            .map_err(|e| format!("cannot write report: {e}"))?;
+        let _ = writeln!(out, "  report: {}", path.display());
+    }
+
+    if !outcome.errors.is_empty() {
+        let mut msg = format!(
+            "loadtest hit {} unexpected error(s):\n",
+            outcome.errors.len()
+        );
+        for e in outcome.errors.iter().take(10) {
+            let _ = writeln!(msg, "  {e}");
+        }
+        msg.push_str(&out);
+        return Err(msg);
+    }
+    Ok(out)
+}
+
 /// Usage text.
 pub fn usage() -> String {
     "dpnet — differentially-private network trace analysis\n\
@@ -487,11 +730,21 @@ pub fn usage() -> String {
        convert  <in> <out>                     re-encode (.txt text, .pcap libpcap, else binary)\n\
        inspect  <file>                         owner-side summary (non-private)\n\
        analyze  <file> <query> [--budget E] [--eps E] [--seed N] [--label L] [--audit-out FILE]\n\
-                queries: count lengths ports rtt loss heavy-hosts\n\
+                queries: count lengths ports rtt loss heavy-hosts retx-cdf itemsets worm\n\
        classify <file> [--rules FILE] [--budget E] [--eps E] [--seed N] [--audit-out FILE]\n\
                 private per-rule traffic shares\n\
        audit    <file> <query> [--budget E] [--eps E] [--seed N] [--label L] [--out FILE]\n\
                 run a query, then print the owner-side per-operator \u{3b5} ledger\n\
+       audit    --follow <file.jsonl> [--max-lines N] [--idle-ms M]\n\
+                tail an audit JSONL stream live (e.g. a serve session file)\n\
+       serve    <trace> [--addr A] [--global-eps G] [--analyst-cap C] [--workers N]\n\
+                [--jobs J] [--seed N] [--audit-dir DIR] [--duration-s S]\n\
+                daemon: concurrent analyst sessions over JSON-over-TCP,\n\
+                budget-mediated; per-session audit JSONL in --audit-dir\n\
+       loadtest [--sessions N] [--requests N] [--analysts N] [--analysis NAME]\n\
+                [--eps E] [--addr A] [--report-dir DIR] [--seed N]\n\
+                drive N concurrent analyst sessions (in-process daemon\n\
+                unless --addr); writes BENCH_serve.json latency percentiles\n\
        profile  <experiment> [--workers N] [--trace-out FILE] [--max-overhead R]\n\
                 [--spans full|agg]\n\
                 run a paper experiment under the span profiler; writes\n\
@@ -757,6 +1010,120 @@ mod tests {
         let text = std::fs::read_to_string(&ledger).unwrap();
         assert!(text.contains("\"label\":\"weekly\""));
         assert!(text.contains("\"op\":\"noisy_count\""));
+    }
+
+    #[test]
+    fn follow_tails_lines_appended_while_running() {
+        use std::io::Write as _;
+        let path = tmp("t12.follow.jsonl");
+        std::fs::write(&path, "{\"type\":\"charge\",\"eps\":0.1}\n").unwrap();
+        let writer_path = path.clone();
+        let writer = std::thread::spawn(move || {
+            for i in 0..3 {
+                std::thread::sleep(std::time::Duration::from_millis(60));
+                let mut f = File::options().append(true).open(&writer_path).unwrap();
+                writeln!(f, "{{\"type\":\"charge\",\"eps\":0.{i}}}").unwrap();
+            }
+            let mut f = File::options().append(true).open(&writer_path).unwrap();
+            writeln!(f, "not json at all").unwrap();
+        });
+        let mut out = Vec::new();
+        let printed = follow_file(Path::new(&path), 5, 0, &mut out).unwrap();
+        writer.join().unwrap();
+        assert_eq!(printed, 5);
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 5);
+        assert!(
+            text.contains("not json at all  <- not valid JSON"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn follow_stops_when_idle() {
+        let path = tmp("t13.follow.jsonl");
+        std::fs::write(&path, "{\"a\":1}\n{\"b\":2}\n").unwrap();
+        let mut out = Vec::new();
+        // No writer: drains the two lines, then gives up after idle-ms.
+        let printed = follow_file(Path::new(&path), 0, 120, &mut out).unwrap();
+        assert_eq!(printed, 2);
+        let report = audit_cmd(&args(&[
+            "audit",
+            "--follow",
+            &path,
+            "--max-lines",
+            "1",
+            "--idle-ms",
+            "100",
+        ]))
+        .unwrap();
+        assert!(report.contains("followed 1 line(s)"), "{report}");
+    }
+
+    #[test]
+    fn loadtest_runs_in_process_and_writes_the_serve_report() {
+        let dir = tmp("t14-reports");
+        let report = loadtest_cmd(&args(&[
+            "loadtest",
+            "--sessions",
+            "4",
+            "--requests",
+            "2",
+            "--analysts",
+            "2",
+            "--flows",
+            "20",
+            "--eps",
+            "0.01",
+            "--seed",
+            "77",
+            "--report-dir",
+            &dir,
+        ]))
+        .unwrap();
+        assert!(report.contains("4 session(s), 8 request(s)"), "{report}");
+        assert!(
+            report.contains("ok 8"),
+            "all cheap queries succeed: {report}"
+        );
+        let text = std::fs::read_to_string(Path::new(&dir).join("BENCH_serve.json")).unwrap();
+        for key in [
+            "\"latency\":",
+            "\"p50_ns\":",
+            "\"p95_ns\":",
+            "\"p99_ns\":",
+            "\"sessions\":4",
+        ] {
+            assert!(text.contains(key), "missing {key} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn loadtest_counts_budget_exhaustion_gracefully() {
+        // Per-analyst cap 0.25 at eps 0.1: each of the 2 analysts affords
+        // exactly 2 of its 4 requests (one session per analyst).
+        let report = loadtest_cmd(&args(&[
+            "loadtest",
+            "--sessions",
+            "2",
+            "--requests",
+            "4",
+            "--analysts",
+            "2",
+            "--flows",
+            "20",
+            "--eps",
+            "0.1",
+            "--seed",
+            "78",
+            "--analyst-cap",
+            "0.25",
+            "--global-eps",
+            "10.0",
+        ]))
+        .unwrap();
+        assert!(report.contains("ok 4"), "{report}");
+        assert!(report.contains("budget_exhausted 4"), "{report}");
     }
 
     #[test]

@@ -23,6 +23,8 @@ fn main() {
         "analyze" => commands::analyze_cmd(&parsed),
         "classify" => commands::classify_cmd(&parsed),
         "audit" => commands::audit_cmd(&parsed),
+        "serve" => commands::serve_cmd(&parsed),
+        "loadtest" => commands::loadtest_cmd(&parsed),
         "profile" => commands::profile_cmd(&parsed),
         "explain" => commands::explain_cmd(&parsed),
         "help" | "--help" | "-h" => {

@@ -175,6 +175,26 @@ pub struct PhaseEvent {
     pub at_ns: u64,
 }
 
+/// An analyst session opened or closed.
+///
+/// Emitted by the policy/serving layer, not the engine: sessions are the
+/// unit of mediation (paper §7) and the owner audits their lifecycle the
+/// same way they audit spends. Carries only the session's identity and its
+/// budget reading — both owner-side policy metadata, never record data.
+#[derive(Debug, Clone)]
+pub struct SessionEvent {
+    /// Process-unique session id assigned by the session manager.
+    pub session_id: u64,
+    /// Analyst the session belongs to.
+    pub analyst: Arc<str>,
+    /// `"opened"` or `"closed"`.
+    pub action: &'static str,
+    /// ε the session had spent when the event fired (0 at open).
+    pub session_spent: f64,
+    /// Monotonic timestamp (ns since process clock epoch).
+    pub at_ns: u64,
+}
+
 /// Any engine event.
 #[derive(Debug, Clone)]
 pub enum Event {
@@ -190,11 +210,13 @@ pub enum Event {
     Exec(ExecEvent),
     /// A lazy query plan materialized.
     Plan(PlanEvent),
+    /// An analyst session opened or closed.
+    Session(SessionEvent),
 }
 
 impl Event {
     /// The event's kind as a stable string (`"transform"`, `"aggregate"`,
-    /// `"charge"`, `"phase"`, `"exec"`, `"plan"`).
+    /// `"charge"`, `"phase"`, `"exec"`, `"plan"`, `"session"`).
     pub fn kind(&self) -> &'static str {
         match self {
             Event::Transform(_) => "transform",
@@ -203,6 +225,7 @@ impl Event {
             Event::Phase(_) => "phase",
             Event::Exec(_) => "exec",
             Event::Plan(_) => "plan",
+            Event::Session(_) => "session",
         }
     }
 
@@ -270,6 +293,13 @@ impl Event {
                 #[cfg(feature = "trusted-owner")]
                 o.field_u64("source_records", e.source_records)
                     .field_u64("output_records", e.output_records);
+            }
+            Event::Session(e) => {
+                o.field_u64("session", e.session_id)
+                    .field_str("analyst", &e.analyst)
+                    .field_str("action", e.action)
+                    .field_f64("session_spent", e.session_spent)
+                    .field_u64("at_ns", e.at_ns);
             }
         }
         o.finish()

@@ -52,7 +52,8 @@ pub mod trace_export;
 
 pub use clock::{now_ns, unix_time_s, SpanTimer};
 pub use event::{
-    AggregateEvent, ChargeEvent, Event, ExecEvent, Outcome, PhaseEvent, PlanEvent, TransformEvent,
+    AggregateEvent, ChargeEvent, Event, ExecEvent, Outcome, PhaseEvent, PlanEvent, SessionEvent,
+    TransformEvent,
 };
 pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricsRegistry};
 pub use sink::{

@@ -1,0 +1,214 @@
+//! A blocking analyst client for the serve protocol.
+//!
+//! One [`Client`] drives one connection (and hence at most one session).
+//! Typed server refusals surface as [`ClientError::Server`] — a
+//! `budget_exhausted` there is an expected, graceful outcome, not a
+//! transport failure. The raw escape hatches ([`Client::send_raw_frame`],
+//! [`Client::stream_mut`]) exist for the robustness tests that feed the
+//! daemon garbage.
+
+use crate::protocol::{
+    read_frame, write_frame, FrameError, Request, Response, ServeError, SpendWire,
+};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, or mid-frame EOF).
+    Io(io::Error),
+    /// The server closed the connection between frames.
+    Disconnected,
+    /// The server's response frame could not be parsed.
+    BadResponse(ServeError),
+    /// The server answered with a typed error (`budget_exhausted`,
+    /// `invalid_request`, …).
+    Server(ServeError),
+    /// The server answered with a well-formed response of the wrong shape
+    /// for the request.
+    Unexpected(Response),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::BadResponse(e) => write!(f, "unparseable response: {e}"),
+            ClientError::Server(e) => write!(f, "server refused: {e}"),
+            ClientError::Unexpected(r) => write!(f, "unexpected response shape: {r:?}"),
+        }
+    }
+}
+
+impl ClientError {
+    /// The typed server error, when this is a refusal.
+    pub fn server_error(&self) -> Option<&ServeError> {
+        match self {
+            ClientError::Server(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A released query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReply {
+    /// Released `(name, value)` pairs.
+    pub values: Vec<(String, f64)>,
+    /// Rendered text report.
+    pub text: String,
+    /// Server-side execution wall time, ns.
+    pub wall_ns: u64,
+}
+
+/// A blocking connection to a dpnet-serve daemon.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect once.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Connect with retries (for racing a daemon that is still binding).
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs + Clone,
+        attempts: u32,
+        delay: Duration,
+    ) -> io::Result<Client> {
+        let mut last = io::Error::other("no attempts made");
+        for _ in 0..attempts.max(1) {
+            match Client::connect(addr.clone()) {
+                Ok(c) => return Ok(c),
+                Err(e) => last = e,
+            }
+            std::thread::sleep(delay);
+        }
+        Err(last)
+    }
+
+    /// Send one request and read one response.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.send_raw_frame(req.to_json().as_bytes())
+    }
+
+    /// Frame an arbitrary payload (valid or garbage) and read the
+    /// response. Robustness tests use this to deliver malformed JSON.
+    pub fn send_raw_frame(&mut self, payload: &[u8]) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, payload)?;
+        self.read_response()
+    }
+
+    /// Read one response frame without sending anything first.
+    pub fn read_response(&mut self) -> Result<Response, ClientError> {
+        let frame = match read_frame(&mut self.stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return Err(ClientError::Disconnected),
+            Err(FrameError::Io(e)) => return Err(ClientError::Io(e)),
+            Err(FrameError::TooLarge(_)) => {
+                return Err(ClientError::BadResponse(ServeError::new(
+                    crate::protocol::ErrorKind::BadFrame,
+                    "server sent an oversized frame",
+                )))
+            }
+        };
+        Response::parse(&frame).map_err(ClientError::BadResponse)
+    }
+
+    /// Raw stream access (robustness tests: truncated frames, hostile
+    /// length prefixes).
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    /// Open a session; returns the session id.
+    pub fn open(&mut self, analyst: &str) -> Result<u64, ClientError> {
+        match self.request(&Request::Open {
+            analyst: analyst.to_string(),
+        })? {
+            Response::Opened { session, .. } => Ok(session),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Run a catalogue analysis at `eps`.
+    pub fn query(&mut self, analysis: &str, eps: f64) -> Result<QueryReply, ClientError> {
+        match self.request(&Request::Query {
+            analysis: analysis.to_string(),
+            eps,
+        })? {
+            Response::Values {
+                values,
+                text,
+                wall_ns,
+                ..
+            } => Ok(QueryReply {
+                values,
+                text,
+                wall_ns,
+            }),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Read this session's budget snapshot.
+    pub fn spend(&mut self) -> Result<SpendWire, ClientError> {
+        match self.request(&Request::Spend)? {
+            Response::Spend(s) => Ok(s),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Read the owner's per-analyst ledger.
+    pub fn ledger(&mut self) -> Result<Vec<(String, f64)>, ClientError> {
+        match self.request(&Request::Ledger)? {
+            Response::Ledger(rows) => Ok(rows),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// List the analysis catalogue: `(name, summary, default ε)`.
+    pub fn analyses(&mut self) -> Result<Vec<(String, String, f64)>, ClientError> {
+        match self.request(&Request::Analyses)? {
+            Response::Analyses(rows) => Ok(rows),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Close the session; returns its final ε spend.
+    pub fn close(&mut self) -> Result<f64, ClientError> {
+        match self.request(&Request::Close)? {
+            Response::Closed { session_spent, .. } => Ok(session_spent),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Concurrent-session load generator.
+//!
+//! Spawns N analyst sessions as real TCP clients against a running
+//! daemon, releases them through a barrier so they arrive together, has
+//! each run a fixed request script, and aggregates client-observed
+//! request latencies into the percentile summary the bench reports carry
+//! ([`LatencySummary`]). Budget refusals are *expected* outcomes here —
+//! the point of the exercise is that a daemon driven past its caps keeps
+//! answering gracefully — so they are counted, not treated as failures.
+//! Anything else unexpected (transport errors, malformed responses,
+//! panics) lands in [`LoadtestOutcome::errors`].
+
+use crate::client::{Client, ClientError};
+use crate::protocol::ErrorKind;
+use dpnet_bench::report::LatencySummary;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::{Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+/// Load shape.
+#[derive(Debug, Clone)]
+pub struct LoadtestConfig {
+    /// Concurrent sessions (one client connection + thread each).
+    pub sessions: usize,
+    /// Queries each session issues.
+    pub requests: usize,
+    /// Distinct analyst identities the sessions share (sessions are
+    /// assigned round-robin, so caps are contended when this is smaller
+    /// than `sessions`).
+    pub analysts: usize,
+    /// Catalogue analysis every query invokes.
+    pub analysis: String,
+    /// ε per query.
+    pub eps: f64,
+}
+
+impl Default for LoadtestConfig {
+    fn default() -> Self {
+        LoadtestConfig {
+            sessions: 64,
+            requests: 4,
+            analysts: 8,
+            analysis: "count".to_string(),
+            eps: 0.01,
+        }
+    }
+}
+
+/// Aggregated outcome of one load run.
+#[derive(Debug)]
+pub struct LoadtestOutcome {
+    /// Sessions that opened successfully.
+    pub sessions: u64,
+    /// Queries issued.
+    pub requests: u64,
+    /// Queries answered with released values.
+    pub ok: u64,
+    /// Queries refused gracefully with `budget_exhausted`.
+    pub budget_exhausted: u64,
+    /// Queries refused with other typed errors.
+    pub invalid: u64,
+    /// Client-observed per-query latencies, ns, sorted ascending.
+    pub latencies_ns: Vec<u64>,
+    /// Unexpected failures (transport errors, bad responses, panicked
+    /// session threads). Empty on a healthy run.
+    pub errors: Vec<String>,
+    /// Wall time of the whole run.
+    pub wall: Duration,
+}
+
+impl LoadtestOutcome {
+    /// The `p`-th percentile latency in ns (nearest-rank), 0 when empty.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        let n = self.latencies_ns.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        self.latencies_ns[rank.clamp(1, n) - 1]
+    }
+
+    /// The percentile summary bench reports carry.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            sessions: self.sessions,
+            requests: self.requests,
+            ok: self.ok,
+            budget_exhausted: self.budget_exhausted,
+            invalid: self.invalid,
+            p50_ns: self.percentile_ns(50.0),
+            p95_ns: self.percentile_ns(95.0),
+            p99_ns: self.percentile_ns(99.0),
+            max_ns: self.latencies_ns.last().copied().unwrap_or(0),
+        }
+    }
+}
+
+struct SessionTally {
+    requests: u64,
+    ok: u64,
+    budget_exhausted: u64,
+    invalid: u64,
+    latencies_ns: Vec<u64>,
+    errors: Vec<String>,
+}
+
+/// Run the load against a daemon at `addr`. Blocks until every session
+/// finishes its script (or fails), then returns the aggregate.
+pub fn run_loadtest(addr: SocketAddr, cfg: &LoadtestConfig) -> io::Result<LoadtestOutcome> {
+    assert!(cfg.sessions > 0 && cfg.requests > 0 && cfg.analysts > 0);
+    let barrier = Barrier::new(cfg.sessions);
+    let tallies: Mutex<Vec<SessionTally>> = Mutex::new(Vec::with_capacity(cfg.sessions));
+    let opened: Mutex<u64> = Mutex::new(0);
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for i in 0..cfg.sessions {
+            let barrier = &barrier;
+            let tallies = &tallies;
+            let opened = &opened;
+            let cfg = &cfg;
+            scope.spawn(move || {
+                let mut tally = SessionTally {
+                    requests: 0,
+                    ok: 0,
+                    budget_exhausted: 0,
+                    invalid: 0,
+                    latencies_ns: Vec::with_capacity(cfg.requests),
+                    errors: Vec::new(),
+                };
+                // Connect before the barrier so the query burst is
+                // synchronized, not staggered by connect times.
+                let client = Client::connect_retry(addr, 50, Duration::from_millis(20));
+                barrier.wait();
+                let analyst = format!("analyst-{}", i % cfg.analysts);
+                let opened_session = client
+                    .map_err(ClientError::from)
+                    .and_then(|c| open_session(addr, c, &analyst));
+                match opened_session {
+                    Ok(mut client) => {
+                        *opened.lock().expect("opened count poisoned") += 1;
+                        run_script(&mut client, cfg, &mut tally);
+                        if let Err(e) = client.close() {
+                            tally.errors.push(format!("session {i} close: {e}"));
+                        }
+                    }
+                    Err(e) => tally.errors.push(format!("session {i} open: {e}")),
+                }
+                tallies.lock().expect("tally mutex poisoned").push(tally);
+            });
+        }
+    });
+
+    let mut out = LoadtestOutcome {
+        sessions: *opened.lock().expect("opened count poisoned"),
+        requests: 0,
+        ok: 0,
+        budget_exhausted: 0,
+        invalid: 0,
+        latencies_ns: Vec::new(),
+        errors: Vec::new(),
+        wall: start.elapsed(),
+    };
+    for t in tallies.into_inner().expect("tally mutex poisoned") {
+        out.requests += t.requests;
+        out.ok += t.ok;
+        out.budget_exhausted += t.budget_exhausted;
+        out.invalid += t.invalid;
+        out.latencies_ns.extend(t.latencies_ns);
+        out.errors.extend(t.errors);
+    }
+    out.latencies_ns.sort_unstable();
+    Ok(out)
+}
+
+/// Open a session on `client`, redialing on transport failure. Under a
+/// burst of simultaneous connects the listener's accept backlog (a fixed
+/// 128 in `std`) can overflow, and the kernel resets connections the
+/// daemon never accepted — the handshake completed, so the client only
+/// learns when its `open` write bounces. A failed `open` spent no budget
+/// and created no server-side session, so redialing is safe and is what
+/// any real client does. Typed server refusals are returned immediately.
+fn open_session(addr: SocketAddr, first: Client, analyst: &str) -> Result<Client, ClientError> {
+    let mut client = first;
+    let mut attempts = 0;
+    loop {
+        match client.open(analyst) {
+            Ok(_) => return Ok(client),
+            Err(e @ ClientError::Server(_)) => return Err(e),
+            Err(e) => {
+                attempts += 1;
+                if attempts >= 50 {
+                    return Err(e);
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        client = Client::connect_retry(addr, 50, Duration::from_millis(20))?;
+    }
+}
+
+fn run_script(client: &mut Client, cfg: &LoadtestConfig, tally: &mut SessionTally) {
+    for _ in 0..cfg.requests {
+        let t = Instant::now();
+        let result = client.query(&cfg.analysis, cfg.eps);
+        let elapsed = t.elapsed().as_nanos() as u64;
+        tally.requests += 1;
+        tally.latencies_ns.push(elapsed);
+        match result {
+            Ok(_) => tally.ok += 1,
+            Err(ClientError::Server(e)) if e.kind == ErrorKind::BudgetExhausted => {
+                tally.budget_exhausted += 1;
+            }
+            Err(ClientError::Server(_)) => tally.invalid += 1,
+            Err(other) => tally.errors.push(format!("query: {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let out = LoadtestOutcome {
+            sessions: 1,
+            requests: 4,
+            ok: 4,
+            budget_exhausted: 0,
+            invalid: 0,
+            latencies_ns: vec![10, 20, 30, 40],
+            errors: Vec::new(),
+            wall: Duration::ZERO,
+        };
+        assert_eq!(out.percentile_ns(50.0), 20);
+        assert_eq!(out.percentile_ns(95.0), 40);
+        assert_eq!(out.percentile_ns(99.0), 40);
+        assert_eq!(out.summary().max_ns, 40);
+
+        let empty = LoadtestOutcome {
+            latencies_ns: Vec::new(),
+            ..out
+        };
+        assert_eq!(empty.percentile_ns(50.0), 0);
+    }
+}

@@ -75,7 +75,7 @@ pub use explain::{
     install_explain_recorder, uninstall_explain_recorder, ChargeTree, ExplainRecorder,
     ExplainReport, ExplainTree, Overlay,
 };
-pub use policy::{SessionManager, TimedRelease};
+pub use policy::{Session, SessionManager, SessionSpend, TimedRelease};
 pub use queryable::Queryable;
 pub use rng::NoiseSource;
 pub use types::{Group, JoinGroup};

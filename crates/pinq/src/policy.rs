@@ -15,21 +15,135 @@
 //!   spends, hence by the global budget).
 //! * [`TimedRelease`] — a drip policy that grants additional ε to an
 //!   accountant as (logical) epochs pass.
+//!
+//! Two session shapes exist. [`SessionManager::session`] is the original
+//! anonymous form: a bare queryable charging `(global, personal)`. The
+//! serving layer uses the richer [`SessionManager::open`] lifecycle: a
+//! numbered [`Session`] whose charges additionally book against a fresh
+//! session-scoped [`Accountant`], giving exact per-session spend readings,
+//! a per-session audit stream (bind a sink on [`Session::accountant`]),
+//! and a private deterministic noise substream per session.
 
 use crate::budget::Accountant;
+use crate::exec::ExecCtx;
 use crate::queryable::Queryable;
 use crate::rng::NoiseSource;
+use dpnet_obs::{now_ns, Event, SessionEvent};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Owner-side registry mediating one protected dataset for many analysts.
+///
+/// The dataset is held as shared shards: every session over the same trace
+/// reuses the same chunks zero-copy, so a serving daemon loads the trace
+/// once no matter how many analysts connect.
 pub struct SessionManager<T> {
-    records: Arc<Vec<T>>,
+    shards: Vec<Arc<Vec<T>>>,
     noise: NoiseSource,
     global: Accountant,
     per_analyst_cap: f64,
     analysts: Mutex<HashMap<String, Accountant>>,
+    ctx: ExecCtx,
+    next_session: AtomicU64,
+    open: Mutex<HashMap<u64, (Arc<str>, Accountant)>>,
+}
+
+/// A point-in-time budget reading for one session (all values are
+/// accountant readings — policy metadata, never record data).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpend {
+    /// The session's id.
+    pub session_id: u64,
+    /// The analyst the session belongs to.
+    pub analyst: String,
+    /// ε spent through this session alone.
+    pub session_spent: f64,
+    /// ε spent by the analyst across all their sessions.
+    pub analyst_spent: f64,
+    /// The analyst's lifetime cap.
+    pub analyst_cap: f64,
+    /// ε spent against the dataset-wide budget (all analysts).
+    pub global_spent: f64,
+    /// The dataset-wide budget.
+    pub global_total: f64,
+}
+
+/// One opened analyst session: the unit of mediation the serving layer
+/// hands to a connected analyst.
+///
+/// Aggregations through [`Session::queryable`] charge three budgets
+/// transactionally: the session's own accountant (exact per-session
+/// spend), the analyst's lifetime cap, and the dataset-wide budget.
+/// Queryable-level events route through the session accountant's sink, so
+/// binding a sink there ([`Accountant::set_sink`]) yields a live audit
+/// stream scoped to exactly this session.
+pub struct Session<T> {
+    id: u64,
+    analyst: Arc<str>,
+    acct: Accountant,
+    personal: Accountant,
+    global: Accountant,
+    root: Queryable<T>,
+}
+
+impl<T> Session<T> {
+    /// The session's process-unique id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The analyst the session belongs to.
+    pub fn analyst(&self) -> &str {
+        &self.analyst
+    }
+
+    /// The protected view this session queries through.
+    pub fn queryable(&self) -> &Queryable<T> {
+        &self.root
+    }
+
+    /// The session-scoped accountant: exact per-session spend, ring log,
+    /// audit export, and the sink all queryable events of this session
+    /// route through.
+    pub fn accountant(&self) -> &Accountant {
+        &self.acct
+    }
+
+    /// ε spent through this session alone.
+    pub fn spent(&self) -> f64 {
+        self.acct.spent()
+    }
+
+    /// A point-in-time reading of every budget this session charges.
+    pub fn snapshot(&self) -> SessionSpend {
+        SessionSpend {
+            session_id: self.id,
+            analyst: self.analyst.to_string(),
+            session_spent: self.acct.spent(),
+            analyst_spent: self.personal.spent(),
+            analyst_cap: self.personal.total(),
+            global_spent: self.global.spent(),
+            global_total: self.global.total(),
+        }
+    }
+
+    /// Write this session's exact spend ledger as JSONL (see
+    /// [`Accountant::export_audit_jsonl`]).
+    pub fn export_audit_jsonl<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        self.acct.export_audit_jsonl(w)
+    }
+}
+
+impl<T> std::fmt::Debug for Session<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("id", &self.id)
+            .field("analyst", &self.analyst)
+            .field("session_spent", &self.acct.spent())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<T> SessionManager<T> {
@@ -40,18 +154,55 @@ impl<T> SessionManager<T> {
         global_budget: f64,
         per_analyst_cap: f64,
     ) -> Self {
+        Self::from_shared_shards(
+            vec![Arc::new(records)],
+            noise,
+            global_budget,
+            per_analyst_cap,
+        )
+    }
+
+    /// [`SessionManager::new`] over pre-chunked shared shards: the serving
+    /// path. Sessions over the same trace share the chunks zero-copy.
+    pub fn from_shared_shards(
+        shards: Vec<Arc<Vec<T>>>,
+        noise: NoiseSource,
+        global_budget: f64,
+        per_analyst_cap: f64,
+    ) -> Self {
         SessionManager {
-            records: Arc::new(records),
+            shards,
             noise,
             global: Accountant::new(global_budget),
             per_analyst_cap,
             analysts: Mutex::new(HashMap::new()),
+            ctx: ExecCtx::Sequential,
+            next_session: AtomicU64::new(0),
+            open: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Set the execution context sessions inherit (e.g. a shared worker
+    /// pool). Builder-style; applies to sessions opened afterwards.
+    pub fn with_ctx(mut self, ctx: ExecCtx) -> Self {
+        self.ctx = ctx;
+        self
     }
 
     /// The dataset-wide accountant (for owner monitoring).
     pub fn global(&self) -> &Accountant {
         &self.global
+    }
+
+    /// The per-analyst lifetime cap.
+    pub fn per_analyst_cap(&self) -> f64 {
+        self.per_analyst_cap
+    }
+
+    /// The shared shards backing every session (owner-side handle; useful
+    /// for serving layers that expose the same trace elsewhere).
+    pub fn shards(&self) -> &[Arc<Vec<T>>] {
+        &self.shards
     }
 
     /// The accountant of one analyst, creating it on first use.
@@ -63,16 +214,112 @@ impl<T> SessionManager<T> {
             .clone()
     }
 
-    /// Open a session for `analyst`: a queryable over the shared records
-    /// whose aggregations charge both the analyst's cap and the global
-    /// budget.
+    /// Open an anonymous session for `analyst`: a queryable over the
+    /// shared records whose aggregations charge both the analyst's cap and
+    /// the global budget. (The lifecycle-tracked form is
+    /// [`SessionManager::open`].)
     pub fn session(&self, analyst: &str) -> Queryable<T> {
         let personal = self.analyst_budget(analyst);
-        Queryable::new_shared(
-            self.records.clone(),
-            &[&self.global, &personal],
-            &self.noise,
+        Queryable::new_shared_shards(self.shards.clone(), &[&self.global, &personal], &self.noise)
+            .with_ctx(self.ctx.clone())
+    }
+
+    /// Open a numbered, closable session for `analyst`.
+    ///
+    /// Compared to [`SessionManager::session`] the returned [`Session`]
+    /// additionally books every charge against a fresh session-scoped
+    /// accountant (exact per-session spend + per-session audit stream) and
+    /// draws noise from a private deterministic substream, so concurrent
+    /// sessions never interleave their noise draws. Emits a
+    /// `session`/`opened` event through the owner's (global accountant)
+    /// sink.
+    pub fn open(&self, analyst: &str) -> Session<T> {
+        let personal = self.analyst_budget(analyst);
+        // Session accountant cap mirrors the analyst cap: it can never
+        // bind before the personal accountant does (the personal one has
+        // spend from earlier sessions), it just meters this session.
+        let acct = Accountant::new(self.per_analyst_cap);
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed) + 1;
+        let name: Arc<str> = Arc::from(analyst);
+        let noise = self.noise.substream();
+        let root = Queryable::new_shared_shards(
+            self.shards.clone(),
+            &[&acct, &personal, &self.global],
+            &noise,
         )
+        .with_ctx(self.ctx.clone())
+        .with_label(&format!("{analyst}#{id}"));
+        self.open.lock().insert(id, (name.clone(), acct.clone()));
+        self.global.sink_handle().emit(|| {
+            Event::Session(SessionEvent {
+                session_id: id,
+                analyst: name.clone(),
+                action: "opened",
+                session_spent: 0.0,
+                at_ns: now_ns(),
+            })
+        });
+        Session {
+            id,
+            analyst: name,
+            acct,
+            personal,
+            global: self.global.clone(),
+            root,
+        }
+    }
+
+    /// Close session `id`: drop it from the open-session registry and
+    /// return its final budget reading. Emits a `session`/`closed` event
+    /// through the owner's sink. Returns `None` when no such session is
+    /// open (already closed, or never opened here).
+    pub fn close(&self, id: u64) -> Option<SessionSpend> {
+        let (name, acct) = self.open.lock().remove(&id)?;
+        let spend = SessionSpend {
+            session_id: id,
+            analyst: name.to_string(),
+            session_spent: acct.spent(),
+            analyst_spent: self.analyst_budget(&name).spent(),
+            analyst_cap: self.per_analyst_cap,
+            global_spent: self.global.spent(),
+            global_total: self.global.total(),
+        };
+        self.global.sink_handle().emit(|| {
+            Event::Session(SessionEvent {
+                session_id: id,
+                analyst: name.clone(),
+                action: "closed",
+                session_spent: spend.session_spent,
+                at_ns: now_ns(),
+            })
+        });
+        Some(spend)
+    }
+
+    /// Number of currently open (lifecycle-tracked) sessions.
+    pub fn open_sessions(&self) -> usize {
+        self.open.lock().len()
+    }
+
+    /// Point-in-time budget readings for every open session, sorted by
+    /// session id — the owner's live view of who is spending what.
+    pub fn open_session_spends(&self) -> Vec<SessionSpend> {
+        let mut out: Vec<SessionSpend> = self
+            .open
+            .lock()
+            .iter()
+            .map(|(&id, (name, acct))| SessionSpend {
+                session_id: id,
+                analyst: name.to_string(),
+                session_spent: acct.spent(),
+                analyst_spent: self.analyst_budget(name).spent(),
+                analyst_cap: self.per_analyst_cap,
+                global_spent: self.global.spent(),
+                global_total: self.global.total(),
+            })
+            .collect();
+        out.sort_by_key(|s| s.session_id);
+        out
     }
 
     /// Names of analysts who have opened sessions, with their spends.
@@ -94,6 +341,7 @@ impl<T> std::fmt::Debug for SessionManager<T> {
             .field("global_spent", &self.global.spent())
             .field("global_total", &self.global.total())
             .field("per_analyst_cap", &self.per_analyst_cap)
+            .field("open_sessions", &self.open.lock().len())
             .finish_non_exhaustive()
     }
 }
@@ -151,6 +399,7 @@ impl TimedRelease {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dpnet_obs::MemorySink;
 
     fn manager() -> SessionManager<u32> {
         SessionManager::new(
@@ -209,6 +458,122 @@ mod tests {
         assert_eq!(ledger[0].0, "adam");
         assert!((ledger[0].1 - 0.1).abs() < 1e-12);
         assert!((ledger[1].1 - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharded_and_flat_managers_agree() {
+        // The same records pre-chunked: identical releases and spends.
+        let flat = manager();
+        let records: Vec<u32> = (0..1000).collect();
+        let sharded = SessionManager::from_shared_shards(
+            vec![
+                Arc::new(records[..300].to_vec()),
+                Arc::new(records[300..].to_vec()),
+            ],
+            NoiseSource::seeded(7),
+            1.0,
+            0.4,
+        );
+        let a = flat.session("alice").noisy_count(0.2).unwrap();
+        let b = sharded.session("alice").noisy_count(0.2).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(flat.global().spent(), sharded.global().spent());
+    }
+
+    #[test]
+    fn open_sessions_meter_their_own_spend() {
+        let m = manager();
+        let s1 = m.open("dana");
+        let s2 = m.open("dana");
+        assert_ne!(s1.id(), s2.id());
+        assert_eq!(m.open_sessions(), 2);
+
+        s1.queryable().noisy_count(0.25).unwrap();
+        s2.queryable().noisy_count(0.1).unwrap();
+        assert!((s1.spent() - 0.25).abs() < 1e-12);
+        assert!((s2.spent() - 0.1).abs() < 1e-12);
+        // The personal cap still aggregates across the analyst's sessions.
+        assert!((m.analyst_budget("dana").spent() - 0.35).abs() < 1e-12);
+        assert!(s2.queryable().noisy_count(0.25).is_err());
+
+        let snap = s1.snapshot();
+        assert_eq!(snap.analyst, "dana");
+        assert!((snap.session_spent - 0.25).abs() < 1e-12);
+        assert!((snap.analyst_spent - 0.35).abs() < 1e-12);
+        assert!((snap.analyst_cap - 0.4).abs() < 1e-12);
+
+        let closed = m.close(s1.id()).expect("open");
+        assert!((closed.session_spent - 0.25).abs() < 1e-12);
+        assert_eq!(m.open_sessions(), 1);
+        assert!(m.close(s1.id()).is_none(), "double close is rejected");
+    }
+
+    #[test]
+    fn failed_charges_refund_every_budget_of_an_open_session() {
+        let m = manager();
+        let s = m.open("erin");
+        s.queryable().noisy_count(0.3).unwrap();
+        // 0.2 more would pass the session accountant but not the personal
+        // cap: the transactional walk must refund the session accountant.
+        assert!(s.queryable().noisy_count(0.2).is_err());
+        assert!((s.spent() - 0.3).abs() < 1e-12);
+        assert!((m.analyst_budget("erin").spent() - 0.3).abs() < 1e-12);
+        assert!((m.global().spent() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn session_sink_scopes_events_to_one_session() {
+        let m = manager();
+        let s1 = m.open("faye");
+        let s2 = m.open("faye");
+        let sink = Arc::new(MemorySink::new());
+        s1.accountant().set_sink(Some(sink.clone()));
+        s1.queryable().noisy_count(0.1).unwrap();
+        s2.queryable().noisy_count(0.2).unwrap();
+        let events = sink.events();
+        assert!(!events.is_empty());
+        // Only session 1's activity reached the session-scoped sink: every
+        // charge there is the 0.1 one.
+        for e in &events {
+            if let Event::Charge(c) = e {
+                assert!((c.epsilon - 0.1).abs() < 1e-12, "foreign charge {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn open_session_spends_lists_live_readings() {
+        let m = manager();
+        let s1 = m.open("gil");
+        let _s2 = m.open("hana");
+        s1.queryable().noisy_count(0.2).unwrap();
+        let spends = m.open_session_spends();
+        assert_eq!(spends.len(), 2);
+        assert_eq!(spends[0].session_id, s1.id());
+        assert!((spends[0].session_spent - 0.2).abs() < 1e-12);
+        assert_eq!(spends[1].analyst, "hana");
+        assert_eq!(spends[1].session_spent, 0.0);
+    }
+
+    #[test]
+    fn open_sessions_draw_private_noise_substreams() {
+        // Two managers seeded identically: the n-th opened session releases
+        // the same values regardless of what *other* sessions drew first —
+        // substreams never interleave.
+        let m1 = manager();
+        let a1 = m1.open("a");
+        let b1 = m1.open("b");
+        let x = a1.queryable().noisy_count(0.01).unwrap();
+        let y = b1.queryable().noisy_count(0.01).unwrap();
+
+        let m2 = manager();
+        let a2 = m2.open("a");
+        let b2 = m2.open("b");
+        // Reverse query order: same releases.
+        let y2 = b2.queryable().noisy_count(0.01).unwrap();
+        let x2 = a2.queryable().noisy_count(0.01).unwrap();
+        assert_eq!(x, x2);
+        assert_eq!(y, y2);
     }
 
     #[test]

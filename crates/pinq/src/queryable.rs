@@ -211,10 +211,24 @@ impl<T> Queryable<T> {
     /// Panics if `budgets` is empty — an unbudgeted dataset would be
     /// unprotected.
     pub fn new_shared(records: Arc<Vec<T>>, budgets: &[&Accountant], noise: &NoiseSource) -> Self {
+        Self::new_shared_shards(vec![records], budgets, noise)
+    }
+
+    /// [`Queryable::new_shared`] over pre-chunked shared shards: the
+    /// serving path, where one loaded trace backs many concurrent analyst
+    /// sessions and every session must charge several budgets at once.
+    /// Chunks are shared zero-copy across sessions; flat record order is
+    /// the shard concatenation, so releases are identical to a flat
+    /// source over the same records.
+    pub fn new_shared_shards(
+        shards: Vec<Arc<Vec<T>>>,
+        budgets: &[&Accountant],
+        noise: &NoiseSource,
+    ) -> Self {
         assert!(!budgets.is_empty(), "at least one budget is required");
         let charge = kernel::shared_root_node(budgets);
         Queryable {
-            data: Data::Ready(Shards::from_arc(records)),
+            data: Data::Ready(Shards::from_arcs(shards)),
             charge,
             noise: noise.clone(),
             stability: 1.0,
